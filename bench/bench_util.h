@@ -1,0 +1,86 @@
+// Shared helpers for the figure benchmark binaries: print the paper-style
+// table to stdout and drop a CSV next to the working directory for
+// replotting.
+
+#ifndef RANDRECON_BENCH_BENCH_UTIL_H_
+#define RANDRECON_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "experiment/config.h"
+#include "experiment/series.h"
+
+namespace randrecon {
+namespace bench {
+
+/// Applies the shared bench flags (--num_records, --sigma, --trials,
+/// --seed, --oracle_moments, --fast_udr) to a CommonConfig. Returns a
+/// non-zero process exit code on a malformed command line.
+inline int ApplyCommonFlags(int argc, const char* const* argv,
+                            experiment::CommonConfig* common) {
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = parsed.value();
+  auto num_records = flags.GetInt("num_records",
+                                  static_cast<int64_t>(common->num_records));
+  auto sigma = flags.GetDouble("sigma", common->noise_stddev);
+  auto trials = flags.GetInt("trials",
+                             static_cast<int64_t>(common->num_trials));
+  auto seed =
+      flags.GetInt("seed", static_cast<int64_t>(common->seed));
+  auto oracle = flags.GetBool("oracle_moments", common->oracle_moments);
+  auto fast_udr = flags.GetBool("fast_udr", common->fast_udr);
+  for (const Status& status :
+       {num_records.status(), sigma.status(), trials.status(), seed.status(),
+        oracle.status(), fast_udr.status()}) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  common->num_records = static_cast<size_t>(num_records.value());
+  common->noise_stddev = sigma.value();
+  common->num_trials = static_cast<size_t>(trials.value());
+  common->seed = static_cast<uint64_t>(seed.value());
+  common->oracle_moments = oracle.value();
+  common->fast_udr = fast_udr.value();
+  for (const std::string& name : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s ignored\n", name.c_str());
+  }
+  return 0;
+}
+
+/// Prints the experiment table, writes `<csv_name>` in the current
+/// directory, and reports elapsed time. Returns 0 on success (process
+/// exit code).
+inline int ReportExperiment(const Result<experiment::ExperimentResult>& result,
+                            const std::string& csv_name,
+                            const Stopwatch& stopwatch) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", experiment::FormatExperimentTable(result.value()).c_str());
+  const Status csv_status =
+      experiment::WriteExperimentCsv(result.value(), csv_name);
+  if (csv_status.ok()) {
+    std::printf("series written to %s\n", csv_name.c_str());
+  } else {
+    std::fprintf(stderr, "CSV export skipped: %s\n",
+                 csv_status.ToString().c_str());
+  }
+  std::printf("elapsed: %.2fs\n\n", stopwatch.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace randrecon
+
+#endif  // RANDRECON_BENCH_BENCH_UTIL_H_

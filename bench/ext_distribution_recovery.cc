@@ -1,0 +1,99 @@
+// Extension E3 — the *utility* side of randomization: the Agrawal-
+// Srikant density reconstruction (our stats::ReconstructDensity) is what
+// makes randomized data minable at all. This bench measures how well the
+// original marginal density is recovered from disguised samples as the
+// sample count and the noise level vary, for Gaussian and Laplace noise
+// and for a bimodal original.
+//
+// Reported metric: L1 distance between the reconstructed density and the
+// true density on the reconstruction grid (0 = perfect, 2 = disjoint).
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "stats/density_reconstruction.h"
+#include "stats/distribution.h"
+#include "stats/rng.h"
+
+using namespace randrecon;  // NOLINT(build/namespaces): bench binary.
+
+namespace {
+
+double L1AgainstTruth(const stats::GridDensity& estimate,
+                      const stats::ScalarDistribution& truth) {
+  double l1 = 0.0;
+  for (size_t k = 0; k < estimate.points.size(); ++k) {
+    l1 += std::fabs(estimate.density[k] - truth.Pdf(estimate.points[k])) *
+          estimate.step;
+  }
+  return l1;
+}
+
+std::unique_ptr<stats::ScalarDistribution> Bimodal() {
+  std::vector<std::unique_ptr<stats::ScalarDistribution>> parts;
+  parts.push_back(std::make_unique<stats::NormalDistribution>(-6.0, 1.5));
+  parts.push_back(std::make_unique<stats::NormalDistribution>(6.0, 1.5));
+  return std::move(stats::MixtureDistribution::Create(std::move(parts),
+                                                      {1.0, 1.0}))
+      .value()
+      .Clone();
+}
+
+int RunCase(const char* label, const stats::ScalarDistribution& original,
+            const stats::ScalarDistribution& noise) {
+  std::printf("%s, noise %s\n", label, noise.ToString().c_str());
+  std::printf("%s%s\n", PadLeft("n", 10).c_str(), PadLeft("L1 err", 10).c_str());
+  for (size_t n : {200u, 1000u, 5000u, 20000u}) {
+    stats::Rng rng(31337 + n);
+    linalg::Vector disguised(n);
+    for (double& y : disguised) {
+      y = original.Sample(&rng) + noise.Sample(&rng);
+    }
+    auto density = stats::ReconstructDensity(disguised, noise);
+    if (!density.ok()) {
+      std::fprintf(stderr, "%s\n", density.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s%s\n", PadLeft(std::to_string(n), 10).c_str(),
+                PadLeft(FormatDouble(L1AgainstTruth(density.value(), original),
+                                     4),
+                        10)
+                    .c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  Stopwatch stopwatch;
+  std::printf(
+      "Extension E3: AS2000 distribution recovery quality (the data-mining "
+      "utility that randomization promises)\n\n");
+
+  const stats::NormalDistribution normal_original(0.0, 4.0);
+  const stats::NormalDistribution gaussian_noise(0.0, 4.0);
+  const stats::LaplaceDistribution laplace_noise(0.0, 4.0 / std::sqrt(2.0));
+  const auto bimodal = Bimodal();
+
+  if (RunCase("Original N(0, 16)", normal_original, gaussian_noise) != 0) {
+    return 1;
+  }
+  if (RunCase("Original N(0, 16)", normal_original, laplace_noise) != 0) {
+    return 1;
+  }
+  if (RunCase("Original bimodal mixture", *bimodal, gaussian_noise) != 0) {
+    return 1;
+  }
+  std::printf(
+      "Reading: the aggregate distribution converges with n for every "
+      "noise family — exactly why randomization is useful for mining — "
+      "while the figure benches show the *individual records* leaking. "
+      "Both halves of the paper's trade-off, measured.\n");
+  std::printf("elapsed: %.2fs\n\n", stopwatch.ElapsedSeconds());
+  return 0;
+}

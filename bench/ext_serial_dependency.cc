@@ -1,0 +1,43 @@
+// Extension E2 — Sample Dependency (§3 second bullet): time-series data
+// disguised sample-by-sample leaks through its serial correlation.
+//
+// Sweeps the AR(1) coefficient rho (stationary std fixed at 10, noise
+// sigma = 5) and reports the de-noised RMSE for several embedding
+// windows plus the NDR baseline (the disguised series itself). Expected
+// shape: at rho = 0 nothing beats the univariate shrinkage bound
+// (~4.47); as rho -> 1 the reconstruction error collapses toward the
+// Wiener optimum — serial dependency is as dangerous as attribute
+// correlation.
+//
+// Flags: --num_records=L (series length) --sigma=S --trials=T --seed=S
+
+#include "bench/bench_util.h"
+#include "experiment/extensions.h"
+
+int main(int argc, char** argv) {
+  randrecon::Stopwatch stopwatch;
+  randrecon::experiment::SerialDependencyConfig config;
+  config.common.num_records = 6000;  // Series length.
+  config.common.num_trials = 3;
+  if (int rc = randrecon::bench::ApplyCommonFlags(argc, argv, &config.common);
+      rc != 0) {
+    return rc;
+  }
+  std::printf(
+      "Extension E2: serial dependency attack on AR(1) series "
+      "(length = %zu, stationary std = %.0f, sigma = %.1f, %zu "
+      "trials/point)\n\n",
+      config.common.num_records, config.stationary_stddev,
+      config.common.noise_stddev, config.common.num_trials);
+  const int rc = randrecon::bench::ReportExperiment(
+      randrecon::experiment::RunSerialDependencySweep(config),
+      "ext_serial_dependency.csv", stopwatch);
+  if (rc == 0) {
+    std::printf(
+        "Reading: the disguised series itself (NDR) always sits at sigma; "
+        "a univariate attack can at best reach ~4.47 here. Everything "
+        "below that is privacy surrendered to *serial* correlation — the "
+        "paper's §3 warning made concrete.\n\n");
+  }
+  return rc;
+}

@@ -1,0 +1,30 @@
+// Regenerates Figure 2 (§7.3): RMSE of UDR / SF / PCA-DR / BE-DR as the
+// number of principal components p grows from 2 to 100 at m = 100.
+// Expected shape (paper): errors rise with p (correlation weakens); BE-DR
+// best; SF/PCA-DR approach the NDR level at p = m while BE-DR converges
+// to UDR.
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "experiment/figures.h"
+
+int main(int argc, char** argv) {
+  randrecon::Stopwatch stopwatch;
+  randrecon::experiment::Figure2Config config;
+  config.principal_counts = {2,  5,  10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  config.common.num_trials = 3;
+  if (int rc = randrecon::bench::ApplyCommonFlags(argc, argv, &config.common);
+      rc != 0) {
+    return rc;
+  }
+  std::printf(
+      "Reproduces: Figure 2 'Experiment 2: Increase the Number of Principal "
+      "Components'\n"
+      "Setup: m = %zu fixed, trace-pinned spectrum (Eq. 12), n = %zu, "
+      "sigma = %.1f, %zu trials/point\n\n",
+      config.num_attributes, config.common.num_records,
+      config.common.noise_stddev, config.common.num_trials);
+  return randrecon::bench::ReportExperiment(
+      randrecon::experiment::RunFigure2(config),
+      "fig2_principal_components.csv", stopwatch);
+}

@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks for the linear-algebra and sampling
+// substrate: the building blocks every attack and every experiment run
+// through.
+
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.h"
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/lu.h"
+#include "linalg/matrix_util.h"
+#include "linalg/orthogonal.h"
+#include "stats/moments.h"
+#include "stats/mvn.h"
+#include "stats/random_orthogonal.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace {
+
+linalg::Matrix RandomSpd(size_t m, uint64_t seed) {
+  stats::Rng rng(seed);
+  linalg::Matrix g = rng.GaussianMatrix(m, m);
+  linalg::Matrix a = linalg::Symmetrize(g * g.Transpose());
+  for (size_t i = 0; i < m; ++i) a(i, i) += 1.0;
+  return a;
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  stats::Rng rng(1);
+  const linalg::Matrix a = rng.GaussianMatrix(m, m);
+  const linalg::Matrix b = rng.GaussianMatrix(m, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetComplexityN(static_cast<int64_t>(m));
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const linalg::Matrix a = RandomSpd(m, 2);
+  for (auto _ : state) {
+    auto eig = linalg::SymmetricEigen(a);
+    benchmark::DoNotOptimize(eig);
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(16)->Arg(50)->Arg(100);
+
+void BM_Cholesky(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const linalg::Matrix a = RandomSpd(m, 3);
+  for (auto _ : state) {
+    auto chol = linalg::CholeskyFactorization::Compute(a);
+    benchmark::DoNotOptimize(chol);
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(16)->Arg(50)->Arg(100);
+
+void BM_LuInverse(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  const linalg::Matrix a = RandomSpd(m, 4);
+  for (auto _ : state) {
+    auto inv = linalg::InvertMatrix(a);
+    benchmark::DoNotOptimize(inv);
+  }
+}
+BENCHMARK(BM_LuInverse)->Arg(16)->Arg(50)->Arg(100);
+
+void BM_GramSchmidt(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  stats::Rng rng(5);
+  const linalg::Matrix g = rng.GaussianMatrix(m, m);
+  for (auto _ : state) {
+    auto q = linalg::GramSchmidtOrthonormalize(g);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_GramSchmidt)->Arg(16)->Arg(50)->Arg(100);
+
+void BM_MvnSample1000Records(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  stats::Rng setup_rng(6);
+  const linalg::Matrix cov = linalg::ComposeFromEigen(
+      data::TwoLevelSpectrum(m, m / 10 + 1, 100.0, 1.0),
+      stats::RandomOrthogonalMatrix(m, &setup_rng));
+  auto sampler = stats::MultivariateNormalSampler::CreateZeroMean(cov);
+  stats::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.value().SampleMatrix(1000, &rng));
+  }
+}
+BENCHMARK(BM_MvnSample1000Records)->Arg(20)->Arg(100);
+
+void BM_SampleCovariance(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  stats::Rng rng(8);
+  const linalg::Matrix data = rng.GaussianMatrix(1000, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SampleCovariance(data));
+  }
+}
+BENCHMARK(BM_SampleCovariance)->Arg(20)->Arg(100);
+
+void BM_SyntheticDatasetGeneration(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = data::TwoLevelSpectrumWithTrace(m, 5, 1.0, 100.0);
+  stats::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::GenerateSpectrumDataset(spec, 1000, &rng));
+  }
+}
+BENCHMARK(BM_SyntheticDatasetGeneration)->Arg(20)->Arg(100);
+
+}  // namespace
+}  // namespace randrecon
+
+BENCHMARK_MAIN();

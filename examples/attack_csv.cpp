@@ -1,0 +1,128 @@
+// Command-line attack tool: run the paper's reconstruction suite against
+// YOUR disguised CSV.
+//
+// Usage:
+//   attack_csv --sigma=<noise stddev> disguised.csv [original.csv]
+//
+// The disguised file must be the output of an additive randomization
+// Y = X + R with i.i.d. N(0, sigma²) noise (sigma is public in
+// randomization-based PPDM). With only the disguised file the tool
+// reports each attack's *claimed* noise removal (distance between the
+// reconstruction and the published data); when the true original is also
+// given, it scores every attack exactly like the paper does.
+//
+// With no arguments the tool demonstrates itself on a generated dataset.
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "core/attack_suite.h"
+#include "data/csv.h"
+#include "data/synthetic.h"
+#include "perturb/schemes.h"
+#include "stats/moments.h"
+
+using namespace randrecon;  // NOLINT(build/namespaces): example code.
+
+namespace {
+
+int RunDemo(double sigma) {
+  std::printf(
+      "No input files given — demonstrating on a generated dataset\n"
+      "(30 attributes, 3 principal components, 800 records, sigma = %.1f).\n"
+      "Usage: attack_csv --sigma=S disguised.csv [original.csv]\n\n",
+      sigma);
+  stats::Rng rng(424242);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = data::TwoLevelSpectrumWithTrace(30, 3, 1.0, 100.0);
+  auto synthetic = data::GenerateSpectrumDataset(spec, 800, &rng);
+  if (!synthetic.ok()) return 1;
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(30, sigma);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  if (!disguised.ok()) return 1;
+
+  auto reports = core::AttackSuite::PaperSuite().RunAll(
+      synthetic.value().dataset, disguised.value(), scheme.noise_model());
+  if (!reports.ok()) {
+    std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", core::FormatReportTable(reports.value()).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  auto sigma = flags.value().GetDouble("sigma", 5.0);
+  if (!sigma.ok() || sigma.value() <= 0.0) {
+    std::fprintf(stderr, "--sigma must be a positive number\n");
+    return 2;
+  }
+
+  const auto& files = flags.value().positional();
+  if (files.empty()) return RunDemo(sigma.value());
+
+  auto disguised = data::ReadCsv(files[0]);
+  if (!disguised.ok()) {
+    std::fprintf(stderr, "cannot read '%s': %s\n", files[0].c_str(),
+                 disguised.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded %zu records x %zu attributes from %s (sigma = %.3f)\n\n",
+              disguised.value().num_records(),
+              disguised.value().num_attributes(), files[0].c_str(),
+              sigma.value());
+  const perturb::NoiseModel noise = perturb::NoiseModel::IndependentGaussian(
+      disguised.value().num_attributes(), sigma.value());
+
+  if (files.size() >= 2) {
+    // Scored mode: the true original is available.
+    auto original = data::ReadCsv(files[1]);
+    if (!original.ok()) {
+      std::fprintf(stderr, "cannot read '%s': %s\n", files[1].c_str(),
+                   original.status().ToString().c_str());
+      return 1;
+    }
+    auto reports = core::AttackSuite::PaperSuite().RunAll(
+        original.value(), disguised.value(), noise);
+    if (!reports.ok()) {
+      std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("Reconstruction error vs the true original:\n%s",
+                core::FormatReportTable(reports.value()).c_str());
+    return 0;
+  }
+
+  // Blind mode: no ground truth. Report how far each attack moves the
+  // published values — i.e. how much claimed noise it strips out.
+  core::AttackSuite suite = core::AttackSuite::PaperSuite();
+  std::printf(
+      "No original given; reporting each attack's estimated noise removal\n"
+      "(RMS distance between its reconstruction and the published data;\n"
+      "the noise RMS itself is sigma = %.3f):\n\n",
+      sigma.value());
+  for (size_t a = 0; a < suite.size(); ++a) {
+    auto x_hat = suite.attack(a).Reconstruct(disguised.value().records(), noise);
+    if (!x_hat.ok()) {
+      std::fprintf(stderr, "%s: %s\n", suite.attack(a).name().c_str(),
+                   x_hat.status().ToString().c_str());
+      return 1;
+    }
+    const double moved = stats::RootMeanSquareError(
+        disguised.value().records(), x_hat.value());
+    std::printf("  %-8s claims to remove %7.3f of noise RMS\n",
+                suite.attack(a).name().c_str(), moved);
+  }
+  std::printf(
+      "\nA claim close to sigma with strong attribute correlation means "
+      "the\npublished table is effectively un-noised for an adversary.\n");
+  return 0;
+}

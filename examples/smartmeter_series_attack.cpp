@@ -1,0 +1,96 @@
+// Scenario: a utility company publishes per-minute smart-meter readings
+// "anonymized" by adding i.i.d. Gaussian noise to every sample — the
+// §3 "Sample Dependency" warning in the flesh. Household load is highly
+// autocorrelated (appliances run for many minutes), so the serial-
+// dependency attack strips most of the noise and the household's
+// activity pattern (when they wake, cook, sleep) re-emerges.
+//
+// Build & run:  ./build/examples/smartmeter_series_attack
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "core/serial_reconstruction.h"
+#include "data/timeseries.h"
+#include "stats/rng.h"
+
+int main() {
+  using namespace randrecon;  // NOLINT(build/namespaces): example code.
+
+  // --- A day of per-minute load: smooth AR(1) "appliance inertia"
+  // around a daily baseline profile.
+  const size_t minutes = 1440;
+  stats::Rng rng(7777);
+  data::Ar1Spec inertia;
+  inertia.coefficient = 0.97;
+  inertia.innovation_stddev = 35.0;
+  auto fluctuations = data::GenerateAr1Series(inertia, minutes, &rng);
+  if (!fluctuations.ok()) {
+    std::fprintf(stderr, "%s\n", fluctuations.status().ToString().c_str());
+    return 1;
+  }
+  linalg::Vector load(minutes);
+  for (size_t t = 0; t < minutes; ++t) {
+    const double hour = static_cast<double>(t) / 60.0;
+    // Baseline: overnight trough, morning and evening peaks (watts).
+    const double base = 300.0 + 350.0 * std::exp(-(hour - 7.5) * (hour - 7.5) / 4.0) +
+                        500.0 * std::exp(-(hour - 19.0) * (hour - 19.0) / 6.0);
+    load[t] = base + fluctuations.value()[t];
+  }
+
+  // --- Publication: add N(0, sigma²) per minute.
+  const double sigma = 200.0;
+  linalg::Vector published = load;
+  for (double& y : published) y += rng.Gaussian(0.0, sigma);
+
+  // --- The attack: exploit serial correlation, nothing else.
+  core::SerialReconstructionOptions options;
+  options.window = 32;
+  core::SerialCorrelationReconstructor attack(options);
+  auto recovered = attack.Reconstruct(published, sigma * sigma);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "%s\n", recovered.status().ToString().c_str());
+    return 1;
+  }
+
+  auto rmse = [&](const linalg::Vector& estimate) {
+    double sum = 0.0;
+    for (size_t t = 0; t < minutes; ++t) {
+      sum += (estimate[t] - load[t]) * (estimate[t] - load[t]);
+    }
+    return std::sqrt(sum / static_cast<double>(minutes));
+  };
+
+  std::printf("Smart-meter release, sigma = %.0f W of per-minute noise\n\n",
+              sigma);
+  std::printf("  published series RMSE vs truth: %8.1f W (the noise floor)\n",
+              rmse(published));
+  std::printf("  after serial-dependency attack: %8.1f W\n\n",
+              rmse(recovered.value()));
+
+  // Hourly profile: the privacy question is "can anyone see when this
+  // household is active?" — compare hourly means.
+  std::printf("%s%s%s%s\n", PadLeft("hour", 6).c_str(),
+              PadLeft("true W", 10).c_str(), PadLeft("published", 12).c_str(),
+              PadLeft("recovered", 12).c_str());
+  std::printf("%s\n", std::string(40, '-').c_str());
+  for (size_t hour = 0; hour < 24; hour += 3) {
+    double true_sum = 0.0, published_sum = 0.0, recovered_sum = 0.0;
+    for (size_t t = hour * 60; t < (hour + 1) * 60; ++t) {
+      true_sum += load[t];
+      published_sum += published[t];
+      recovered_sum += recovered.value()[t];
+    }
+    std::printf("%s%s%s%s\n", PadLeft(std::to_string(hour), 6).c_str(),
+                PadLeft(FormatDouble(true_sum / 60.0, 0), 10).c_str(),
+                PadLeft(FormatDouble(published_sum / 60.0, 0), 12).c_str(),
+                PadLeft(FormatDouble(recovered_sum / 60.0, 0), 12).c_str());
+  }
+  std::printf(
+      "\nPer-sample randomization cannot hide a serially dependent signal:\n"
+      "the recovered minute-level curve tracks the household's real\n"
+      "activity far inside the published noise band (Section 3, second\n"
+      "bullet, of Huang, Du & Chen 2005).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// RR_CHECK: fatal assertion macros for programmer errors (contract
+// violations that no caller should be able to trigger with valid input).
+// They are active in all build types; the cost is negligible next to the
+// dense linear algebra this library performs.
+
+#ifndef RANDRECON_COMMON_CHECK_H_
+#define RANDRECON_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace randrecon {
+namespace internal {
+
+/// Collects a streamed message and aborts the process on destruction.
+/// Instantiated only on the failure path of RR_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "RR_CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed FatalLogMessage expression into void so both arms of
+/// the RR_CHECK ternary have the same type (glog "voidify" idiom).
+struct Voidify {
+  void operator&(FatalLogMessage&) const {}
+  void operator&(FatalLogMessage&&) const {}
+};
+
+}  // namespace internal
+}  // namespace randrecon
+
+/// Aborts with a diagnostic if `condition` is false. Streams extra context:
+///   RR_CHECK(rows > 0) << "got" << rows;
+#define RR_CHECK(condition)                                            \
+  (condition) ? (void)0                                                \
+              : ::randrecon::internal::Voidify() &                     \
+                    ::randrecon::internal::FatalLogMessage(            \
+                        __FILE__, __LINE__, #condition)
+
+#define RR_CHECK_EQ(a, b) RR_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define RR_CHECK_NE(a, b) RR_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define RR_CHECK_LT(a, b) RR_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define RR_CHECK_LE(a, b) RR_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define RR_CHECK_GT(a, b) RR_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define RR_CHECK_GE(a, b) RR_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#endif  // RANDRECON_COMMON_CHECK_H_

@@ -1,0 +1,95 @@
+#include "common/flags.h"
+
+#include "common/string_util.h"
+
+namespace randrecon {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    const std::string name = eq == std::string::npos ? body : body.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "true" : body.substr(eq + 1);
+    if (name.empty()) {
+      return Status::InvalidArgument("Flags: malformed argument '" + arg + "'");
+    }
+    if (flags.values_.count(name) > 0) {
+      return Status::InvalidArgument("Flags: duplicate flag --" + name);
+    }
+    flags.values_[name] = value;
+    flags.touched_[name] = false;
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  touched_[name] = true;
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  touched_[name] = true;
+  return it->second;
+}
+
+Result<int64_t> Flags::GetInt(const std::string& name,
+                              int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  touched_[name] = true;
+  double parsed = 0.0;
+  if (!ParseDouble(it->second, &parsed) ||
+      parsed != static_cast<double>(static_cast<int64_t>(parsed))) {
+    return Status::InvalidArgument("Flags: --" + name +
+                                   " expects an integer, got '" + it->second +
+                                   "'");
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+Result<double> Flags::GetDouble(const std::string& name,
+                                double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  touched_[name] = true;
+  double parsed = 0.0;
+  if (!ParseDouble(it->second, &parsed)) {
+    return Status::InvalidArgument("Flags: --" + name +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
+  return parsed;
+}
+
+Result<bool> Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  touched_[name] = true;
+  const std::string& value = it->second;
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  return Status::InvalidArgument("Flags: --" + name +
+                                 " expects true/false, got '" + value + "'");
+}
+
+std::vector<std::string> Flags::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, touched] : touched_) {
+    if (!touched) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace randrecon

@@ -1,0 +1,61 @@
+// Minimal --key=value command-line parsing for the benchmark and example
+// binaries. Every binary runs with sensible defaults and no arguments;
+// flags exist so a user can re-run a figure with their own n, sigma,
+// trial count or seed without recompiling.
+
+#ifndef RANDRECON_COMMON_FLAGS_H_
+#define RANDRECON_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace randrecon {
+
+/// Parsed command line: flags of the form --name=value (or --name for
+/// booleans) plus positional arguments.
+class Flags {
+ public:
+  /// Parses argv. Fails with InvalidArgument on malformed flags
+  /// (e.g. "--=x") or duplicate flag names.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  /// True iff --name was supplied.
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` if absent.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+
+  /// Integer value of --name; fails with InvalidArgument if present but
+  /// non-numeric.
+  Result<int64_t> GetInt(const std::string& name, int64_t fallback) const;
+
+  /// Double value of --name; fails with InvalidArgument if present but
+  /// non-numeric.
+  Result<double> GetDouble(const std::string& name, double fallback) const;
+
+  /// Boolean: --name or --name=true/1 -> true; --name=false/0 -> false.
+  Result<bool> GetBool(const std::string& name, bool fallback) const;
+
+  /// Arguments that did not start with "--", in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names that were parsed but never read by any Get*/Has call —
+  /// typo detection for bench users.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  Flags() = default;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace randrecon
+
+#endif  // RANDRECON_COMMON_FLAGS_H_

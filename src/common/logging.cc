@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace randrecon {
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= GetLogLevel()), level_(level) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::ostream& out = level_ >= LogLevel::kWarning ? std::cerr : std::clog;
+    out << stream_.str() << std::endl;
+  }
+}
+
+}  // namespace internal
+}  // namespace randrecon

@@ -1,0 +1,46 @@
+// Minimal leveled logging for the experiment harness. Defaults to kInfo;
+// tests lower it to kWarning to keep ctest output clean.
+
+#ifndef RANDRECON_COMMON_LOGGING_H_
+#define RANDRECON_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace randrecon {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// One log statement: buffers the streamed message, emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace randrecon
+
+#define RR_LOG(level)                                           \
+  ::randrecon::internal::LogMessage(::randrecon::LogLevel::level, __FILE__, \
+                                    __LINE__)
+
+#endif  // RANDRECON_COMMON_LOGGING_H_

@@ -1,0 +1,74 @@
+// Result<T>: a value-or-Status holder, the return type for fallible
+// constructors and factory functions (e.g. Cholesky of a non-PSD matrix,
+// CSV parsing). Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef RANDRECON_COMMON_RESULT_H_
+#define RANDRECON_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace randrecon {
+
+/// Holds either a successfully computed T or the Status explaining why the
+/// computation failed. Accessing the value of a failed Result is a
+/// programmer error and aborts via RR_CHECK.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    RR_CHECK(!status_.ok()) << "Result constructed from OK status without a value";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    RR_CHECK(ok()) << "Result::value() on failed result: " << status_.ToString();
+    return *value_;
+  }
+
+  /// Moves the contained value out. Requires ok().
+  T&& value() && {
+    RR_CHECK(ok()) << "Result::value() on failed result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the value or aborts with the failure message.
+  const T& ValueOrDie() const { return value(); }
+
+  /// Returns the contained value if ok, otherwise `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Propagates the error of a Result-returning expression; on success binds
+/// the value to `lhs`. Use inside functions returning Status or Result.
+#define RR_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto RR_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!RR_CONCAT_(_res_, __LINE__).ok())        \
+    return RR_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(RR_CONCAT_(_res_, __LINE__)).value()
+
+#define RR_CONCAT_INNER_(a, b) a##b
+#define RR_CONCAT_(a, b) RR_CONCAT_INNER_(a, b)
+
+}  // namespace randrecon
+
+#endif  // RANDRECON_COMMON_RESULT_H_

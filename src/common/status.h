@@ -1,0 +1,88 @@
+// Status: RocksDB-style recoverable error model.
+//
+// Functions that can fail for reasons outside the programmer's control
+// (I/O, singular matrices, invalid configuration supplied by a caller)
+// return a Status or a Result<T> instead of throwing. Programmer errors
+// are handled by the RR_CHECK macros in common/check.h.
+
+#ifndef RANDRECON_COMMON_STATUS_H_
+#define RANDRECON_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace randrecon {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller-supplied value violates a documented contract.
+  kNotFound,          ///< A named entity (file, attribute, column) is missing.
+  kIoError,           ///< Filesystem or parsing failure.
+  kNumericalError,    ///< Singular matrix, non-convergence, non-PSD input.
+  kFailedPrecondition ///< Object is not in a state where the call is legal.
+};
+
+/// Returns a short stable name for a code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given non-OK code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, Arrow/RocksDB idiom.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The failure category (kOk when ok()).
+  StatusCode code() const { return code_; }
+
+  /// Human-readable failure detail; empty when ok().
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller. Use inside functions that
+/// themselves return Status.
+#define RR_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::randrecon::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace randrecon
+
+#endif  // RANDRECON_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Monotonic stopwatch used by the benchmark harness and example programs.
+
+#ifndef RANDRECON_COMMON_STOPWATCH_H_
+#define RANDRECON_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace randrecon {
+
+/// Measures wall-clock time from construction (or the last Restart()).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction/Restart.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction/Restart.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace randrecon
+
+#endif  // RANDRECON_COMMON_STOPWATCH_H_

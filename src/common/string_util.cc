@@ -1,0 +1,78 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace randrecon {
+
+std::vector<std::string> SplitString(std::string_view input, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(input.substr(start));
+      break;
+    }
+    fields.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string TrimWhitespace(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return std::string(input.substr(begin, end - begin));
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string PadLeft(std::string_view text, size_t width) {
+  if (text.size() >= width) return std::string(text.substr(0, width));
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string PadRight(std::string_view text, size_t width) {
+  if (text.size() >= width) return std::string(text.substr(0, width));
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  std::string trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return false;
+  // std::from_chars for double is available in GCC 11+; use it for a
+  // locale-independent parse.
+  const char* begin = trimmed.data();
+  const char* end = begin + trimmed.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace randrecon

@@ -1,0 +1,42 @@
+// Small string helpers shared by CSV I/O, logging, and the experiment
+// report printers.
+
+#ifndef RANDRECON_COMMON_STRING_UTIL_H_
+#define RANDRECON_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace randrecon {
+
+/// Splits `input` on `delimiter`, preserving empty fields
+/// ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> SplitString(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string TrimWhitespace(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view separator);
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 6);
+
+/// Left-pads or truncates `text` to exactly `width` characters (for the
+/// fixed-width tables the experiment runner prints).
+std::string PadLeft(std::string_view text, size_t width);
+
+/// Right-pads or truncates `text` to exactly `width` characters.
+std::string PadRight(std::string_view text, size_t width);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a double, returning false on any trailing garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace randrecon
+
+#endif  // RANDRECON_COMMON_STRING_UTIL_H_

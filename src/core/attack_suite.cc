@@ -1,0 +1,54 @@
+#include "core/attack_suite.h"
+
+#include "core/be_dr.h"
+#include "core/ndr.h"
+#include "core/pca_dr.h"
+#include "core/spectral_filtering.h"
+#include "core/udr.h"
+
+namespace randrecon {
+namespace core {
+
+AttackSuite AttackSuite::PaperSuite(bool fast_udr) {
+  AttackSuite suite;
+  suite.Add(std::make_unique<NdrReconstructor>());
+  UdrOptions udr_options;
+  udr_options.estimator = fast_udr ? UdrDensityEstimator::kGaussianClosedForm
+                                   : UdrDensityEstimator::kAs2000Grid;
+  suite.Add(std::make_unique<UdrReconstructor>(udr_options));
+  suite.Add(std::make_unique<SpectralFilteringReconstructor>());
+  suite.Add(std::make_unique<PcaReconstructor>());
+  suite.Add(std::make_unique<BayesEstimateReconstructor>());
+  return suite;
+}
+
+AttackSuite& AttackSuite::Add(std::unique_ptr<Reconstructor> attack) {
+  RR_CHECK(attack != nullptr);
+  attacks_.push_back(std::move(attack));
+  return *this;
+}
+
+Result<std::vector<ReconstructionReport>> AttackSuite::RunAll(
+    const linalg::Matrix& original, const linalg::Matrix& disguised,
+    const perturb::NoiseModel& noise) const {
+  std::vector<ReconstructionReport> reports;
+  reports.reserve(attacks_.size());
+  for (const auto& attack : attacks_) {
+    RR_ASSIGN_OR_RETURN(linalg::Matrix reconstructed,
+                        attack->Reconstruct(disguised, noise));
+    RR_ASSIGN_OR_RETURN(
+        ReconstructionReport report,
+        EvaluateReconstruction(attack->name(), original, reconstructed));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+Result<std::vector<ReconstructionReport>> AttackSuite::RunAll(
+    const data::Dataset& original, const data::Dataset& disguised,
+    const perturb::NoiseModel& noise) const {
+  return RunAll(original.records(), disguised.records(), noise);
+}
+
+}  // namespace core
+}  // namespace randrecon

@@ -1,0 +1,55 @@
+// AttackSuite: runs a battery of reconstruction attacks against one
+// disguised dataset and reports each one's success — the "audit" entry
+// point the examples and the experiment harness drive.
+
+#ifndef RANDRECON_CORE_ATTACK_SUITE_H_
+#define RANDRECON_CORE_ATTACK_SUITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/privacy_evaluator.h"
+#include "core/reconstructor.h"
+#include "data/dataset.h"
+
+namespace randrecon {
+namespace core {
+
+/// A named collection of reconstruction attacks.
+class AttackSuite {
+ public:
+  /// An empty suite; add attacks with Add().
+  AttackSuite() = default;
+
+  /// The paper's full line-up: NDR, UDR, SF, PCA-DR, BE-DR with default
+  /// options. `fast_udr` selects the closed-form Gaussian UDR estimator
+  /// (appropriate whenever the data is (near-)normal; the AS2000 grid is
+  /// used otherwise).
+  static AttackSuite PaperSuite(bool fast_udr = true);
+
+  /// Adds an attack; returns *this for chaining.
+  AttackSuite& Add(std::unique_ptr<Reconstructor> attack);
+
+  size_t size() const { return attacks_.size(); }
+  const Reconstructor& attack(size_t i) const { return *attacks_[i]; }
+
+  /// Runs every attack on `disguised` and scores it against `original`.
+  /// Fails fast on the first attack error (attacks in this library only
+  /// fail on precondition violations, which apply suite-wide).
+  Result<std::vector<ReconstructionReport>> RunAll(
+      const linalg::Matrix& original, const linalg::Matrix& disguised,
+      const perturb::NoiseModel& noise) const;
+
+  /// Dataset-level convenience overload.
+  Result<std::vector<ReconstructionReport>> RunAll(
+      const data::Dataset& original, const data::Dataset& disguised,
+      const perturb::NoiseModel& noise) const;
+
+ private:
+  std::vector<std::unique_ptr<Reconstructor>> attacks_;
+};
+
+}  // namespace core
+}  // namespace randrecon
+
+#endif  // RANDRECON_CORE_ATTACK_SUITE_H_

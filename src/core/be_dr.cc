@@ -1,0 +1,100 @@
+#include "core/be_dr.h"
+
+#include "linalg/cholesky.h"
+#include "linalg/lu.h"
+#include "linalg/matrix_util.h"
+#include "linalg/vector_ops.h"
+
+namespace randrecon {
+namespace core {
+
+Result<linalg::Matrix> BayesEstimateReconstructor::Reconstruct(
+    const linalg::Matrix& disguised, const perturb::NoiseModel& noise) const {
+  RR_RETURN_NOT_OK(ValidateShapes(disguised, noise));
+
+  // Moments of the hidden original data: oracle or Theorem 5.1/8.2.
+  linalg::Matrix sigma_x;
+  linalg::Vector mu_x;
+  if (options_.oracle_covariance.has_value()) {
+    if (options_.oracle_covariance->rows() != disguised.cols()) {
+      return Status::InvalidArgument("BE-DR: oracle covariance dimension mismatch");
+    }
+    sigma_x = *options_.oracle_covariance;
+  }
+  if (options_.oracle_mean.has_value()) {
+    if (options_.oracle_mean->size() != disguised.cols()) {
+      return Status::InvalidArgument("BE-DR: oracle mean dimension mismatch");
+    }
+    mu_x = *options_.oracle_mean;
+  }
+  if (sigma_x.empty() || mu_x.empty()) {
+    RR_ASSIGN_OR_RETURN(
+        OriginalMoments moments,
+        EstimateOriginalMoments(disguised, noise, options_.moment_options));
+    if (sigma_x.empty()) sigma_x = std::move(moments.covariance);
+    if (mu_x.empty()) mu_x = std::move(moments.mean);
+  }
+
+  if (options_.use_literal_formula) {
+    return ReconstructLiteral(disguised, sigma_x, mu_x, noise.covariance());
+  }
+  return ReconstructGainForm(disguised, sigma_x, mu_x, noise.covariance());
+}
+
+Result<linalg::Matrix> BayesEstimateReconstructor::ReconstructGainForm(
+    const linalg::Matrix& disguised, const linalg::Matrix& sigma_x,
+    const linalg::Vector& mu_x, const linalg::Matrix& sigma_r) const {
+  // Gain K = Σx (Σx + Σr)⁻¹, computed as solving (Σx + Σr) Kᵀ = Σx
+  // (all matrices symmetric). Σx + Σr is PD because Σr is.
+  const linalg::Matrix sum = sigma_x + sigma_r;
+  RR_ASSIGN_OR_RETURN(linalg::CholeskyFactorization chol,
+                      linalg::CholeskyFactorization::ComputeWithJitter(sum));
+  const linalg::Matrix gain_t = chol.Solve(sigma_x);  // = Kᵀ.
+
+  // x̂ = µx + K (y − µx), vectorized over records: rows of the output are
+  // µxᵀ + (y − µx)ᵀ Kᵀ.
+  const size_t n = disguised.rows();
+  const size_t m = disguised.cols();
+  linalg::Matrix centered = disguised;
+  for (size_t i = 0; i < n; ++i) {
+    double* row = centered.row_data(i);
+    for (size_t j = 0; j < m; ++j) row[j] -= mu_x[j];
+  }
+  linalg::Matrix reconstructed = centered * gain_t;
+  for (size_t i = 0; i < n; ++i) {
+    double* row = reconstructed.row_data(i);
+    for (size_t j = 0; j < m; ++j) row[j] += mu_x[j];
+  }
+  return reconstructed;
+}
+
+Result<linalg::Matrix> BayesEstimateReconstructor::ReconstructLiteral(
+    const linalg::Matrix& disguised, const linalg::Matrix& sigma_x,
+    const linalg::Vector& mu_x, const linalg::Matrix& sigma_r) const {
+  // Verbatim Theorem 8.1 (Eq. 11 is the special case Σr = σ²I, µr = 0):
+  //   x̂ = (Σx⁻¹ + Σr⁻¹)⁻¹ (Σx⁻¹ µx + Σr⁻¹ y).
+  Result<linalg::Matrix> sigma_x_inv = linalg::InvertMatrix(sigma_x);
+  if (!sigma_x_inv.ok()) {
+    return Status::NumericalError(
+        "BE-DR (literal): estimated data covariance is singular; use the "
+        "default gain form or set moment_options.eigen_floor > 0 (" +
+        sigma_x_inv.status().message() + ")");
+  }
+  RR_ASSIGN_OR_RETURN(linalg::Matrix sigma_r_inv, linalg::InvertMatrix(sigma_r));
+  RR_ASSIGN_OR_RETURN(
+      linalg::Matrix posterior_cov,
+      linalg::InvertMatrix(sigma_x_inv.value() + sigma_r_inv));
+
+  const linalg::Vector prior_term = sigma_x_inv.value() * mu_x;
+  const size_t n = disguised.rows();
+  linalg::Matrix reconstructed(n, disguised.cols());
+  for (size_t i = 0; i < n; ++i) {
+    const linalg::Vector y = disguised.Row(i);
+    const linalg::Vector rhs = linalg::Add(prior_term, sigma_r_inv * y);
+    reconstructed.SetRow(i, posterior_cov * rhs);
+  }
+  return reconstructed;
+}
+
+}  // namespace core
+}  // namespace randrecon

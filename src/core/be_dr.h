@@ -1,0 +1,76 @@
+// BE-DR — Bayes-Estimate-based Data Reconstruction (§6 and §8).
+//
+// Models the original records as draws from a multivariate normal
+// N(µx, Σx) and returns, for each disguised record y, the x maximizing
+// the posterior P(x | y):
+//
+//   independent noise (Eq. 11):
+//     x̂ = (Σx⁻¹ + I/σ²)⁻¹ (Σx⁻¹ µx + y/σ²)
+//   correlated noise (Theorem 8.1):
+//     x̂ = (Σx⁻¹ + Σr⁻¹)⁻¹ (Σx⁻¹ µx − Σr⁻¹ µr + Σr⁻¹ y)
+//
+// Both are evaluated by default in the algebraically equivalent "gain"
+// form x̂ = µx + Σx (Σx + Σr)⁻¹ (y − µx), which stays defined when the
+// estimated Σx is singular (common at finite n after the Theorem 5.1
+// subtraction) and needs one SPD factorization instead of three inverses.
+// `use_literal_formula` switches to the verbatim paper formulas (used by
+// tests to confirm the equivalence, and by readers following the paper).
+//
+// Σx and µx are estimated from the disguised data (Theorems 5.1/8.2)
+// unless the oracle fields supply ground truth (§5.3-style analysis).
+
+#ifndef RANDRECON_CORE_BE_DR_H_
+#define RANDRECON_CORE_BE_DR_H_
+
+#include <optional>
+
+#include "core/covariance_estimation.h"
+#include "core/reconstructor.h"
+
+namespace randrecon {
+namespace core {
+
+/// Configuration for BayesEstimateReconstructor.
+struct BeDrOptions {
+  /// Evaluate the verbatim Eq. 11 / Theorem 8.1 formulas (requires an
+  /// invertible Σ̂x; pair with moment_options.eigen_floor > 0).
+  bool use_literal_formula = false;
+  /// Ground-truth covariance instead of the Theorem 5.1/8.2 estimate.
+  std::optional<linalg::Matrix> oracle_covariance;
+  /// Ground-truth mean instead of the disguised-data column means.
+  std::optional<linalg::Vector> oracle_mean;
+  /// Moment-estimation knobs (PSD clipping / eigenvalue floor).
+  MomentEstimationOptions moment_options;
+};
+
+/// §6's Bayes-estimate attack, generalized to correlated noise per §8.
+class BayesEstimateReconstructor final : public Reconstructor {
+ public:
+  BayesEstimateReconstructor() = default;
+  explicit BayesEstimateReconstructor(BeDrOptions options)
+      : options_(std::move(options)) {}
+
+  std::string name() const override { return "BE-DR"; }
+
+  Result<linalg::Matrix> Reconstruct(
+      const linalg::Matrix& disguised,
+      const perturb::NoiseModel& noise) const override;
+
+  const BeDrOptions& options() const { return options_; }
+
+ private:
+  Result<linalg::Matrix> ReconstructGainForm(
+      const linalg::Matrix& disguised, const linalg::Matrix& sigma_x,
+      const linalg::Vector& mu_x, const linalg::Matrix& sigma_r) const;
+
+  Result<linalg::Matrix> ReconstructLiteral(
+      const linalg::Matrix& disguised, const linalg::Matrix& sigma_x,
+      const linalg::Vector& mu_x, const linalg::Matrix& sigma_r) const;
+
+  BeDrOptions options_;
+};
+
+}  // namespace core
+}  // namespace randrecon
+
+#endif  // RANDRECON_CORE_BE_DR_H_

@@ -1,0 +1,72 @@
+#include "core/covariance_estimation.h"
+
+#include <algorithm>
+
+#include "core/reconstructor.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix_util.h"
+#include "stats/moments.h"
+
+namespace randrecon {
+namespace core {
+namespace {
+
+/// Replaces the non-principal eigenvalues (below the largest descending
+/// gap) by their mean, clamped at `floor`.
+Result<linalg::Matrix> AverageBulkEigenvalues(const linalg::Matrix& cov,
+                                              double floor) {
+  RR_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
+                      linalg::SymmetricEigen(cov));
+  linalg::Vector values = eig.eigenvalues;
+  const size_t m = values.size();
+  if (m < 2) return cov;
+  size_t split = 1;
+  double best_gap = values[0] - values[1];
+  for (size_t i = 1; i + 1 < m; ++i) {
+    const double gap = values[i] - values[i + 1];
+    if (gap > best_gap) {
+      best_gap = gap;
+      split = i + 1;
+    }
+  }
+  double mean = 0.0;
+  for (size_t i = split; i < m; ++i) mean += values[i];
+  mean = std::max(mean / static_cast<double>(m - split), floor);
+  for (size_t i = split; i < m; ++i) values[i] = mean;
+  for (double& v : values) v = std::max(v, floor);
+  return linalg::ComposeFromEigen(values, eig.eigenvectors);
+}
+
+}  // namespace
+
+Result<OriginalMoments> EstimateOriginalMoments(
+    const linalg::Matrix& disguised, const perturb::NoiseModel& noise,
+    const MomentEstimationOptions& options) {
+  RR_RETURN_NOT_OK(ValidateShapes(disguised, noise));
+  if (disguised.rows() < 2) {
+    return Status::InvalidArgument(
+        "EstimateOriginalMoments: need at least 2 records");
+  }
+
+  OriginalMoments out;
+  out.mean = stats::ColumnMeans(disguised);
+
+  // Theorem 8.2: Σy = Σx + Σr, hence Σ̂x = Σy − Σr. For independent noise
+  // Σr is diagonal (= σ²I) and this is exactly Theorem 5.1's "subtract σ²
+  // from the diagonal".
+  linalg::Matrix cov = stats::SampleCovariance(disguised);
+  cov -= noise.covariance();
+
+  if (options.bulk_average_nonprincipal) {
+    RR_ASSIGN_OR_RETURN(
+        cov, AverageBulkEigenvalues(cov, std::max(options.eigen_floor, 0.0)));
+  } else if (options.clip_to_psd) {
+    RR_ASSIGN_OR_RETURN(
+        cov, linalg::ClipToPositiveSemiDefinite(cov, options.eigen_floor));
+  }
+  out.covariance = std::move(cov);
+  return out;
+}
+
+}  // namespace core
+}  // namespace randrecon

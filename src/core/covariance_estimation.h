@@ -1,0 +1,53 @@
+// Attacker-side estimation of the original data's first two moments from
+// the disguised data — Theorem 5.1 (independent noise: subtract σ² from
+// the diagonal) and Theorem 8.2 (correlated noise: Σx = Σy − Σr), plus the
+// mean estimate µx ≈ µy (noise is zero-mean).
+
+#ifndef RANDRECON_CORE_COVARIANCE_ESTIMATION_H_
+#define RANDRECON_CORE_COVARIANCE_ESTIMATION_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "perturb/noise_model.h"
+
+namespace randrecon {
+namespace core {
+
+/// Estimated moments of the hidden original data.
+struct OriginalMoments {
+  /// Σ̂x = Cov(Y) − Σr, optionally projected back onto the PSD cone.
+  linalg::Matrix covariance;
+  /// µ̂x = column means of Y.
+  linalg::Vector mean;
+};
+
+/// Options for the moment estimator.
+struct MomentEstimationOptions {
+  /// At finite n the subtraction Cov(Y) − Σr can produce small negative
+  /// eigenvalues; when true (default) they are clipped to `eigen_floor`.
+  bool clip_to_psd = true;
+  /// Eigenvalue floor used by the PSD clip. A strictly positive floor
+  /// also keeps Σ̂x invertible for the literal Eq. 11/13 formulas.
+  double eigen_floor = 0.0;
+  /// Spiked-spectrum shrinkage: after the subtraction, replace all
+  /// non-principal eigenvalues (split by the largest gap, the same rule
+  /// PCA-DR uses) by their mean. At finite n the raw non-principal
+  /// eigenvalue estimates scatter widely around their true common level,
+  /// which makes downstream BE-DR over-trust noise directions; averaging
+  /// them restores the two-level structure the §7 experiments generate
+  /// data from. Off by default — it is an estimation refinement, not part
+  /// of the paper's formulas (ablation A4 measures its effect).
+  bool bulk_average_nonprincipal = false;
+};
+
+/// Runs Theorem 5.1 / Theorem 8.2 on the disguised matrix. Works for both
+/// independent (diagonal Σr) and correlated noise: the theorems coincide
+/// because for independent noise Σr = σ²I.
+Result<OriginalMoments> EstimateOriginalMoments(
+    const linalg::Matrix& disguised, const perturb::NoiseModel& noise,
+    const MomentEstimationOptions& options = {});
+
+}  // namespace core
+}  // namespace randrecon
+
+#endif  // RANDRECON_CORE_COVARIANCE_ESTIMATION_H_

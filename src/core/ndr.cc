@@ -1,0 +1,13 @@
+#include "core/ndr.h"
+
+namespace randrecon {
+namespace core {
+
+Result<linalg::Matrix> NdrReconstructor::Reconstruct(
+    const linalg::Matrix& disguised, const perturb::NoiseModel& noise) const {
+  RR_RETURN_NOT_OK(ValidateShapes(disguised, noise));
+  return disguised;  // x̂ᵢ = yᵢ: E[R] = 0 is the whole model.
+}
+
+}  // namespace core
+}  // namespace randrecon

@@ -1,0 +1,29 @@
+// NDR — Noise-Distribution-based Reconstruction (§4.1).
+//
+// The naive baseline: the adversary guesses x̂ = y, i.e. always guesses
+// the noise to be its mean (zero). Its MSE is exactly the noise variance,
+// which makes it the yardstick against which every other attack's "noise
+// filtering" is measured.
+
+#ifndef RANDRECON_CORE_NDR_H_
+#define RANDRECON_CORE_NDR_H_
+
+#include "core/reconstructor.h"
+
+namespace randrecon {
+namespace core {
+
+/// §4.1's guess-the-disguised-value baseline.
+class NdrReconstructor final : public Reconstructor {
+ public:
+  std::string name() const override { return "NDR"; }
+
+  Result<linalg::Matrix> Reconstruct(
+      const linalg::Matrix& disguised,
+      const perturb::NoiseModel& noise) const override;
+};
+
+}  // namespace core
+}  // namespace randrecon
+
+#endif  // RANDRECON_CORE_NDR_H_

@@ -1,0 +1,157 @@
+#include "core/partial_disclosure.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/reconstructor.h"
+#include "linalg/cholesky.h"
+#include "linalg/vector_ops.h"
+
+namespace randrecon {
+namespace core {
+namespace {
+
+/// Extracts the sub-matrix cov[rows, cols] for index lists.
+linalg::Matrix SubMatrix(const linalg::Matrix& cov,
+                         const std::vector<size_t>& rows,
+                         const std::vector<size_t>& cols) {
+  linalg::Matrix out(rows.size(), cols.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < cols.size(); ++j) {
+      out(i, j) = cov(rows[i], cols[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<linalg::Matrix> PartialDisclosureReconstructor::Reconstruct(
+    const linalg::Matrix& disguised, const perturb::NoiseModel& noise,
+    const linalg::Matrix& known_values) const {
+  RR_RETURN_NOT_OK(ValidateShapes(disguised, noise));
+  const size_t m = disguised.cols();
+  const size_t n = disguised.rows();
+
+  // Validate the knowledge spec.
+  std::unordered_set<size_t> seen;
+  for (size_t index : spec_.known_attributes) {
+    if (index >= m) {
+      return Status::InvalidArgument(
+          "PartialDisclosure: known attribute index " + std::to_string(index) +
+          " out of range (m = " + std::to_string(m) + ")");
+    }
+    if (!seen.insert(index).second) {
+      return Status::InvalidArgument(
+          "PartialDisclosure: duplicate known attribute index " +
+          std::to_string(index));
+    }
+  }
+  if (known_values.rows() != n ||
+      known_values.cols() != spec_.known_attributes.size()) {
+    return Status::InvalidArgument(
+        "PartialDisclosure: known_values must be n x |K| = " +
+        std::to_string(n) + " x " +
+        std::to_string(spec_.known_attributes.size()));
+  }
+
+  // Prior moments (oracle or Theorems 5.1/8.2), exactly as in BE-DR.
+  linalg::Matrix sigma;
+  linalg::Vector mu;
+  if (base_.oracle_covariance.has_value()) {
+    if (base_.oracle_covariance->rows() != m) {
+      return Status::InvalidArgument(
+          "PartialDisclosure: oracle covariance dimension mismatch");
+    }
+    sigma = *base_.oracle_covariance;
+  }
+  if (base_.oracle_mean.has_value()) {
+    if (base_.oracle_mean->size() != m) {
+      return Status::InvalidArgument(
+          "PartialDisclosure: oracle mean dimension mismatch");
+    }
+    mu = *base_.oracle_mean;
+  }
+  if (sigma.empty() || mu.empty()) {
+    RR_ASSIGN_OR_RETURN(
+        OriginalMoments moments,
+        EstimateOriginalMoments(disguised, noise, base_.moment_options));
+    if (sigma.empty()) sigma = std::move(moments.covariance);
+    if (mu.empty()) mu = std::move(moments.mean);
+  }
+
+  const std::vector<size_t>& known = spec_.known_attributes;
+  std::vector<size_t> unknown;
+  for (size_t j = 0; j < m; ++j) {
+    if (seen.count(j) == 0) unknown.push_back(j);
+  }
+
+  linalg::Matrix reconstructed(n, m);
+  // Known columns are copied verbatim — the adversary has the truth.
+  for (size_t k = 0; k < known.size(); ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      reconstructed(i, known[k]) = known_values(i, k);
+    }
+  }
+  if (unknown.empty()) return reconstructed;
+
+  // Conditional prior over the unknown block.
+  linalg::Matrix sigma_cond;   // Σ_UU − Σ_UK Σ_KK⁻¹ Σ_KU.
+  linalg::Matrix regression;   // B = Σ_UK Σ_KK⁻¹ (|U| x |K|).
+  if (known.empty()) {
+    sigma_cond = SubMatrix(sigma, unknown, unknown);
+  } else {
+    const linalg::Matrix sigma_kk = SubMatrix(sigma, known, known);
+    const linalg::Matrix sigma_ku = SubMatrix(sigma, known, unknown);
+    Result<linalg::CholeskyFactorization> kk_chol =
+        linalg::CholeskyFactorization::ComputeWithJitter(sigma_kk);
+    if (!kk_chol.ok()) {
+      return Status::NumericalError(
+          "PartialDisclosure: covariance of the known block is degenerate (" +
+          kk_chol.status().message() + ")");
+    }
+    // B = (Σ_KK⁻¹ Σ_KU)ᵀ.
+    regression = kk_chol.value().Solve(sigma_ku).Transpose();
+    sigma_cond =
+        SubMatrix(sigma, unknown, unknown) - regression * sigma_ku;
+  }
+
+  // Observation update (Theorem 8.1 in gain form) with the noise
+  // restricted to the unknown block.
+  const linalg::Matrix noise_uu =
+      SubMatrix(noise.covariance(), unknown, unknown);
+  RR_ASSIGN_OR_RETURN(
+      linalg::CholeskyFactorization sum_chol,
+      linalg::CholeskyFactorization::ComputeWithJitter(sigma_cond + noise_uu));
+  const linalg::Matrix gain_t = sum_chol.Solve(sigma_cond);  // = Gᵀ.
+
+  linalg::Vector mu_known(known.size());
+  linalg::Vector mu_unknown(unknown.size());
+  for (size_t k = 0; k < known.size(); ++k) mu_known[k] = mu[known[k]];
+  for (size_t u = 0; u < unknown.size(); ++u) mu_unknown[u] = mu[unknown[u]];
+
+  for (size_t i = 0; i < n; ++i) {
+    // Conditional mean for this record.
+    linalg::Vector mu_cond = mu_unknown;
+    if (!known.empty()) {
+      linalg::Vector known_delta(known.size());
+      for (size_t k = 0; k < known.size(); ++k) {
+        known_delta[k] = known_values(i, k) - mu_known[k];
+      }
+      linalg::AddScaled(&mu_cond, 1.0, regression * known_delta);
+    }
+    // Gain update against the disguised unknown values.
+    linalg::Vector residual(unknown.size());
+    for (size_t u = 0; u < unknown.size(); ++u) {
+      residual[u] = disguised(i, unknown[u]) - mu_cond[u];
+    }
+    const linalg::Vector update = linalg::MultiplyVectorMatrix(residual, gain_t);
+    for (size_t u = 0; u < unknown.size(); ++u) {
+      reconstructed(i, unknown[u]) = mu_cond[u] + update[u];
+    }
+  }
+  return reconstructed;
+}
+
+}  // namespace core
+}  // namespace randrecon

@@ -1,0 +1,122 @@
+#include "core/pca_dr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/matrix_util.h"
+#include "stats/moments.h"
+
+namespace randrecon {
+namespace core {
+
+size_t SelectNumComponents(const linalg::Vector& eigenvalues,
+                           const PcaOptions& options) {
+  const size_t m = eigenvalues.size();
+  RR_CHECK_GT(m, 0u);
+  switch (options.selection) {
+    case PcSelection::kFixedCount:
+      return std::clamp<size_t>(options.fixed_count, 1, m);
+    case PcSelection::kVarianceFraction: {
+      RR_CHECK(options.variance_fraction > 0.0 &&
+               options.variance_fraction <= 1.0)
+          << "variance_fraction out of (0,1]";
+      double total = 0.0;
+      for (double lambda : eigenvalues) total += std::max(lambda, 0.0);
+      if (total <= 0.0) return 1;
+      double running = 0.0;
+      for (size_t p = 0; p < m; ++p) {
+        running += std::max(eigenvalues[p], 0.0);
+        if (running >= options.variance_fraction * total) return p + 1;
+      }
+      return m;
+    }
+    case PcSelection::kLargestGap: {
+      if (m == 1) return 1;
+      // p maximizing λ_p − λ_{p+1} (1-indexed): the split between
+      // "dominant" and "non-dominant" eigenvalues.
+      size_t best_p = 1;
+      double best_gap = eigenvalues[0] - eigenvalues[1];
+      for (size_t i = 1; i + 1 < m; ++i) {
+        const double gap = eigenvalues[i] - eigenvalues[i + 1];
+        if (gap > best_gap) {
+          best_gap = gap;
+          best_p = i + 1;
+        }
+      }
+      // Dominance check: a flat spectrum (uncorrelated data) has no
+      // principal/non-principal split; keep everything.
+      const double before = eigenvalues[best_p - 1];
+      const double after = eigenvalues[best_p];
+      if (before <= 0.0 || after > options.gap_dominance_ratio * before) {
+        return m;
+      }
+      return best_p;
+    }
+  }
+  return 1;  // Unreachable; keeps GCC's -Wreturn-type happy.
+}
+
+Result<linalg::Matrix> PcaReconstructor::Reconstruct(
+    const linalg::Matrix& disguised, const perturb::NoiseModel& noise) const {
+  return ReconstructWithDiagnostics(disguised, noise, nullptr);
+}
+
+Result<linalg::Matrix> PcaReconstructor::ReconstructWithDiagnostics(
+    const linalg::Matrix& disguised, const perturb::NoiseModel& noise,
+    PcaDiagnostics* diagnostics) const {
+  RR_RETURN_NOT_OK(ValidateShapes(disguised, noise));
+
+  // Step 1: the original covariance — estimated per Theorem 5.1/8.2, or
+  // supplied by the §5.3 oracle mode.
+  linalg::Matrix covariance;
+  if (options_.oracle_covariance.has_value()) {
+    if (options_.oracle_covariance->rows() != disguised.cols()) {
+      return Status::InvalidArgument(
+          "PCA-DR: oracle covariance dimension mismatch");
+    }
+    covariance = *options_.oracle_covariance;
+  } else {
+    RR_ASSIGN_OR_RETURN(
+        OriginalMoments moments,
+        EstimateOriginalMoments(disguised, noise, options_.moment_options));
+    covariance = std::move(moments.covariance);
+  }
+
+  // Step 2: eigendecomposition of the estimated original covariance.
+  RR_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
+                      linalg::SymmetricEigen(covariance));
+
+  // Step 3: pick p from the *original* eigenvalues — they encode the data
+  // correlation the attack exploits (§5.2.2).
+  const size_t p = SelectNumComponents(eig.eigenvalues, options_);
+
+  if (diagnostics != nullptr) {
+    diagnostics->num_components = p;
+    diagnostics->eigenvalues = eig.eigenvalues;
+    double total = 0.0;
+    double kept = 0.0;
+    for (size_t i = 0; i < eig.eigenvalues.size(); ++i) {
+      const double lambda = std::max(eig.eigenvalues[i], 0.0);
+      total += lambda;
+      if (i < p) kept += lambda;
+    }
+    diagnostics->retained_variance_fraction = total > 0.0 ? kept / total : 0.0;
+  }
+
+  // Step 4: X̂ = Ȳ Q̂ Q̂ᵀ + µ̂. PCA requires zero-mean data (§5.1.1), so
+  // center on the disguised means (= original means, noise is zero-mean)
+  // and add them back afterwards.
+  linalg::Vector means;
+  linalg::Matrix centered = stats::CenterColumns(disguised, &means);
+  const linalg::Matrix q_hat = eig.eigenvectors.LeftColumns(p);
+  linalg::Matrix reconstructed = (centered * q_hat) * q_hat.Transpose();
+  for (size_t i = 0; i < reconstructed.rows(); ++i) {
+    double* row = reconstructed.row_data(i);
+    for (size_t j = 0; j < reconstructed.cols(); ++j) row[j] += means[j];
+  }
+  return reconstructed;
+}
+
+}  // namespace core
+}  // namespace randrecon

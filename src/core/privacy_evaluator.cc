@@ -1,0 +1,82 @@
+#include "core/privacy_evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "stats/moments.h"
+
+namespace randrecon {
+namespace core {
+
+Result<ReconstructionReport> EvaluateReconstruction(
+    const std::string& attack_name, const linalg::Matrix& original,
+    const linalg::Matrix& reconstructed, double epsilon) {
+  if (original.rows() != reconstructed.rows() ||
+      original.cols() != reconstructed.cols()) {
+    return Status::InvalidArgument(
+        "EvaluateReconstruction: original is " +
+        std::to_string(original.rows()) + "x" + std::to_string(original.cols()) +
+        ", reconstruction is " + std::to_string(reconstructed.rows()) + "x" +
+        std::to_string(reconstructed.cols()));
+  }
+  if (original.size() == 0) {
+    return Status::InvalidArgument("EvaluateReconstruction: empty matrices");
+  }
+
+  ReconstructionReport report;
+  report.attack_name = attack_name;
+  report.mse = stats::MeanSquareError(original, reconstructed);
+  report.rmse = std::sqrt(report.mse);
+  report.per_attribute_rmse = stats::PerAttributeRmse(original, reconstructed);
+
+  // Pooled original standard deviation across all attributes.
+  const linalg::Vector variances = stats::ColumnVariances(original);
+  double pooled_var = 0.0;
+  for (double v : variances) pooled_var += v;
+  pooled_var /= static_cast<double>(variances.size());
+  const double pooled_std = std::sqrt(pooled_var);
+  report.relative_rmse = pooled_std > 0.0 ? report.rmse / pooled_std : 0.0;
+
+  report.epsilon = epsilon > 0.0 ? epsilon : 0.5 * pooled_std;
+  size_t within = 0;
+  const double* po = original.data();
+  const double* pr = reconstructed.data();
+  for (size_t i = 0; i < original.size(); ++i) {
+    if (std::fabs(po[i] - pr[i]) <= report.epsilon) ++within;
+  }
+  report.fraction_within_epsilon =
+      static_cast<double>(within) / static_cast<double>(original.size());
+  return report;
+}
+
+std::string FormatReport(const ReconstructionReport& report) {
+  std::ostringstream out;
+  out << PadRight(report.attack_name, 10) << " rmse=" << FormatDouble(report.rmse, 4)
+      << "  rel=" << FormatDouble(report.relative_rmse, 3) << "  within±"
+      << FormatDouble(report.epsilon, 2) << "="
+      << FormatDouble(100.0 * report.fraction_within_epsilon, 1) << "%";
+  return out.str();
+}
+
+std::string FormatReportTable(std::vector<ReconstructionReport> reports) {
+  std::sort(reports.begin(), reports.end(),
+            [](const ReconstructionReport& a, const ReconstructionReport& b) {
+              return a.rmse < b.rmse;
+            });
+  std::ostringstream out;
+  out << PadRight("attack", 10) << PadLeft("rmse", 10) << PadLeft("rel_rmse", 10)
+      << PadLeft("within_eps", 12) << "\n";
+  out << std::string(42, '-') << "\n";
+  for (const ReconstructionReport& r : reports) {
+    out << PadRight(r.attack_name, 10) << PadLeft(FormatDouble(r.rmse, 4), 10)
+        << PadLeft(FormatDouble(r.relative_rmse, 3), 10)
+        << PadLeft(FormatDouble(100.0 * r.fraction_within_epsilon, 1) + "%", 12)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace core
+}  // namespace randrecon

@@ -1,0 +1,56 @@
+// Privacy quantification (§3): the distance between the reconstructed
+// data X̂ and the true original X measures how much private information
+// leaked — small error = privacy breached, large error = privacy kept.
+
+#ifndef RANDRECON_CORE_PRIVACY_EVALUATOR_H_
+#define RANDRECON_CORE_PRIVACY_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace core {
+
+/// Error metrics for one reconstruction attempt.
+struct ReconstructionReport {
+  /// Which attack produced X̂ (Reconstructor::name()).
+  std::string attack_name;
+  /// Root mean square error over all n·m cells — the paper's headline
+  /// privacy measure.
+  double rmse = 0.0;
+  /// rmse².
+  double mse = 0.0;
+  /// RMSE restricted to each attribute.
+  linalg::Vector per_attribute_rmse;
+  /// RMSE divided by the pooled original-data standard deviation: < 1
+  /// means the attack knows more about a record than the population
+  /// spread does.
+  double relative_rmse = 0.0;
+  /// Fraction of cells reconstructed within `epsilon` of the truth (the
+  /// "how many individuals are pinpointed" view of the same breach).
+  double fraction_within_epsilon = 0.0;
+  /// The epsilon used for the above.
+  double epsilon = 0.0;
+};
+
+/// Computes a ReconstructionReport for X̂ against the true X. `epsilon`
+/// <= 0 defaults to one half of the pooled original stddev. Fails with
+/// InvalidArgument on shape mismatch.
+Result<ReconstructionReport> EvaluateReconstruction(
+    const std::string& attack_name, const linalg::Matrix& original,
+    const linalg::Matrix& reconstructed, double epsilon = 0.0);
+
+/// Renders a one-line summary ("BE-DR  rmse=2.531  rel=0.25  within=61%").
+std::string FormatReport(const ReconstructionReport& report);
+
+/// Renders a fixed-width table over several reports, sorted by rmse
+/// ascending (most successful attack first).
+std::string FormatReportTable(std::vector<ReconstructionReport> reports);
+
+}  // namespace core
+}  // namespace randrecon
+
+#endif  // RANDRECON_CORE_PRIVACY_EVALUATOR_H_

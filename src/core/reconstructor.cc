@@ -1,0 +1,21 @@
+#include "core/reconstructor.h"
+
+namespace randrecon {
+namespace core {
+
+Status ValidateShapes(const linalg::Matrix& disguised,
+                      const perturb::NoiseModel& noise) {
+  if (disguised.cols() != noise.num_attributes()) {
+    return Status::InvalidArgument(
+        "Reconstruct: data has " + std::to_string(disguised.cols()) +
+        " attributes but noise model describes " +
+        std::to_string(noise.num_attributes()));
+  }
+  if (disguised.rows() == 0) {
+    return Status::InvalidArgument("Reconstruct: empty dataset");
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace randrecon

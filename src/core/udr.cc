@@ -1,0 +1,78 @@
+#include "core/udr.h"
+
+#include <algorithm>
+
+#include "linalg/vector_ops.h"
+
+namespace randrecon {
+namespace core {
+
+Result<linalg::Matrix> UdrReconstructor::Reconstruct(
+    const linalg::Matrix& disguised, const perturb::NoiseModel& noise) const {
+  RR_RETURN_NOT_OK(ValidateShapes(disguised, noise));
+
+  linalg::Matrix reconstructed(disguised.rows(), disguised.cols());
+  for (size_t j = 0; j < disguised.cols(); ++j) {
+    const linalg::Vector column = disguised.Col(j);
+    linalg::Vector guess;
+    switch (options_.estimator) {
+      case UdrDensityEstimator::kAs2000Grid: {
+        RR_ASSIGN_OR_RETURN(guess,
+                            ReconstructColumnGrid(column, noise.Marginal(j)));
+        break;
+      }
+      case UdrDensityEstimator::kGaussianClosedForm: {
+        guess = ReconstructColumnGaussian(column, noise.Variance(j));
+        break;
+      }
+    }
+    reconstructed.SetCol(j, guess);
+  }
+  return reconstructed;
+}
+
+Result<linalg::Vector> UdrReconstructor::ReconstructColumnGrid(
+    const linalg::Vector& disguised_column,
+    const stats::ScalarDistribution& noise_marginal) const {
+  RR_ASSIGN_OR_RETURN(
+      stats::GridDensity fx,
+      stats::ReconstructDensity(disguised_column, noise_marginal,
+                                options_.density_options));
+
+  const size_t grid = fx.points.size();
+  linalg::Vector guess(disguised_column.size());
+  for (size_t i = 0; i < disguised_column.size(); ++i) {
+    const double y = disguised_column[i];
+    // Eq. 4 as a grid sum: Σ a·fX(a)·fR(y−a) / Σ fX(a)·fR(y−a).
+    double numerator = 0.0;
+    double denominator = 0.0;
+    for (size_t k = 0; k < grid; ++k) {
+      const double weight = fx.density[k] * noise_marginal.Pdf(y - fx.points[k]);
+      numerator += fx.points[k] * weight;
+      denominator += weight;
+    }
+    // If y falls where the posterior has no mass (possible only in the
+    // far tails), fall back to the NDR guess.
+    guess[i] = denominator > 0.0 ? numerator / denominator : y;
+  }
+  return guess;
+}
+
+linalg::Vector UdrReconstructor::ReconstructColumnGaussian(
+    const linalg::Vector& disguised_column, double noise_variance) const {
+  const double mu = linalg::Mean(disguised_column);
+  // Var(Y) = Var(X) + σ²  (Theorem 5.1, univariate case).
+  const double signal_variance =
+      std::max(0.0, linalg::Variance(disguised_column) - noise_variance);
+  const double shrink = signal_variance + noise_variance > 0.0
+                            ? signal_variance / (signal_variance + noise_variance)
+                            : 0.0;
+  linalg::Vector guess(disguised_column.size());
+  for (size_t i = 0; i < disguised_column.size(); ++i) {
+    guess[i] = mu + shrink * (disguised_column[i] - mu);
+  }
+  return guess;
+}
+
+}  // namespace core
+}  // namespace randrecon

@@ -1,0 +1,90 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace randrecon {
+namespace data {
+
+std::string ToCsvString(const Dataset& dataset, int precision) {
+  std::ostringstream out;
+  out << JoinStrings(dataset.attribute_names(), ",") << "\n";
+  const linalg::Matrix& records = dataset.records();
+  for (size_t i = 0; i < records.rows(); ++i) {
+    for (size_t j = 0; j < records.cols(); ++j) {
+      if (j > 0) out << ",";
+      out << FormatDouble(records(i, j), precision);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                int precision) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("WriteCsv: cannot open '" + path + "' for writing");
+  }
+  file << ToCsvString(dataset, precision);
+  file.close();
+  if (file.fail()) {
+    return Status::IoError("WriteCsv: write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<Dataset> FromCsvString(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("FromCsvString: empty input");
+  }
+  std::vector<std::string> names;
+  for (std::string& field : SplitString(line, ',')) {
+    names.push_back(TrimWhitespace(field));
+  }
+  const size_t m = names.size();
+
+  std::vector<double> values;
+  size_t n = 0;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (TrimWhitespace(line).empty()) continue;
+    const std::vector<std::string> fields = SplitString(line, ',');
+    if (fields.size() != m) {
+      return Status::InvalidArgument(
+          "FromCsvString: line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(m));
+    }
+    for (const std::string& field : fields) {
+      double value = 0.0;
+      if (!ParseDouble(field, &value)) {
+        return Status::InvalidArgument(
+            "FromCsvString: non-numeric field '" + field + "' on line " +
+            std::to_string(line_number));
+      }
+      values.push_back(value);
+    }
+    ++n;
+  }
+  return Dataset::Create(linalg::Matrix::FromRowMajor(n, m, std::move(values)),
+                         std::move(names));
+}
+
+Result<Dataset> ReadCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("ReadCsv: cannot open '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return FromCsvString(buffer.str());
+}
+
+}  // namespace data
+}  // namespace randrecon

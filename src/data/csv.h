@@ -1,0 +1,34 @@
+// CSV import/export for Dataset. The benchmark harness exports every
+// figure's series as CSV; the examples round-trip datasets through files
+// the way a practitioner would.
+
+#ifndef RANDRECON_DATA_CSV_H_
+#define RANDRECON_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace randrecon {
+namespace data {
+
+/// Writes `dataset` as CSV with a header row of attribute names.
+Status WriteCsv(const Dataset& dataset, const std::string& path,
+                int precision = 10);
+
+/// Reads a CSV file produced by WriteCsv (header row + numeric body).
+/// Fails with IoError if the file can't be opened and InvalidArgument on
+/// ragged rows or non-numeric fields.
+Result<Dataset> ReadCsv(const std::string& path);
+
+/// Serializes to a CSV string (used by tests; WriteCsv wraps this).
+std::string ToCsvString(const Dataset& dataset, int precision = 10);
+
+/// Parses a CSV string (header row + numeric body).
+Result<Dataset> FromCsvString(const std::string& text);
+
+}  // namespace data
+}  // namespace randrecon
+
+#endif  // RANDRECON_DATA_CSV_H_

@@ -1,0 +1,40 @@
+#include "data/dataset.h"
+
+#include <unordered_set>
+
+namespace randrecon {
+namespace data {
+
+Dataset::Dataset(linalg::Matrix records) : records_(std::move(records)) {
+  names_.reserve(records_.cols());
+  for (size_t j = 0; j < records_.cols(); ++j) {
+    names_.push_back("a" + std::to_string(j));
+  }
+}
+
+Result<Dataset> Dataset::Create(linalg::Matrix records,
+                                std::vector<std::string> attribute_names) {
+  if (attribute_names.size() != records.cols()) {
+    return Status::InvalidArgument(
+        "Dataset: " + std::to_string(attribute_names.size()) +
+        " names for " + std::to_string(records.cols()) + " columns");
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& name : attribute_names) {
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("Dataset: duplicate attribute name '" +
+                                     name + "'");
+    }
+  }
+  return Dataset(std::move(records), std::move(attribute_names));
+}
+
+Result<size_t> Dataset::AttributeIndex(const std::string& name) const {
+  for (size_t j = 0; j < names_.size(); ++j) {
+    if (names_[j] == name) return j;
+  }
+  return Status::NotFound("Dataset: no attribute named '" + name + "'");
+}
+
+}  // namespace data
+}  // namespace randrecon

@@ -1,0 +1,61 @@
+// Dataset: a named table of n records x m numeric attributes. This is the
+// object randomization schemes perturb and reconstructors attack.
+
+#ifndef RANDRECON_DATA_DATASET_H_
+#define RANDRECON_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace data {
+
+/// An immutable-shape table: records are rows, attributes are columns.
+class Dataset {
+ public:
+  /// An empty dataset.
+  Dataset() = default;
+
+  /// Wraps a record matrix with generated attribute names a0..a{m-1}.
+  explicit Dataset(linalg::Matrix records);
+
+  /// Wraps a record matrix with the given attribute names. Fails with
+  /// InvalidArgument if the name count doesn't match the column count or
+  /// names are duplicated.
+  static Result<Dataset> Create(linalg::Matrix records,
+                                std::vector<std::string> attribute_names);
+
+  size_t num_records() const { return records_.rows(); }
+  size_t num_attributes() const { return records_.cols(); }
+
+  /// The underlying record matrix.
+  const linalg::Matrix& records() const { return records_; }
+  linalg::Matrix& mutable_records() { return records_; }
+
+  /// Attribute names, one per column.
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+  /// Index of the attribute called `name`, or NotFound.
+  Result<size_t> AttributeIndex(const std::string& name) const;
+
+  /// Copies the column for attribute j.
+  linalg::Vector Attribute(size_t j) const { return records_.Col(j); }
+
+  /// One record (row) as a vector.
+  linalg::Vector Record(size_t i) const { return records_.Row(i); }
+
+ private:
+  Dataset(linalg::Matrix records, std::vector<std::string> names)
+      : records_(std::move(records)), names_(std::move(names)) {}
+
+  linalg::Matrix records_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace data
+}  // namespace randrecon
+
+#endif  // RANDRECON_DATA_DATASET_H_

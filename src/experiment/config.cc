@@ -1,0 +1,24 @@
+#include "experiment/config.h"
+
+namespace randrecon {
+namespace experiment {
+
+Status CommonConfig::Validate() const {
+  if (num_records < 2) {
+    return Status::InvalidArgument("CommonConfig: num_records must be >= 2");
+  }
+  if (noise_stddev <= 0.0) {
+    return Status::InvalidArgument("CommonConfig: noise_stddev must be > 0");
+  }
+  if (per_attribute_variance <= 0.0) {
+    return Status::InvalidArgument(
+        "CommonConfig: per_attribute_variance must be > 0");
+  }
+  if (num_trials == 0) {
+    return Status::InvalidArgument("CommonConfig: num_trials must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace experiment
+}  // namespace randrecon

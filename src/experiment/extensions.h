@@ -1,0 +1,52 @@
+// Runners for the extension experiments (E1/E2): the §3 threat scenarios
+// swept the same way the paper's figures are, returning ExperimentResult
+// series that benches print and tests assert on.
+
+#ifndef RANDRECON_EXPERIMENT_EXTENSIONS_H_
+#define RANDRECON_EXPERIMENT_EXTENSIONS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "experiment/config.h"
+#include "experiment/series.h"
+
+namespace randrecon {
+namespace experiment {
+
+/// E1 — partial value disclosure (§3, third bullet): sweep how many
+/// attributes the adversary knows out-of-band; y = RMSE on the unknown
+/// attributes.
+struct PartialDisclosureConfig {
+  CommonConfig common;
+  size_t num_attributes = 30;
+  size_t num_principal = 3;
+  double residual_eigenvalue = 1.0;
+  /// Numbers of known attributes to sweep (each must be < m).
+  std::vector<size_t> known_counts = {0, 1, 2, 4, 8, 16, 24, 29};
+};
+
+/// Series: "est" (honest attacker) and "oracle" (§5.3 moments).
+Result<ExperimentResult> RunPartialDisclosureSweep(
+    const PartialDisclosureConfig& config);
+
+/// E2 — serial dependency (§3, second bullet): sweep the AR(1)
+/// coefficient; y = de-noised series RMSE per embedding window.
+struct SerialDependencyConfig {
+  CommonConfig common;  ///< num_records = series length; noise_stddev = σ.
+  /// Stationary standard deviation of the series (plays the role of the
+  /// per-attribute variance pin).
+  double stationary_stddev = 10.0;
+  std::vector<double> coefficients = {0.0, 0.3, 0.6, 0.8, 0.9, 0.95, 0.99};
+  std::vector<size_t> windows = {4, 16, 32};
+};
+
+/// Series: one per window width ("w=4", ...) plus "NDR" (the disguised
+/// series itself).
+Result<ExperimentResult> RunSerialDependencySweep(
+    const SerialDependencyConfig& config);
+
+}  // namespace experiment
+}  // namespace randrecon
+
+#endif  // RANDRECON_EXPERIMENT_EXTENSIONS_H_

@@ -1,0 +1,39 @@
+// Runners that regenerate each figure of the paper's evaluation section.
+// Each returns an ExperimentResult whose series correspond one-to-one to
+// the curves in the published plot; bench/fig*_ binaries print them.
+
+#ifndef RANDRECON_EXPERIMENT_FIGURES_H_
+#define RANDRECON_EXPERIMENT_FIGURES_H_
+
+#include "common/result.h"
+#include "experiment/config.h"
+#include "experiment/series.h"
+
+namespace randrecon {
+namespace experiment {
+
+/// Figure 1 — "Increase the Number of Attributes" (§7.2).
+/// Series: UDR, SF, PCA-DR, BE-DR; x = m; y = RMSE.
+Result<ExperimentResult> RunFigure1(const Figure1Config& config);
+
+/// Figure 2 — "Increase the Number of Principal Components" (§7.3).
+/// Series: UDR, SF, PCA-DR, BE-DR; x = p; y = RMSE.
+Result<ExperimentResult> RunFigure2(const Figure2Config& config);
+
+/// Figure 3 — "Increase the Eigenvalues of the non-Principal
+/// Components" (§7.4). Series: UDR, SF, PCA-DR, BE-DR; x = residual
+/// eigenvalue; y = RMSE.
+Result<ExperimentResult> RunFigure3(const Figure3Config& config);
+
+/// Figure 4 — "Increasing the correlation dissimilarity of the original
+/// data and random noise" (§8.2). Series: SF, PCA-DR, BE-DR (the
+/// Theorem 8.1 "improved" form); x = correlation dissimilarity
+/// (Definition 8.1); y = RMSE. The result's notes record where
+/// independent noise would fall on the x-axis (the paper's vertical
+/// line).
+Result<ExperimentResult> RunFigure4(const Figure4Config& config);
+
+}  // namespace experiment
+}  // namespace randrecon
+
+#endif  // RANDRECON_EXPERIMENT_FIGURES_H_

@@ -1,0 +1,104 @@
+#include "experiment/series.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace randrecon {
+namespace experiment {
+
+const Series* ExperimentResult::FindSeries(const std::string& name) const {
+  for (const Series& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string FormatExperimentTable(const ExperimentResult& result,
+                                  int precision) {
+  std::ostringstream out;
+  out << "== " << result.experiment_id << ": " << result.title << " ==\n";
+  out << result.y_label << " vs " << result.x_label << "\n\n";
+
+  const size_t col_width = 16;
+  out << PadLeft(result.x_label.size() > col_width
+                     ? result.x_label.substr(0, col_width)
+                     : result.x_label,
+                 col_width);
+  for (const Series& s : result.series) {
+    out << PadLeft(s.name, col_width);
+  }
+  out << "\n" << std::string(col_width * (result.series.size() + 1), '-')
+      << "\n";
+
+  const size_t num_rows =
+      result.series.empty() ? 0 : result.series.front().points.size();
+  for (size_t row = 0; row < num_rows; ++row) {
+    out << PadLeft(FormatDouble(result.series.front().points[row].x, 3),
+                   col_width);
+    for (const Series& s : result.series) {
+      if (row < s.points.size()) {
+        out << PadLeft(FormatDouble(s.points[row].y, precision), col_width);
+      } else {
+        out << PadLeft("-", col_width);
+      }
+    }
+    out << "\n";
+  }
+  for (const std::string& note : result.notes) {
+    out << "note: " << note << "\n";
+  }
+  return out.str();
+}
+
+Result<std::string> ExperimentToCsv(const ExperimentResult& result) {
+  std::ostringstream out;
+  out << "x";
+  for (const Series& s : result.series) out << "," << s.name;
+  out << "\n";
+  const size_t num_rows =
+      result.series.empty() ? 0 : result.series.front().points.size();
+  for (const Series& s : result.series) {
+    if (s.points.size() != num_rows) {
+      return Status::InvalidArgument("ExperimentToCsv: series '" + s.name +
+                                     "' has a different length");
+    }
+  }
+  for (size_t row = 0; row < num_rows; ++row) {
+    const double x = result.series.front().points[row].x;
+    for (const Series& s : result.series) {
+      if (s.points[row].x != x) {
+        return Status::InvalidArgument(
+            "ExperimentToCsv: series x grids differ at row " +
+            std::to_string(row));
+      }
+    }
+    out << FormatDouble(x, 6);
+    for (const Series& s : result.series) {
+      out << "," << FormatDouble(s.points[row].y, 6);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status WriteExperimentCsv(const ExperimentResult& result,
+                          const std::string& path) {
+  RR_ASSIGN_OR_RETURN(std::string csv, ExperimentToCsv(result));
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("WriteExperimentCsv: cannot open '" + path + "'");
+  }
+  file << csv;
+  file.close();
+  if (file.fail()) {
+    return Status::IoError("WriteExperimentCsv: write failed for '" + path +
+                           "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace experiment
+}  // namespace randrecon

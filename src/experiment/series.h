@@ -1,0 +1,60 @@
+// Result containers for the experiment harness: each paper figure is a
+// set of named series (one per attack scheme) over a swept parameter,
+// printable as a fixed-width table (the "rows the paper reports") and
+// exportable as CSV for replotting.
+
+#ifndef RANDRECON_EXPERIMENT_SERIES_H_
+#define RANDRECON_EXPERIMENT_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace randrecon {
+namespace experiment {
+
+/// One point of one curve.
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One curve (e.g. "PCA-DR" in Figure 1).
+struct Series {
+  std::string name;
+  std::vector<SeriesPoint> points;
+};
+
+/// A complete figure reproduction.
+struct ExperimentResult {
+  std::string experiment_id;  ///< e.g. "Figure 1".
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  std::vector<Series> series;
+  /// Free-form annotations (e.g. Figure 4's "noise is independent at
+  /// dissimilarity = ...").
+  std::vector<std::string> notes;
+
+  /// Looks a series up by name; nullptr if absent.
+  const Series* FindSeries(const std::string& name) const;
+};
+
+/// Fixed-width table: one row per x value, one column per series.
+std::string FormatExperimentTable(const ExperimentResult& result,
+                                  int precision = 4);
+
+/// CSV with header "x,<series1>,<series2>,..." — one row per x value.
+/// Assumes all series share the same x grid (the runners guarantee it);
+/// fails with InvalidArgument otherwise.
+Result<std::string> ExperimentToCsv(const ExperimentResult& result);
+
+/// Writes ExperimentToCsv output to `path`.
+Status WriteExperimentCsv(const ExperimentResult& result,
+                          const std::string& path);
+
+}  // namespace experiment
+}  // namespace randrecon
+
+#endif  // RANDRECON_EXPERIMENT_SERIES_H_

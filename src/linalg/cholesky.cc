@@ -1,0 +1,99 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include "linalg/matrix_util.h"
+
+namespace randrecon {
+namespace linalg {
+
+Result<CholeskyFactorization> CholeskyFactorization::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky: matrix is not square");
+  }
+  if (!IsSymmetric(a, 1e-8 * (1.0 + FrobeniusNorm(a)))) {
+    return Status::InvalidArgument("Cholesky: matrix is not symmetric");
+  }
+  const size_t m = a.rows();
+  Matrix l(m, m);
+  for (size_t j = 0; j < m; ++j) {
+    double diag = a(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(
+          "Cholesky: non-positive pivot at column " + std::to_string(j) +
+          " (matrix not positive definite)");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (size_t i = j + 1; i < m; ++i) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyFactorization(std::move(l));
+}
+
+Result<CholeskyFactorization> CholeskyFactorization::ComputeWithJitter(
+    const Matrix& a, double jitter, int attempts) {
+  Result<CholeskyFactorization> plain = Compute(a);
+  if (plain.ok()) return plain;
+
+  double mean_diag = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) mean_diag += a(i, i);
+  mean_diag /= static_cast<double>(a.rows() > 0 ? a.rows() : 1);
+  if (mean_diag <= 0.0) mean_diag = 1.0;
+
+  double eps = jitter * mean_diag;
+  for (int attempt = 0; attempt < attempts; ++attempt, eps *= 10.0) {
+    Matrix jittered = a;
+    for (size_t i = 0; i < a.rows(); ++i) jittered(i, i) += eps;
+    Result<CholeskyFactorization> result = Compute(jittered);
+    if (result.ok()) return result;
+  }
+  return Status::NumericalError(
+      "Cholesky: matrix not positive definite even after jitter");
+}
+
+Vector CholeskyFactorization::Solve(const Vector& b) const {
+  const size_t m = lower_.rows();
+  RR_CHECK_EQ(b.size(), m);
+  // Forward substitution: L y = b.
+  Vector y(m);
+  for (size_t i = 0; i < m; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= lower_(i, k) * y[k];
+    y[i] = sum / lower_(i, i);
+  }
+  // Back substitution: Lᵀ x = y.
+  Vector x(m);
+  for (size_t ii = m; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < m; ++k) sum -= lower_(k, ii) * x[k];
+    x[ii] = sum / lower_(ii, ii);
+  }
+  return x;
+}
+
+Matrix CholeskyFactorization::Solve(const Matrix& b) const {
+  RR_CHECK_EQ(b.rows(), lower_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (size_t j = 0; j < b.cols(); ++j) {
+    x.SetCol(j, Solve(b.Col(j)));
+  }
+  return x;
+}
+
+Matrix CholeskyFactorization::Inverse() const {
+  return Solve(Matrix::Identity(lower_.rows()));
+}
+
+double CholeskyFactorization::LogDeterminant() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < lower_.rows(); ++i) sum += std::log(lower_(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace linalg
+}  // namespace randrecon

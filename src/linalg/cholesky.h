@@ -1,0 +1,53 @@
+// Cholesky factorization A = L Lᵀ for symmetric positive-(semi)definite
+// matrices. Used by the multivariate-normal sampler and by SPD solves in
+// the Bayes-estimate reconstructor.
+
+#ifndef RANDRECON_LINALG_CHOLESKY_H_
+#define RANDRECON_LINALG_CHOLESKY_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace linalg {
+
+/// Lower-triangular Cholesky factor with solve support.
+class CholeskyFactorization {
+ public:
+  /// Factors a symmetric positive-definite matrix. Returns NumericalError
+  /// if a non-positive pivot is hit (matrix not PD to working precision).
+  static Result<CholeskyFactorization> Compute(const Matrix& a);
+
+  /// Like Compute, but first adds `jitter` * mean(diag) * I when the plain
+  /// factorization fails, retrying with 10x larger jitter up to `attempts`
+  /// times. Sample covariance matrices that are PSD-but-singular (e.g. the
+  /// Theorem 5.1 estimate after clipping) factor reliably this way.
+  static Result<CholeskyFactorization> ComputeWithJitter(const Matrix& a,
+                                                         double jitter = 1e-10,
+                                                         int attempts = 8);
+
+  /// The lower-triangular factor L with A = L Lᵀ.
+  const Matrix& lower() const { return lower_; }
+
+  /// Solves A x = b via forward + back substitution.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix Solve(const Matrix& b) const;
+
+  /// Inverse of A (solves against the identity). Prefer Solve for systems.
+  Matrix Inverse() const;
+
+  /// log(det A) = 2 Σ log(Lᵢᵢ).
+  double LogDeterminant() const;
+
+ private:
+  explicit CholeskyFactorization(Matrix lower) : lower_(std::move(lower)) {}
+
+  Matrix lower_;
+};
+
+}  // namespace linalg
+}  // namespace randrecon
+
+#endif  // RANDRECON_LINALG_CHOLESKY_H_

@@ -1,0 +1,127 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/matrix_util.h"
+
+namespace randrecon {
+namespace linalg {
+namespace {
+
+/// Sum of squares of the strictly-off-diagonal entries.
+double OffDiagonalSquaredSum(const Matrix& a) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) sum += a(i, j) * a(i, j);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& input,
+                                          const JacobiOptions& options) {
+  if (input.rows() != input.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix is not square");
+  }
+  if (!IsSymmetric(input, 1e-8 * (1.0 + FrobeniusNorm(input)))) {
+    return Status::InvalidArgument("SymmetricEigen: matrix is not symmetric");
+  }
+  const size_t m = input.rows();
+  Matrix a = Symmetrize(input);  // Scrub tiny floating-point asymmetry.
+  Matrix q = Matrix::Identity(m);
+
+  if (m == 0) {
+    return EigenDecomposition{Vector{}, Matrix{}};
+  }
+
+  const double scale = FrobeniusNorm(a);
+  const double threshold =
+      options.tolerance * options.tolerance * (scale > 0.0 ? scale * scale : 1.0);
+
+  bool converged = OffDiagonalSquaredSum(a) <= threshold;
+  for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    // One cyclic sweep over all (p, r) pairs above the diagonal.
+    for (size_t p = 0; p + 1 < m; ++p) {
+      for (size_t r = p + 1; r < m; ++r) {
+        const double apr = a(p, r);
+        if (std::fabs(apr) < 1e-300) continue;
+        const double app = a(p, p);
+        const double arr = a(r, r);
+        // Classic Jacobi rotation angle: stable computation of t = tan θ.
+        const double theta = (arr - app) / (2.0 * apr);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation A <- JᵀAJ, touching only rows/cols p and r.
+        for (size_t k = 0; k < m; ++k) {
+          const double akp = a(k, p);
+          const double akr = a(k, r);
+          a(k, p) = c * akp - s * akr;
+          a(k, r) = s * akp + c * akr;
+        }
+        for (size_t k = 0; k < m; ++k) {
+          const double apk = a(p, k);
+          const double ark = a(r, k);
+          a(p, k) = c * apk - s * ark;
+          a(r, k) = s * apk + c * ark;
+        }
+        // Accumulate the eigenvector basis Q <- Q J.
+        for (size_t k = 0; k < m; ++k) {
+          const double qkp = q(k, p);
+          const double qkr = q(k, r);
+          q(k, p) = c * qkp - s * qkr;
+          q(k, r) = s * qkp + c * qkr;
+        }
+      }
+    }
+    converged = OffDiagonalSquaredSum(a) <= threshold;
+  }
+  if (!converged) {
+    return Status::NumericalError("SymmetricEigen: Jacobi did not converge");
+  }
+
+  // Extract eigenvalues and sort eigenpairs descending.
+  Vector eigenvalues(m);
+  for (size_t i = 0; i < m; ++i) eigenvalues[i] = a(i, i);
+
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t lhs, size_t rhs) {
+    return eigenvalues[lhs] > eigenvalues[rhs];
+  });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(m);
+  out.eigenvectors = Matrix(m, m);
+  for (size_t k = 0; k < m; ++k) {
+    out.eigenvalues[k] = eigenvalues[order[k]];
+    for (size_t i = 0; i < m; ++i) {
+      out.eigenvectors(i, k) = q(i, order[k]);
+    }
+  }
+  return out;
+}
+
+Matrix ComposeFromEigen(const Vector& eigenvalues, const Matrix& eigenvectors) {
+  RR_CHECK_EQ(eigenvalues.size(), eigenvectors.cols());
+  const size_t m = eigenvectors.rows();
+  const size_t k = eigenvectors.cols();
+  // Q Λ Qᵀ computed as (Q Λ) Qᵀ without materializing Λ.
+  Matrix scaled = eigenvectors;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      scaled(i, j) *= eigenvalues[j];
+    }
+  }
+  return scaled * eigenvectors.Transpose();
+}
+
+}  // namespace linalg
+}  // namespace randrecon

@@ -1,0 +1,48 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// Every matrix the paper decomposes is a (sample) covariance matrix of at
+// most 100x100, for which Jacobi is simple, numerically robust, and fast
+// enough (milliseconds). Eigenpairs are returned in descending eigenvalue
+// order, the convention PCA expects.
+
+#ifndef RANDRECON_LINALG_EIGEN_H_
+#define RANDRECON_LINALG_EIGEN_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace linalg {
+
+/// Result of a symmetric eigendecomposition A = Q Λ Qᵀ.
+struct EigenDecomposition {
+  /// Eigenvalues, sorted descending: λ₁ ≥ λ₂ ≥ ... ≥ λₘ.
+  Vector eigenvalues;
+  /// Orthonormal eigenvectors as *columns*, in the same order: column k of
+  /// `eigenvectors` pairs with eigenvalues[k].
+  Matrix eigenvectors;
+};
+
+/// Options for the Jacobi sweep loop.
+struct JacobiOptions {
+  /// Convergence threshold on the off-diagonal Frobenius norm relative to
+  /// the matrix's own scale.
+  double tolerance = 1e-12;
+  /// Hard cap on full sweeps; 100x100 covariance matrices converge in ~10.
+  int max_sweeps = 64;
+};
+
+/// Decomposes a symmetric matrix. Fails with InvalidArgument if `a` is not
+/// square/symmetric and NumericalError if the sweep cap is hit before
+/// convergence.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          const JacobiOptions& options = {});
+
+/// Reconstructs Q Λ Qᵀ from an eigendecomposition (test/diagnostic helper,
+/// and the §7.1 covariance synthesizer).
+Matrix ComposeFromEigen(const Vector& eigenvalues, const Matrix& eigenvectors);
+
+}  // namespace linalg
+}  // namespace randrecon
+
+#endif  // RANDRECON_LINALG_EIGEN_H_

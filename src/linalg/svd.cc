@@ -1,0 +1,115 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace randrecon {
+namespace linalg {
+
+Result<SvdDecomposition> ThinSvd(const Matrix& a, const SvdOptions& options) {
+  const size_t n = a.rows();
+  const size_t m = a.cols();
+  if (n < m) {
+    return Status::InvalidArgument(
+        "ThinSvd: needs rows >= cols (got " + std::to_string(n) + " x " +
+        std::to_string(m) + "); pass the transpose instead");
+  }
+  if (m == 0) {
+    return SvdDecomposition{Matrix(), Vector{}, Matrix()};
+  }
+
+  // One-sided Jacobi: rotate column pairs of W (a working copy of A)
+  // until all pairs are orthogonal; accumulate the rotations in V.
+  Matrix w = a;
+  Matrix v = Matrix::Identity(m);
+
+  bool converged = false;
+  for (int sweep = 0; sweep < options.max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (size_t p = 0; p + 1 < m; ++p) {
+      for (size_t q = p + 1; q < m; ++q) {
+        // Gram entries for columns p, q.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          const double wip = w(i, p);
+          const double wiq = w(i, q);
+          app += wip * wip;
+          aqq += wiq * wiq;
+          apq += wip * wiq;
+        }
+        if (std::fabs(apq) <=
+            options.tolerance * std::sqrt(app * aqq) + 1e-300) {
+          continue;
+        }
+        converged = false;
+        // Jacobi rotation annihilating the (p, q) Gram entry.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t i = 0; i < n; ++i) {
+          const double wip = w(i, p);
+          const double wiq = w(i, q);
+          w(i, p) = c * wip - s * wiq;
+          w(i, q) = s * wip + c * wiq;
+        }
+        for (size_t i = 0; i < m; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    return Status::NumericalError("ThinSvd: Jacobi did not converge");
+  }
+
+  // Singular values are the column norms of W; U's columns are the
+  // normalized columns.
+  Vector sigma(m);
+  for (size_t j = 0; j < m; ++j) {
+    double norm = 0.0;
+    for (size_t i = 0; i < n; ++i) norm += w(i, j) * w(i, j);
+    sigma[j] = std::sqrt(norm);
+  }
+
+  // Sort descending.
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t lhs, size_t rhs) { return sigma[lhs] > sigma[rhs]; });
+
+  SvdDecomposition out;
+  out.singular_values.resize(m);
+  out.u = Matrix(n, m);
+  out.v = Matrix(m, m);
+  const double scale =
+      *std::max_element(sigma.begin(), sigma.end()) + 1e-300;
+  for (size_t k = 0; k < m; ++k) {
+    const size_t src = order[k];
+    out.singular_values[k] = sigma[src];
+    for (size_t i = 0; i < m; ++i) out.v(i, k) = v(i, src);
+    if (sigma[src] > 1e-14 * scale) {
+      for (size_t i = 0; i < n; ++i) out.u(i, k) = w(i, src) / sigma[src];
+    }
+    // else: leave the U column zero — the component carries no mass.
+  }
+  return out;
+}
+
+Matrix ComposeFromSvd(const SvdDecomposition& svd) {
+  Matrix scaled = svd.u;
+  for (size_t j = 0; j < scaled.cols(); ++j) {
+    for (size_t i = 0; i < scaled.rows(); ++i) {
+      scaled(i, j) *= svd.singular_values[j];
+    }
+  }
+  return scaled * svd.v.Transpose();
+}
+
+}  // namespace linalg
+}  // namespace randrecon

@@ -1,0 +1,49 @@
+// Thin singular value decomposition via one-sided Jacobi rotations.
+//
+// A = U Σ Vᵀ with U (n x m, orthonormal columns), Σ (m singular values,
+// descending) and V (m x m, orthogonal), for n >= m. PCA on a centered
+// record matrix can be done through the SVD of Y/√n without ever forming
+// the covariance matrix — numerically preferable when attributes are
+// near-collinear; matrix_util's eigen-based path and this one are
+// cross-checked in tests.
+
+#ifndef RANDRECON_LINALG_SVD_H_
+#define RANDRECON_LINALG_SVD_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace linalg {
+
+/// Result of a thin SVD.
+struct SvdDecomposition {
+  /// Left singular vectors as columns (n x m). Columns whose singular
+  /// value is (numerically) zero are filled with zeros.
+  Matrix u;
+  /// Singular values, descending, all >= 0.
+  Vector singular_values;
+  /// Right singular vectors as columns (m x m).
+  Matrix v;
+};
+
+/// Options for the one-sided Jacobi sweep loop.
+struct SvdOptions {
+  /// Convergence threshold on column-pair orthogonality, relative to the
+  /// product of column norms.
+  double tolerance = 1e-12;
+  /// Hard cap on full sweeps.
+  int max_sweeps = 64;
+};
+
+/// Computes the thin SVD of an n x m matrix with n >= m. Fails with
+/// InvalidArgument when n < m and NumericalError if the sweep cap is hit.
+Result<SvdDecomposition> ThinSvd(const Matrix& a, const SvdOptions& options = {});
+
+/// Rebuilds U Σ Vᵀ (test/diagnostic helper).
+Matrix ComposeFromSvd(const SvdDecomposition& svd);
+
+}  // namespace linalg
+}  // namespace randrecon
+
+#endif  // RANDRECON_LINALG_SVD_H_

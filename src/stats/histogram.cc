@@ -1,0 +1,103 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+#include "stats/distribution.h"
+
+namespace randrecon {
+namespace stats {
+
+Result<Histogram> Histogram::Create(double lo, double hi, size_t num_bins) {
+  if (num_bins == 0) {
+    return Status::InvalidArgument("Histogram: num_bins must be positive");
+  }
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("Histogram: lo must be < hi");
+  }
+  return Histogram(lo, hi, num_bins);
+}
+
+Result<Histogram> Histogram::FromSamples(const linalg::Vector& samples,
+                                         size_t num_bins) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("Histogram: empty sample");
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(samples.begin(), samples.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (!(lo < hi)) {
+    lo -= 0.5;
+    hi += 0.5;
+  } else {
+    // Nudge hi so the maximum lands inside the final bin.
+    hi = std::nextafter(hi, hi + 1.0);
+  }
+  RR_ASSIGN_OR_RETURN(Histogram h, Create(lo, hi, num_bins));
+  h.AddAll(samples);
+  return h;
+}
+
+void Histogram::Add(double value) {
+  double offset = (value - lo_) / width_;
+  long bin = static_cast<long>(std::floor(offset));
+  bin = std::clamp(bin, 0L, static_cast<long>(counts_.size()) - 1L);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::AddAll(const linalg::Vector& samples) {
+  for (double v : samples) Add(v);
+}
+
+size_t Histogram::Count(size_t k) const {
+  RR_CHECK_LT(k, counts_.size());
+  return counts_[k];
+}
+
+double Histogram::BinCenter(size_t k) const {
+  RR_CHECK_LT(k, counts_.size());
+  return lo_ + width_ * (static_cast<double>(k) + 0.5);
+}
+
+double Histogram::Density(size_t k) const {
+  RR_CHECK_LT(k, counts_.size());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[k]) /
+         (static_cast<double>(total_) * width_);
+}
+
+Result<double> Histogram::L1Distance(const Histogram& a, const Histogram& b) {
+  if (a.num_bins() != b.num_bins() || a.lo() != b.lo() || a.hi() != b.hi()) {
+    return Status::InvalidArgument("Histogram::L1Distance: binning differs");
+  }
+  double sum = 0.0;
+  for (size_t k = 0; k < a.num_bins(); ++k) {
+    sum += std::fabs(a.Density(k) - b.Density(k)) * a.bin_width();
+  }
+  return sum;
+}
+
+double SilvermanBandwidth(const linalg::Vector& samples) {
+  RR_CHECK(!samples.empty());
+  const double sigma = std::sqrt(linalg::Variance(samples));
+  const double n = static_cast<double>(samples.size());
+  const double bw = 1.06 * sigma * std::pow(n, -0.2);
+  return bw > 0.0 ? bw : 1.0;
+}
+
+double GaussianKde(const linalg::Vector& samples, double x, double bandwidth) {
+  RR_CHECK(!samples.empty());
+  const double bw = bandwidth > 0.0 ? bandwidth : SilvermanBandwidth(samples);
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += StandardNormalPdf((x - s) / bw);
+  }
+  return sum / (static_cast<double>(samples.size()) * bw);
+}
+
+}  // namespace stats
+}  // namespace randrecon

@@ -1,0 +1,81 @@
+// Histogram and Gaussian kernel density estimation. Used by UDR when the
+// observed (disguised) marginal fY is needed, by tests that compare
+// reconstructed densities against empirical ones, and by the examples to
+// show that the *distribution* of the data survives randomization even
+// when individual records do not.
+
+#ifndef RANDRECON_STATS_HISTOGRAM_H_
+#define RANDRECON_STATS_HISTOGRAM_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace stats {
+
+/// Fixed-width histogram over [lo, hi).
+class Histogram {
+ public:
+  /// Builds a histogram with `num_bins` equal bins spanning [lo, hi).
+  /// Fails with InvalidArgument for num_bins == 0 or lo >= hi.
+  static Result<Histogram> Create(double lo, double hi, size_t num_bins);
+
+  /// Builds a histogram spanning the sample range and fills it.
+  static Result<Histogram> FromSamples(const linalg::Vector& samples,
+                                       size_t num_bins);
+
+  /// Adds one observation; values outside [lo, hi) are clamped into the
+  /// first/last bin so total mass is preserved.
+  void Add(double value);
+
+  /// Adds every entry of `samples`.
+  void AddAll(const linalg::Vector& samples);
+
+  size_t num_bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+  size_t total_count() const { return total_; }
+
+  /// Raw count in bin k.
+  size_t Count(size_t k) const;
+
+  /// Center of bin k.
+  double BinCenter(size_t k) const;
+
+  /// Normalized density estimate at bin k (integrates to 1).
+  double Density(size_t k) const;
+
+  /// L1 distance between the normalized densities of two histograms with
+  /// identical binning (test/diagnostic helper).
+  static Result<double> L1Distance(const Histogram& a, const Histogram& b);
+
+ private:
+  Histogram(double lo, double hi, size_t num_bins)
+      : lo_(lo),
+        hi_(hi),
+        width_((hi - lo) / static_cast<double>(num_bins)),
+        counts_(num_bins, 0),
+        total_(0) {}
+
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<size_t> counts_;
+  size_t total_;
+};
+
+/// Gaussian kernel density estimate at point x, with Silverman's
+/// rule-of-thumb bandwidth when `bandwidth` <= 0.
+double GaussianKde(const linalg::Vector& samples, double x,
+                   double bandwidth = 0.0);
+
+/// Silverman bandwidth: 1.06 σ̂ n^{-1/5}.
+double SilvermanBandwidth(const linalg::Vector& samples);
+
+}  // namespace stats
+}  // namespace randrecon
+
+#endif  // RANDRECON_STATS_HISTOGRAM_H_

@@ -1,0 +1,76 @@
+#include "stats/mvn.h"
+
+#include <cmath>
+
+#include "linalg/cholesky.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix_util.h"
+
+namespace randrecon {
+namespace stats {
+
+Result<MultivariateNormalSampler> MultivariateNormalSampler::Create(
+    const linalg::Vector& mean, const linalg::Matrix& covariance) {
+  if (covariance.rows() != covariance.cols()) {
+    return Status::InvalidArgument("MVN: covariance is not square");
+  }
+  if (mean.size() != covariance.rows()) {
+    return Status::InvalidArgument("MVN: mean length != covariance dimension");
+  }
+  if (!linalg::IsSymmetric(covariance,
+                           1e-8 * (1.0 + linalg::FrobeniusNorm(covariance)))) {
+    return Status::InvalidArgument("MVN: covariance is not symmetric");
+  }
+
+  // Fast path: positive-definite covariance factors via Cholesky.
+  Result<linalg::CholeskyFactorization> chol =
+      linalg::CholeskyFactorization::Compute(covariance);
+  if (chol.ok()) {
+    return MultivariateNormalSampler(mean, chol.value().lower());
+  }
+
+  // PSD (possibly singular) path: A = Q √Λ with negative eigenvalues
+  // clipped at zero; reject covariances that are meaningfully indefinite.
+  RR_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
+                      linalg::SymmetricEigen(covariance));
+  const double scale = linalg::FrobeniusNorm(covariance);
+  const double tolerance = 1e-8 * (1.0 + scale);
+  linalg::Matrix factor = eig.eigenvectors;
+  for (size_t j = 0; j < factor.cols(); ++j) {
+    double lambda = eig.eigenvalues[j];
+    if (lambda < -tolerance) {
+      return Status::NumericalError(
+          "MVN: covariance has negative eigenvalue " + std::to_string(lambda));
+    }
+    const double root = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
+    for (size_t i = 0; i < factor.rows(); ++i) factor(i, j) *= root;
+  }
+  return MultivariateNormalSampler(mean, std::move(factor));
+}
+
+Result<MultivariateNormalSampler> MultivariateNormalSampler::CreateZeroMean(
+    const linalg::Matrix& covariance) {
+  return Create(linalg::Vector(covariance.rows(), 0.0), covariance);
+}
+
+linalg::Vector MultivariateNormalSampler::SampleRecord(Rng* rng) const {
+  const size_t m = dimension();
+  linalg::Vector z(m);
+  for (size_t i = 0; i < m; ++i) z[i] = rng->Gaussian();
+  linalg::Vector x = factor_ * z;
+  for (size_t i = 0; i < m; ++i) x[i] += mean_[i];
+  return x;
+}
+
+linalg::Matrix MultivariateNormalSampler::SampleMatrix(size_t n,
+                                                       Rng* rng) const {
+  const size_t m = dimension();
+  linalg::Matrix out(n, m);
+  for (size_t i = 0; i < n; ++i) {
+    out.SetRow(i, SampleRecord(rng));
+  }
+  return out;
+}
+
+}  // namespace stats
+}  // namespace randrecon

@@ -1,0 +1,52 @@
+// Multivariate normal sampling: the C++ replacement for Matlab's `mvnrnd`
+// used throughout §7.1. Draws x = µ + A z with A Aᵀ = Σ and z ~ N(0, I).
+//
+// The factor A is the Cholesky factor when Σ is positive definite, and an
+// eigendecomposition square root (Q √Λ) otherwise — the experiment spectra
+// intentionally contain near-zero eigenvalues, which plain Cholesky
+// rejects.
+
+#ifndef RANDRECON_STATS_MVN_H_
+#define RANDRECON_STATS_MVN_H_
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace stats {
+
+/// Draws i.i.d. records from N(mean, covariance).
+class MultivariateNormalSampler {
+ public:
+  /// Builds a sampler. Fails with InvalidArgument for a non-square /
+  /// non-symmetric covariance or a mean of the wrong length, and
+  /// NumericalError if the covariance has eigenvalues < -tolerance.
+  static Result<MultivariateNormalSampler> Create(
+      const linalg::Vector& mean, const linalg::Matrix& covariance);
+
+  /// Convenience: zero-mean sampler.
+  static Result<MultivariateNormalSampler> CreateZeroMean(
+      const linalg::Matrix& covariance);
+
+  /// One record of length m.
+  linalg::Vector SampleRecord(Rng* rng) const;
+
+  /// n records as an n x m matrix.
+  linalg::Matrix SampleMatrix(size_t n, Rng* rng) const;
+
+  size_t dimension() const { return mean_.size(); }
+  const linalg::Vector& mean() const { return mean_; }
+
+ private:
+  MultivariateNormalSampler(linalg::Vector mean, linalg::Matrix factor)
+      : mean_(std::move(mean)), factor_(std::move(factor)) {}
+
+  linalg::Vector mean_;
+  linalg::Matrix factor_;  // A with A Aᵀ = Σ.
+};
+
+}  // namespace stats
+}  // namespace randrecon
+
+#endif  // RANDRECON_STATS_MVN_H_

@@ -1,0 +1,20 @@
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace stats {
+
+linalg::Matrix Rng::GaussianMatrix(size_t rows, size_t cols) {
+  linalg::Matrix m(rows, cols);
+  double* p = m.data();
+  for (size_t i = 0; i < m.size(); ++i) p[i] = Gaussian();
+  return m;
+}
+
+linalg::Vector Rng::GaussianVector(size_t n, double mean, double stddev) {
+  linalg::Vector v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = Gaussian(mean, stddev);
+  return v;
+}
+
+}  // namespace stats
+}  // namespace randrecon

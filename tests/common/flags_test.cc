@@ -1,0 +1,89 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace {
+
+Flags ParseOk(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "binary");
+  auto flags = Flags::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(flags.ok()) << flags.status().ToString();
+  return std::move(flags).value();
+}
+
+TEST(FlagsTest, EmptyCommandLine) {
+  Flags flags = ParseOk({});
+  EXPECT_FALSE(flags.Has("anything"));
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(FlagsTest, StringFlag) {
+  Flags flags = ParseOk({"--name=value"});
+  EXPECT_TRUE(flags.Has("name"));
+  EXPECT_EQ(flags.GetString("name", "x"), "value");
+  EXPECT_EQ(flags.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(FlagsTest, IntFlag) {
+  Flags flags = ParseOk({"--n=1000"});
+  auto n = flags.GetInt("n", 5);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1000);
+  EXPECT_EQ(flags.GetInt("missing", 7).value(), 7);
+}
+
+TEST(FlagsTest, IntFlagRejectsNonInteger) {
+  Flags flags = ParseOk({"--n=1.5", "--s=abc"});
+  EXPECT_FALSE(flags.GetInt("n", 0).ok());
+  EXPECT_FALSE(flags.GetInt("s", 0).ok());
+}
+
+TEST(FlagsTest, DoubleFlag) {
+  Flags flags = ParseOk({"--sigma=2.5"});
+  auto sigma = flags.GetDouble("sigma", 1.0);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_DOUBLE_EQ(sigma.value(), 2.5);
+  EXPECT_FALSE(ParseOk({"--x=oops"}).GetDouble("x", 0.0).ok());
+}
+
+TEST(FlagsTest, BoolFlagForms) {
+  Flags flags = ParseOk({"--a", "--b=true", "--c=false", "--d=1", "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false).value());
+  EXPECT_TRUE(flags.GetBool("b", false).value());
+  EXPECT_FALSE(flags.GetBool("c", true).value());
+  EXPECT_TRUE(flags.GetBool("d", false).value());
+  EXPECT_FALSE(flags.GetBool("e", true).value());
+  EXPECT_TRUE(flags.GetBool("missing", true).value());
+  EXPECT_FALSE(ParseOk({"--x=maybe"}).GetBool("x", false).ok());
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags flags = ParseOk({"input.csv", "--n=3", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, RejectsMalformedAndDuplicates) {
+  const char* bad1[] = {"bin", "--=x"};
+  EXPECT_FALSE(Flags::Parse(2, bad1).ok());
+  const char* bad2[] = {"bin", "--a=1", "--a=2"};
+  EXPECT_FALSE(Flags::Parse(3, bad2).ok());
+}
+
+TEST(FlagsTest, ValueWithEqualsSign) {
+  Flags flags = ParseOk({"--expr=a=b"});
+  EXPECT_EQ(flags.GetString("expr", ""), "a=b");
+}
+
+TEST(FlagsTest, UnusedFlagsTracksReads) {
+  Flags flags = ParseOk({"--used=1", "--typo=2"});
+  (void)flags.GetInt("used", 0);
+  const auto unused = flags.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace randrecon

@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessageDoesNotCrash) {
+  SetLogLevel(LogLevel::kError);
+  RR_LOG(kDebug) << "this is discarded " << 42;
+  RR_LOG(kInfo) << "also discarded";
+}
+
+TEST_F(LoggingTest, EmittedMessageDoesNotCrash) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  RR_LOG(kWarning) << "visible warning " << 1.5;
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("visible warning 1.5"), std::string::npos);
+  EXPECT_NE(captured.find("WARN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace randrecon

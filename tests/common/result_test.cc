@@ -1,0 +1,64 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<std::string> bad(Status::IoError("x"));
+  EXPECT_EQ(bad.ValueOr("fallback"), "fallback");
+  Result<std::string> good(std::string("real"));
+  EXPECT_EQ(good.ValueOr("fallback"), "real");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  std::unique_ptr<int> v = std::move(r).value();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::NumericalError("sing"); };
+  auto outer = [&]() -> Status {
+    RR_ASSIGN_OR_RETURN(int v, inner());
+    (void)v;
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNumericalError);
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto inner = []() -> Result<int> { return 5; };
+  auto outer = [&]() -> Result<int> {
+    RR_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  ASSERT_TRUE(outer().ok());
+  EXPECT_EQ(outer().value(), 10);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_DEATH({ (void)r.value(); }, "missing");
+}
+
+}  // namespace
+}  // namespace randrecon

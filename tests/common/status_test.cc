@@ -1,0 +1,65 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad value");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad value");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad value");
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNumericalError),
+               "NumericalError");
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  auto fails = []() -> Status {
+    RR_RETURN_NOT_OK(Status::IoError("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIoError);
+
+  auto succeeds = []() -> Status {
+    RR_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace randrecon

@@ -1,0 +1,77 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, PreservesEmptyFields) {
+  EXPECT_EQ(SplitString("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitString(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(SplitStringTest, NoDelimiterYieldsSingleField) {
+  EXPECT_EQ(SplitString("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitStringTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimWhitespace("nochange"), "nochange");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(JoinStringsTest, JoinsWithSeparator) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(JoinStrings({"only"}, ","), "only");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+TEST(PadTest, PadsAndTruncates) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abc");
+  EXPECT_EQ(PadRight("abcdef", 3), "abc");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  double v = 0.0;
+  ASSERT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  ASSERT_TRUE(ParseDouble(" -1e3 ", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  ASSERT_TRUE(ParseDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_FALSE(ParseDouble("--2", &v));
+}
+
+}  // namespace
+}  // namespace randrecon

@@ -1,0 +1,213 @@
+#include "core/covariance_estimation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix_util.h"
+#include "perturb/schemes.h"
+#include "stats/moments.h"
+
+namespace randrecon {
+namespace core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Theorem51Test, RecoversOriginalCovarianceFromDisguisedData) {
+  // The headline of Theorem 5.1: Cov(Y) − σ²I ≈ Cov(X).
+  stats::Rng rng(101);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = {40.0, 10.0, 3.0, 1.0};
+  auto synthetic = data::GenerateSpectrumDataset(spec, 50000, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(4, 5.0);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+
+  auto moments =
+      EstimateOriginalMoments(disguised.value().records(), scheme.noise_model());
+  ASSERT_TRUE(moments.ok());
+  EXPECT_LT(linalg::MaxAbsDifference(moments.value().covariance,
+                                     synthetic.value().covariance),
+            0.05 * linalg::FrobeniusNorm(synthetic.value().covariance));
+}
+
+TEST(Theorem51Test, OffDiagonalsUntouchedDiagonalShifted) {
+  // Direct statement check: Cov(Y) equals Cov(X) off-diagonal and
+  // Cov(X) + σ² on the diagonal — verified via the estimator on
+  // synthetic data where both sides are computable.
+  stats::Rng rng(102);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = {20.0, 5.0};
+  auto synthetic = data::GenerateSpectrumDataset(spec, 80000, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  const double sigma = 3.0;
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(2, sigma);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+
+  const Matrix cov_y = stats::SampleCovariance(disguised.value().records());
+  const Matrix cov_x = stats::SampleCovariance(synthetic.value().dataset.records());
+  EXPECT_NEAR(cov_y(0, 1), cov_x(0, 1), 0.3);
+  EXPECT_NEAR(cov_y(0, 0), cov_x(0, 0) + sigma * sigma, 0.5);
+  EXPECT_NEAR(cov_y(1, 1), cov_x(1, 1) + sigma * sigma, 0.5);
+}
+
+TEST(MomentEstimationTest, MeanEstimateTracksOriginal) {
+  stats::Rng rng(103);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = {5.0, 5.0};
+  spec.mean = {100.0, -50.0};
+  auto synthetic = data::GenerateSpectrumDataset(spec, 30000, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(2, 4.0);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+  auto moments =
+      EstimateOriginalMoments(disguised.value().records(), scheme.noise_model());
+  ASSERT_TRUE(moments.ok());
+  EXPECT_NEAR(moments.value().mean[0], 100.0, 0.2);
+  EXPECT_NEAR(moments.value().mean[1], -50.0, 0.2);
+}
+
+TEST(MomentEstimationTest, PsdClipRemovesNegativeEigenvalues) {
+  // Small n: the subtraction overshoots and the raw estimate is
+  // indefinite; clipping must restore PSD.
+  stats::Rng rng(104);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  auto synthetic = data::GenerateSpectrumDataset(spec, 30, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(6, 5.0);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+
+  MomentEstimationOptions options;
+  options.clip_to_psd = true;
+  auto moments = EstimateOriginalMoments(disguised.value().records(),
+                                         scheme.noise_model(), options);
+  ASSERT_TRUE(moments.ok());
+  auto eig = linalg::SymmetricEigen(moments.value().covariance);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_GE(eig.value().eigenvalues.back(), -1e-9);
+
+  // Without clipping the same input must show a negative eigenvalue
+  // (that's why the option exists).
+  options.clip_to_psd = false;
+  auto raw = EstimateOriginalMoments(disguised.value().records(),
+                                     scheme.noise_model(), options);
+  ASSERT_TRUE(raw.ok());
+  auto raw_eig = linalg::SymmetricEigen(raw.value().covariance);
+  ASSERT_TRUE(raw_eig.ok());
+  EXPECT_LT(raw_eig.value().eigenvalues.back(), 0.0);
+}
+
+TEST(MomentEstimationTest, EigenFloorKeepsMatrixInvertible) {
+  stats::Rng rng(105);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = {10.0, 0.0};  // Singular original covariance.
+  auto synthetic = data::GenerateSpectrumDataset(spec, 500, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(2, 2.0);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+  MomentEstimationOptions options;
+  options.eigen_floor = 0.1;
+  auto moments = EstimateOriginalMoments(disguised.value().records(),
+                                         scheme.noise_model(), options);
+  ASSERT_TRUE(moments.ok());
+  auto eig = linalg::SymmetricEigen(moments.value().covariance);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_GE(eig.value().eigenvalues.back(), 0.1 - 1e-9);
+}
+
+TEST(MomentEstimationTest, BulkAveragingFlattensNonPrincipalSpectrum) {
+  stats::Rng rng(106);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = data::TwoLevelSpectrum(20, 3, 200.0, 1.0);
+  auto synthetic = data::GenerateSpectrumDataset(spec, 400, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(20, 5.0);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+
+  MomentEstimationOptions options;
+  options.bulk_average_nonprincipal = true;
+  auto moments = EstimateOriginalMoments(disguised.value().records(),
+                                         scheme.noise_model(), options);
+  ASSERT_TRUE(moments.ok());
+  auto eig = linalg::SymmetricEigen(moments.value().covariance);
+  ASSERT_TRUE(eig.ok());
+  // All non-principal eigenvalues equal (the bulk average).
+  const Vector& ev = eig.value().eigenvalues;
+  for (size_t i = 4; i < 20; ++i) {
+    EXPECT_NEAR(ev[i], ev[3], 1e-8) << "i=" << i;
+  }
+  EXPECT_GT(ev[2], 10.0 * ev[3]);  // Principal part preserved.
+}
+
+TEST(MomentEstimationTest, CorrelatedNoiseUsesTheorem82) {
+  stats::Rng rng(107);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = {25.0, 9.0, 4.0};
+  auto synthetic = data::GenerateSpectrumDataset(spec, 40000, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  Matrix sigma_r{{4.0, 1.0, 0.5}, {1.0, 3.0, 0.2}, {0.5, 0.2, 2.0}};
+  auto scheme = perturb::CorrelatedGaussianScheme::Create(sigma_r);
+  ASSERT_TRUE(scheme.ok());
+  auto disguised = scheme.value().Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+  auto moments = EstimateOriginalMoments(disguised.value().records(),
+                                         scheme.value().noise_model());
+  ASSERT_TRUE(moments.ok());
+  EXPECT_LT(linalg::MaxAbsDifference(moments.value().covariance,
+                                     synthetic.value().covariance),
+            0.06 * linalg::FrobeniusNorm(synthetic.value().covariance));
+}
+
+TEST(MomentEstimationTest, RejectsTooFewRecords) {
+  auto moments = EstimateOriginalMoments(
+      Matrix(1, 2), perturb::NoiseModel::IndependentGaussian(2, 1.0));
+  EXPECT_FALSE(moments.ok());
+}
+
+TEST(MomentEstimationTest, RejectsShapeMismatch) {
+  auto moments = EstimateOriginalMoments(
+      Matrix(10, 3), perturb::NoiseModel::IndependentGaussian(2, 1.0));
+  EXPECT_FALSE(moments.ok());
+  EXPECT_EQ(moments.status().code(), StatusCode::kInvalidArgument);
+}
+
+class Theorem51SampleSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Theorem51SampleSizeSweep, EstimateConvergesWithN) {
+  // The paper: "when the number of samples becomes larger, the
+  // approximation becomes more accurate."
+  const size_t n = GetParam();
+  stats::Rng rng(108);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = {30.0, 10.0, 1.0};
+  auto synthetic = data::GenerateSpectrumDataset(spec, n, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(3, 5.0);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+  auto moments =
+      EstimateOriginalMoments(disguised.value().records(), scheme.noise_model());
+  ASSERT_TRUE(moments.ok());
+  const double error = linalg::MaxAbsDifference(
+      moments.value().covariance, synthetic.value().covariance);
+  // Loose O(1/√n)-style envelope: generous constant, still decreasing.
+  EXPECT_LT(error, 200.0 / std::sqrt(static_cast<double>(n))) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleSizes, Theorem51SampleSizeSweep,
+                         ::testing::Values(200, 800, 3200, 12800));
+
+}  // namespace
+}  // namespace core
+}  // namespace randrecon

@@ -1,0 +1,78 @@
+#include "core/ndr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "perturb/schemes.h"
+#include "stats/moments.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace core {
+namespace {
+
+using linalg::Matrix;
+
+TEST(NdrTest, ReturnsDisguisedDataVerbatim) {
+  NdrReconstructor ndr;
+  Matrix y{{1.0, 2.0}, {3.0, 4.0}};
+  auto x_hat = ndr.Reconstruct(y, perturb::NoiseModel::IndependentGaussian(2, 1.0));
+  ASSERT_TRUE(x_hat.ok());
+  EXPECT_TRUE(x_hat.value() == y);
+}
+
+TEST(NdrTest, NameIsStable) {
+  EXPECT_EQ(NdrReconstructor().name(), "NDR");
+}
+
+TEST(NdrTest, RejectsShapeMismatch) {
+  NdrReconstructor ndr;
+  auto bad = ndr.Reconstruct(Matrix(2, 3),
+                             perturb::NoiseModel::IndependentGaussian(2, 1.0));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NdrTest, RejectsEmptyData) {
+  NdrReconstructor ndr;
+  EXPECT_FALSE(
+      ndr.Reconstruct(Matrix(0, 2),
+                      perturb::NoiseModel::IndependentGaussian(2, 1.0))
+          .ok());
+}
+
+TEST(NdrTest, MseEqualsNoiseVariance) {
+  // §4.1: "the m.s.e. of NDR is exactly the variance of the random
+  // numbers."
+  stats::Rng rng(91);
+  Matrix x(5000, 3);  // Original is all zeros.
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(3, 4.0);
+  Matrix noise = scheme.GenerateNoise(5000, &rng);
+  Matrix y = x + noise;
+  NdrReconstructor ndr;
+  auto x_hat = ndr.Reconstruct(y, scheme.noise_model());
+  ASSERT_TRUE(x_hat.ok());
+  EXPECT_NEAR(stats::MeanSquareError(x, x_hat.value()), 16.0, 0.5);
+}
+
+class NdrNoiseLevelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NdrNoiseLevelSweep, RmseTracksSigma) {
+  const double sigma = GetParam();
+  stats::Rng rng(92);
+  Matrix x(4000, 2);
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(2, sigma);
+  Matrix y = x + scheme.GenerateNoise(4000, &rng);
+  auto x_hat = NdrReconstructor().Reconstruct(y, scheme.noise_model());
+  ASSERT_TRUE(x_hat.ok());
+  EXPECT_NEAR(stats::RootMeanSquareError(x, x_hat.value()), sigma,
+              0.05 * sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, NdrNoiseLevelSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 5.0, 10.0));
+
+}  // namespace
+}  // namespace core
+}  // namespace randrecon

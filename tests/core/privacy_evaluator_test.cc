@@ -1,0 +1,88 @@
+#include "core/privacy_evaluator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace core {
+namespace {
+
+using linalg::Matrix;
+
+TEST(PrivacyEvaluatorTest, PerfectReconstructionHasZeroError) {
+  Matrix x{{1.0, 2.0}, {3.0, 4.0}};
+  auto report = EvaluateReconstruction("perfect", x, x);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().rmse, 0.0);
+  EXPECT_DOUBLE_EQ(report.value().mse, 0.0);
+  EXPECT_DOUBLE_EQ(report.value().fraction_within_epsilon, 1.0);
+  EXPECT_EQ(report.value().attack_name, "perfect");
+}
+
+TEST(PrivacyEvaluatorTest, KnownErrorValues) {
+  Matrix x{{0.0, 0.0}, {0.0, 0.0}};
+  Matrix x_hat{{3.0, 0.0}, {4.0, 0.0}};
+  auto report = EvaluateReconstruction("a", x, x_hat, 1.0);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().mse, 25.0 / 4.0);
+  EXPECT_DOUBLE_EQ(report.value().rmse, 2.5);
+  EXPECT_DOUBLE_EQ(report.value().epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(report.value().fraction_within_epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(report.value().per_attribute_rmse[0],
+                   std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(report.value().per_attribute_rmse[1], 0.0);
+}
+
+TEST(PrivacyEvaluatorTest, DefaultEpsilonIsHalfPooledStddev) {
+  // Original columns have variances 1 and 9 -> pooled std = sqrt(5).
+  Matrix x{{1.0, 3.0}, {-1.0, -3.0}};
+  auto report = EvaluateReconstruction("a", x, x);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().epsilon, 0.5 * std::sqrt(5.0), 1e-12);
+}
+
+TEST(PrivacyEvaluatorTest, RelativeRmseNormalizesByPooledStd) {
+  Matrix x{{1.0}, {-1.0}};  // Variance 1.
+  Matrix x_hat{{3.0}, {1.0}};  // Error 2 everywhere.
+  auto report = EvaluateReconstruction("a", x, x_hat);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().relative_rmse, 2.0, 1e-12);
+}
+
+TEST(PrivacyEvaluatorTest, RejectsShapeMismatch) {
+  EXPECT_FALSE(EvaluateReconstruction("a", Matrix(2, 2), Matrix(2, 3)).ok());
+  EXPECT_FALSE(EvaluateReconstruction("a", Matrix(0, 0), Matrix(0, 0)).ok());
+}
+
+TEST(PrivacyEvaluatorTest, FormatReportContainsKeyNumbers) {
+  Matrix x{{0.0}, {0.0}};
+  Matrix x_hat{{1.0}, {1.0}};
+  auto report = EvaluateReconstruction("ATTACK", x, x_hat, 2.0);
+  ASSERT_TRUE(report.ok());
+  const std::string line = FormatReport(report.value());
+  EXPECT_NE(line.find("ATTACK"), std::string::npos);
+  EXPECT_NE(line.find("rmse=1.0000"), std::string::npos);
+  EXPECT_NE(line.find("100.0%"), std::string::npos);
+}
+
+TEST(PrivacyEvaluatorTest, TableSortsByRmseAscending) {
+  Matrix x{{0.0}, {0.0}};
+  Matrix close{{0.1}, {0.1}};
+  Matrix far{{5.0}, {5.0}};
+  auto good = EvaluateReconstruction("good", x, close);
+  auto bad = EvaluateReconstruction("bad", x, far);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  const std::string table =
+      FormatReportTable({bad.value(), good.value()});
+  const size_t good_pos = table.find("good");
+  const size_t bad_pos = table.find("bad");
+  ASSERT_NE(good_pos, std::string::npos);
+  ASSERT_NE(bad_pos, std::string::npos);
+  EXPECT_LT(good_pos, bad_pos);  // Most successful attack first.
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace randrecon

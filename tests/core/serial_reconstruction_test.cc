@@ -1,0 +1,143 @@
+#include "core/serial_reconstruction.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/timeseries.h"
+#include "linalg/vector_ops.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace core {
+namespace {
+
+using linalg::Vector;
+
+/// RMSE between two series.
+double SeriesRmse(const Vector& a, const Vector& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t t = 0; t < a.size(); ++t) {
+    sum += (a[t] - b[t]) * (a[t] - b[t]);
+  }
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+/// Generates an AR(1) series with stationary variance 100 and disguises
+/// it with N(0, sigma²) noise.
+struct SeriesScenario {
+  Vector original;
+  Vector disguised;
+};
+
+SeriesScenario MakeScenario(double rho, size_t length, double sigma,
+                            uint64_t seed) {
+  stats::Rng rng(seed);
+  data::Ar1Spec spec;
+  spec.coefficient = rho;
+  spec.innovation_stddev = std::sqrt(100.0 * (1.0 - rho * rho));
+  auto series = data::GenerateAr1Series(spec, length, &rng);
+  EXPECT_TRUE(series.ok());
+  SeriesScenario out;
+  out.original = series.value();
+  out.disguised = out.original;
+  for (double& y : out.disguised) y += rng.Gaussian(0.0, sigma);
+  return out;
+}
+
+TEST(SerialReconstructionTest, StrongDependenceFiltersMostNoise) {
+  const double sigma = 5.0;
+  SeriesScenario s = MakeScenario(0.95, 4000, sigma, 231);
+  SerialReconstructionOptions options;
+  options.window = 32;  // Long-memory series rewards a wide embedding.
+  SerialCorrelationReconstructor attack(options);
+  auto x_hat = attack.Reconstruct(s.disguised, sigma * sigma);
+  ASSERT_TRUE(x_hat.ok()) << x_hat.status().ToString();
+  // Raw noise floor is 5 and univariate shrinkage can only reach 4.47;
+  // serial redundancy must get close to the Wiener-filter optimum, which
+  // sits near 2.8 for this (rho, SNR) — allow a small estimation margin.
+  EXPECT_LT(SeriesRmse(s.original, x_hat.value()), 3.1);
+}
+
+TEST(SerialReconstructionTest, WhiteNoiseSeriesGainsNothingBeyondShrinkage) {
+  // rho = 0: no serial dependency to exploit; the best any method can do
+  // is univariate shrinkage with RMSE sqrt(sx²σ²/(sx²+σ²)) ≈ 4.47.
+  const double sigma = 5.0;
+  SeriesScenario s = MakeScenario(0.0, 4000, sigma, 232);
+  SerialCorrelationReconstructor attack;
+  auto x_hat = attack.Reconstruct(s.disguised, sigma * sigma);
+  ASSERT_TRUE(x_hat.ok());
+  const double rmse = SeriesRmse(s.original, x_hat.value());
+  EXPECT_GT(rmse, 4.0);
+  EXPECT_LT(rmse, 5.2);
+}
+
+TEST(SerialReconstructionTest, ErrorDecreasesWithDependence) {
+  const double sigma = 5.0;
+  double previous = 1e9;
+  for (double rho : {0.0, 0.6, 0.9, 0.98}) {
+    SeriesScenario s = MakeScenario(rho, 4000, sigma, 233);
+    SerialCorrelationReconstructor attack;
+    auto x_hat = attack.Reconstruct(s.disguised, sigma * sigma);
+    ASSERT_TRUE(x_hat.ok()) << "rho=" << rho;
+    const double rmse = SeriesRmse(s.original, x_hat.value());
+    EXPECT_LT(rmse, previous * 1.02) << "rho=" << rho;
+    previous = rmse;
+  }
+}
+
+TEST(SerialReconstructionTest, BeatsNaiveGuessOnDependentData) {
+  const double sigma = 5.0;
+  SeriesScenario s = MakeScenario(0.9, 3000, sigma, 234);
+  SerialCorrelationReconstructor attack;
+  auto x_hat = attack.Reconstruct(s.disguised, sigma * sigma);
+  ASSERT_TRUE(x_hat.ok());
+  // The disguised series itself is the NDR baseline with RMSE ≈ σ.
+  EXPECT_LT(SeriesRmse(s.original, x_hat.value()),
+            0.7 * SeriesRmse(s.original, s.disguised));
+}
+
+TEST(SerialReconstructionTest, WiderWindowHelpsOnLongMemorySeries) {
+  const double sigma = 5.0;
+  SeriesScenario s = MakeScenario(0.98, 6000, sigma, 235);
+  SerialReconstructionOptions narrow;
+  narrow.window = 2;
+  SerialReconstructionOptions wide;
+  wide.window = 32;
+  auto narrow_hat = SerialCorrelationReconstructor(narrow).Reconstruct(
+      s.disguised, sigma * sigma);
+  auto wide_hat = SerialCorrelationReconstructor(wide).Reconstruct(
+      s.disguised, sigma * sigma);
+  ASSERT_TRUE(narrow_hat.ok());
+  ASSERT_TRUE(wide_hat.ok());
+  EXPECT_LT(SeriesRmse(s.original, wide_hat.value()),
+            SeriesRmse(s.original, narrow_hat.value()));
+}
+
+TEST(SerialReconstructionTest, ValidationErrors) {
+  SerialCorrelationReconstructor attack;
+  // Too short for the default window of 16.
+  EXPECT_FALSE(attack.Reconstruct(Vector(20, 1.0), 1.0).ok());
+  // Bad variance.
+  EXPECT_FALSE(attack.Reconstruct(Vector(100, 1.0), 0.0).ok());
+  // Bad window.
+  SerialReconstructionOptions zero;
+  zero.window = 0;
+  EXPECT_FALSE(
+      SerialCorrelationReconstructor(zero).Reconstruct(Vector(100, 1.0), 1.0)
+          .ok());
+}
+
+TEST(SerialReconstructionTest, PreservesSeriesLength) {
+  const double sigma = 2.0;
+  SeriesScenario s = MakeScenario(0.8, 500, sigma, 236);
+  SerialCorrelationReconstructor attack;
+  auto x_hat = attack.Reconstruct(s.disguised, sigma * sigma);
+  ASSERT_TRUE(x_hat.ok());
+  EXPECT_EQ(x_hat.value().size(), s.original.size());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace randrecon

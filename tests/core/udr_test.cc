@@ -1,0 +1,177 @@
+#include "core/udr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/ndr.h"
+#include "perturb/schemes.h"
+#include "stats/moments.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace core {
+namespace {
+
+using linalg::Matrix;
+
+/// Original: one column of N(mu, sx²); returns (X, Y) with noise σ.
+std::pair<Matrix, Matrix> MakeUnivariate(size_t n, double mu, double sx,
+                                         double sigma, uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix x(n, 1);
+  for (size_t i = 0; i < n; ++i) x(i, 0) = rng.Gaussian(mu, sx);
+  Matrix y = x;
+  for (size_t i = 0; i < n; ++i) y(i, 0) += rng.Gaussian(0.0, sigma);
+  return {x, y};
+}
+
+TEST(UdrTest, GaussianClosedFormMatchesTheoreticalShrinkage) {
+  // For X ~ N(mu, sx²), the exact posterior mean is
+  // mu + sx²/(sx²+σ²)(y − mu); RMSE ≈ sqrt(sx²σ²/(sx²+σ²)).
+  const double sx = 4.0, sigma = 3.0;
+  auto [x, y] = MakeUnivariate(20000, 5.0, sx, sigma, 93);
+  UdrOptions options;
+  options.estimator = UdrDensityEstimator::kGaussianClosedForm;
+  UdrReconstructor udr(options);
+  auto x_hat =
+      udr.Reconstruct(y, perturb::NoiseModel::IndependentGaussian(1, sigma));
+  ASSERT_TRUE(x_hat.ok());
+  const double expected_rmse =
+      std::sqrt(sx * sx * sigma * sigma / (sx * sx + sigma * sigma));
+  EXPECT_NEAR(stats::RootMeanSquareError(x, x_hat.value()), expected_rmse,
+              0.05 * expected_rmse);
+}
+
+TEST(UdrTest, BeatsNdrOnGaussianData) {
+  const double sigma = 3.0;
+  auto [x, y] = MakeUnivariate(10000, 0.0, 4.0, sigma, 94);
+  const perturb::NoiseModel noise =
+      perturb::NoiseModel::IndependentGaussian(1, sigma);
+  UdrOptions fast;
+  fast.estimator = UdrDensityEstimator::kGaussianClosedForm;
+  auto udr_hat = UdrReconstructor(fast).Reconstruct(y, noise);
+  auto ndr_hat = NdrReconstructor().Reconstruct(y, noise);
+  ASSERT_TRUE(udr_hat.ok());
+  ASSERT_TRUE(ndr_hat.ok());
+  EXPECT_LT(stats::RootMeanSquareError(x, udr_hat.value()),
+            stats::RootMeanSquareError(x, ndr_hat.value()));
+}
+
+TEST(UdrTest, As2000GridAgreesWithClosedFormOnGaussianData) {
+  // Ablation A5's claim in unit-test form.
+  const double sigma = 2.0;
+  auto [x, y] = MakeUnivariate(3000, 1.0, 3.0, sigma, 95);
+  const perturb::NoiseModel noise =
+      perturb::NoiseModel::IndependentGaussian(1, sigma);
+  UdrOptions grid;
+  grid.estimator = UdrDensityEstimator::kAs2000Grid;
+  UdrOptions closed;
+  closed.estimator = UdrDensityEstimator::kGaussianClosedForm;
+  auto grid_hat = UdrReconstructor(grid).Reconstruct(y, noise);
+  auto closed_hat = UdrReconstructor(closed).Reconstruct(y, noise);
+  ASSERT_TRUE(grid_hat.ok()) << grid_hat.status().ToString();
+  ASSERT_TRUE(closed_hat.ok());
+  const double rmse_grid = stats::RootMeanSquareError(x, grid_hat.value());
+  const double rmse_closed = stats::RootMeanSquareError(x, closed_hat.value());
+  EXPECT_NEAR(rmse_grid, rmse_closed, 0.1 * rmse_closed);
+}
+
+TEST(UdrTest, GridHandlesBimodalDataBetterThanGaussianAssumption) {
+  // Two far-apart clusters: the Gaussian closed form shrinks toward the
+  // global mean (between the clusters), the AS2000 grid posterior snaps
+  // to the nearest cluster.
+  stats::Rng rng(96);
+  const size_t n = 4000;
+  Matrix x(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double center = (i % 2 == 0) ? -10.0 : 10.0;
+    x(i, 0) = rng.Gaussian(center, 1.0);
+  }
+  const double sigma = 2.0;
+  Matrix y = x;
+  for (size_t i = 0; i < n; ++i) y(i, 0) += rng.Gaussian(0.0, sigma);
+  const perturb::NoiseModel noise =
+      perturb::NoiseModel::IndependentGaussian(1, sigma);
+  UdrOptions grid;
+  grid.estimator = UdrDensityEstimator::kAs2000Grid;
+  UdrOptions closed;
+  closed.estimator = UdrDensityEstimator::kGaussianClosedForm;
+  auto grid_hat = UdrReconstructor(grid).Reconstruct(y, noise);
+  auto closed_hat = UdrReconstructor(closed).Reconstruct(y, noise);
+  ASSERT_TRUE(grid_hat.ok());
+  ASSERT_TRUE(closed_hat.ok());
+  EXPECT_LT(stats::RootMeanSquareError(x, grid_hat.value()),
+            stats::RootMeanSquareError(x, closed_hat.value()));
+}
+
+TEST(UdrTest, TreatsAttributesIndependently) {
+  // Permuting one column's rows must not change another column's
+  // reconstruction (UDR uses no cross-attribute information).
+  stats::Rng rng(97);
+  Matrix y(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    y(i, 0) = rng.Gaussian(0.0, 3.0);
+    y(i, 1) = rng.Gaussian(5.0, 2.0);
+  }
+  const perturb::NoiseModel noise =
+      perturb::NoiseModel::IndependentGaussian(2, 1.0);
+  UdrOptions options;
+  options.estimator = UdrDensityEstimator::kGaussianClosedForm;
+  UdrReconstructor udr(options);
+  auto base = udr.Reconstruct(y, noise);
+  ASSERT_TRUE(base.ok());
+
+  Matrix y_permuted = y;
+  // Reverse column 1.
+  for (size_t i = 0; i < 200; ++i) y_permuted(i, 1) = y(199 - i, 1);
+  auto permuted = udr.Reconstruct(y_permuted, noise);
+  ASSERT_TRUE(permuted.ok());
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(base.value()(i, 0), permuted.value()(i, 0));
+  }
+}
+
+TEST(UdrTest, PerAttributeNoiseVariancesAreHonored) {
+  // Attribute 0 disguised with σ=1, attribute 1 with σ=10 (via a
+  // correlated model with diagonal covariance): shrinkage must differ.
+  stats::Rng rng(98);
+  const size_t n = 20000;
+  Matrix x(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian(0.0, 3.0);
+    x(i, 1) = rng.Gaussian(0.0, 3.0);
+  }
+  Matrix y = x;
+  for (size_t i = 0; i < n; ++i) {
+    y(i, 0) += rng.Gaussian(0.0, 1.0);
+    y(i, 1) += rng.Gaussian(0.0, 10.0);
+  }
+  auto noise = perturb::NoiseModel::CorrelatedGaussian(
+      Matrix::Diagonal({1.0, 100.0}));
+  ASSERT_TRUE(noise.ok());
+  UdrOptions options;
+  options.estimator = UdrDensityEstimator::kGaussianClosedForm;
+  auto x_hat = UdrReconstructor(options).Reconstruct(y, noise.value());
+  ASSERT_TRUE(x_hat.ok());
+  const linalg::Vector rmse = stats::PerAttributeRmse(x, x_hat.value());
+  // Attribute 0: light noise, nearly full recovery; attribute 1: noise
+  // dominates, shrinks toward the mean so error ≈ sx = 3.
+  EXPECT_LT(rmse[0], 1.1);
+  EXPECT_GT(rmse[1], 2.5);
+  EXPECT_LT(rmse[1], 3.3);
+}
+
+TEST(UdrTest, RejectsShapeMismatch) {
+  UdrReconstructor udr;
+  EXPECT_FALSE(
+      udr.Reconstruct(Matrix(2, 3),
+                      perturb::NoiseModel::IndependentGaussian(2, 1.0))
+          .ok());
+}
+
+TEST(UdrTest, NameIsStable) { EXPECT_EQ(UdrReconstructor().name(), "UDR"); }
+
+}  // namespace
+}  // namespace core
+}  // namespace randrecon

@@ -1,0 +1,103 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace data {
+namespace {
+
+using linalg::Matrix;
+
+Dataset MakeSample() {
+  Matrix m{{1.5, -2.0}, {3.25, 4.0}};
+  return Dataset::Create(m, {"alpha", "beta"}).value();
+}
+
+TEST(CsvTest, ToStringHasHeaderAndRows) {
+  const std::string csv = ToCsvString(MakeSample(), 2);
+  EXPECT_NE(csv.find("alpha,beta"), std::string::npos);
+  EXPECT_NE(csv.find("1.50,-2.00"), std::string::npos);
+  EXPECT_NE(csv.find("3.25,4.00"), std::string::npos);
+}
+
+TEST(CsvTest, StringRoundTrip) {
+  const Dataset original = MakeSample();
+  auto parsed = FromCsvString(ToCsvString(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().attribute_names(), original.attribute_names());
+  EXPECT_EQ(parsed.value().num_records(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.value().records()(1, 0), 3.25);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/csv_roundtrip.csv";
+  const Dataset original = MakeSample();
+  ASSERT_TRUE(WriteCsv(original, path).ok());
+  auto loaded = ReadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_records(), original.num_records());
+  EXPECT_DOUBLE_EQ(loaded.value().records()(0, 1), -2.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsIoError) {
+  auto loaded = ReadCsv("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, WriteToUnwritablePathIsIoError) {
+  EXPECT_EQ(WriteCsv(MakeSample(), "/nonexistent/dir/file.csv").code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, ParseRejectsEmptyInput) {
+  EXPECT_FALSE(FromCsvString("").ok());
+}
+
+TEST(CsvTest, ParseHeaderOnlyGivesZeroRecords) {
+  auto parsed = FromCsvString("a,b\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_records(), 0u);
+  EXPECT_EQ(parsed.value().num_attributes(), 2u);
+}
+
+TEST(CsvTest, ParseRejectsRaggedRow) {
+  auto parsed = FromCsvString("a,b\n1,2\n3\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, ParseRejectsNonNumericField) {
+  auto parsed = FromCsvString("a,b\n1,hello\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("hello"), std::string::npos);
+}
+
+TEST(CsvTest, ParseSkipsBlankLines) {
+  auto parsed = FromCsvString("a\n1\n\n2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().num_records(), 2u);
+}
+
+TEST(CsvTest, ParseTrimsHeaderWhitespace) {
+  auto parsed = FromCsvString(" a , b \n1,2\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().attribute_names(),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvTest, HighPrecisionSurvivesRoundTrip) {
+  Matrix m{{1.0 / 3.0}};
+  Dataset d = Dataset::Create(m, {"x"}).value();
+  auto parsed = FromCsvString(ToCsvString(d, 12));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed.value().records()(0, 0), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace randrecon

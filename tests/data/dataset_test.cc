@@ -1,0 +1,69 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace data {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(DatasetTest, DefaultIsEmpty) {
+  Dataset d;
+  EXPECT_EQ(d.num_records(), 0u);
+  EXPECT_EQ(d.num_attributes(), 0u);
+}
+
+TEST(DatasetTest, AutoNamesColumns) {
+  Dataset d(Matrix(3, 2));
+  EXPECT_EQ(d.num_records(), 3u);
+  EXPECT_EQ(d.num_attributes(), 2u);
+  EXPECT_EQ(d.attribute_names(), (std::vector<std::string>{"a0", "a1"}));
+}
+
+TEST(DatasetTest, CreateWithNames) {
+  auto d = Dataset::Create(Matrix(2, 2), {"age", "income"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().attribute_names()[1], "income");
+}
+
+TEST(DatasetTest, CreateRejectsNameCountMismatch) {
+  auto d = Dataset::Create(Matrix(2, 3), {"a", "b"});
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, CreateRejectsDuplicateNames) {
+  auto d = Dataset::Create(Matrix(2, 2), {"x", "x"});
+  EXPECT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(DatasetTest, AttributeIndexLookup) {
+  auto d = Dataset::Create(Matrix(1, 3), {"a", "b", "c"});
+  ASSERT_TRUE(d.ok());
+  auto idx = d.value().AttributeIndex("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_FALSE(d.value().AttributeIndex("zzz").ok());
+  EXPECT_EQ(d.value().AttributeIndex("zzz").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatasetTest, RecordAndAttributeAccess) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  Dataset d(m);
+  EXPECT_EQ(d.Record(1), (Vector{3, 4}));
+  EXPECT_EQ(d.Attribute(1), (Vector{2, 4, 6}));
+}
+
+TEST(DatasetTest, MutableRecordsWritesThrough) {
+  Dataset d(Matrix(2, 2));
+  d.mutable_records()(0, 0) = 42.0;
+  EXPECT_DOUBLE_EQ(d.records()(0, 0), 42.0);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace randrecon

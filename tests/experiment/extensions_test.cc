@@ -1,0 +1,118 @@
+#include "experiment/extensions.h"
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace experiment {
+namespace {
+
+CommonConfig FastCommon() {
+  CommonConfig common;
+  common.num_records = 400;
+  common.num_trials = 1;
+  return common;
+}
+
+TEST(PartialDisclosureSweepTest, ProducesTwoAlignedSeries) {
+  PartialDisclosureConfig config;
+  config.common = FastCommon();
+  config.num_attributes = 12;
+  config.known_counts = {0, 2, 6};
+  auto result = RunPartialDisclosureSweep(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().series.size(), 2u);
+  EXPECT_EQ(result.value().series[0].name, "est");
+  EXPECT_EQ(result.value().series[1].name, "oracle");
+  for (const Series& s : result.value().series) {
+    ASSERT_EQ(s.points.size(), 3u);
+    EXPECT_EQ(s.points[0].x, 0.0);
+    EXPECT_EQ(s.points[2].x, 6.0);
+  }
+}
+
+TEST(PartialDisclosureSweepTest, OracleCurveDecreasesWithKnowledge) {
+  PartialDisclosureConfig config;
+  config.common = FastCommon();
+  config.common.num_records = 800;
+  config.num_attributes = 12;
+  config.num_principal = 2;
+  config.known_counts = {0, 4, 10};
+  auto result = RunPartialDisclosureSweep(config);
+  ASSERT_TRUE(result.ok());
+  const Series* oracle = result.value().FindSeries("oracle");
+  ASSERT_NE(oracle, nullptr);
+  EXPECT_LT(oracle->points[2].y, oracle->points[0].y);
+}
+
+TEST(PartialDisclosureSweepTest, RejectsKnownCountAtOrAboveM) {
+  PartialDisclosureConfig config;
+  config.common = FastCommon();
+  config.num_attributes = 8;
+  config.known_counts = {8};
+  EXPECT_FALSE(RunPartialDisclosureSweep(config).ok());
+}
+
+TEST(SerialDependencySweepTest, ProducesWindowSeriesPlusNdr) {
+  SerialDependencyConfig config;
+  config.common = FastCommon();
+  config.common.num_records = 2000;
+  config.coefficients = {0.0, 0.9};
+  config.windows = {4, 16};
+  auto result = RunSerialDependencySweep(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().series.size(), 3u);
+  EXPECT_EQ(result.value().series[0].name, "w=4");
+  EXPECT_EQ(result.value().series[2].name, "NDR");
+  // NDR sits at sigma regardless of rho.
+  for (const SeriesPoint& p : result.value().series[2].points) {
+    EXPECT_NEAR(p.y, config.common.noise_stddev,
+                0.2 * config.common.noise_stddev);
+  }
+}
+
+TEST(SerialDependencySweepTest, StrongerDependenceLowersError) {
+  SerialDependencyConfig config;
+  config.common = FastCommon();
+  config.common.num_records = 3000;
+  config.coefficients = {0.0, 0.95};
+  config.windows = {16};
+  auto result = RunSerialDependencySweep(config);
+  ASSERT_TRUE(result.ok());
+  const Series* w16 = result.value().FindSeries("w=16");
+  ASSERT_NE(w16, nullptr);
+  EXPECT_LT(w16->points[1].y, 0.75 * w16->points[0].y);
+}
+
+TEST(SerialDependencySweepTest, Validation) {
+  SerialDependencyConfig config;
+  config.common = FastCommon();
+  config.coefficients = {1.0};
+  EXPECT_FALSE(RunSerialDependencySweep(config).ok());
+  config.coefficients = {0.5};
+  config.windows = {};
+  EXPECT_FALSE(RunSerialDependencySweep(config).ok());
+  config.windows = {8};
+  config.stationary_stddev = 0.0;
+  EXPECT_FALSE(RunSerialDependencySweep(config).ok());
+}
+
+TEST(ExtensionSweepsTest, Deterministic) {
+  PartialDisclosureConfig config;
+  config.common = FastCommon();
+  config.num_attributes = 10;
+  config.known_counts = {0, 3};
+  auto a = RunPartialDisclosureSweep(config);
+  auto b = RunPartialDisclosureSweep(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t s = 0; s < a.value().series.size(); ++s) {
+    for (size_t i = 0; i < a.value().series[s].points.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.value().series[s].points[i].y,
+                       b.value().series[s].points[i].y);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace experiment
+}  // namespace randrecon

@@ -1,0 +1,149 @@
+// Fast plumbing tests for the figure runners (small sweeps, 1 trial).
+// The paper's qualitative claims are asserted at full strength in
+// tests/integration/paper_claims_test.cc.
+
+#include "experiment/figures.h"
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace experiment {
+namespace {
+
+CommonConfig FastCommon() {
+  CommonConfig common;
+  common.num_records = 300;
+  common.num_trials = 1;
+  return common;
+}
+
+TEST(Figure1RunnerTest, ProducesFourAlignedSeries) {
+  Figure1Config config;
+  config.common = FastCommon();
+  config.attribute_counts = {5, 20, 40};
+  auto result = RunFigure1(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().series.size(), 4u);
+  EXPECT_EQ(result.value().series[0].name, "UDR");
+  EXPECT_EQ(result.value().series[3].name, "BE-DR");
+  for (const Series& s : result.value().series) {
+    ASSERT_EQ(s.points.size(), 3u) << s.name;
+    EXPECT_EQ(s.points[0].x, 5.0);
+    EXPECT_EQ(s.points[2].x, 40.0);
+    for (const SeriesPoint& p : s.points) EXPECT_GT(p.y, 0.0);
+  }
+}
+
+TEST(Figure1RunnerTest, RejectsBadConfig) {
+  Figure1Config config;
+  config.common = FastCommon();
+  config.attribute_counts = {3};  // Below num_principal = 5.
+  EXPECT_FALSE(RunFigure1(config).ok());
+
+  Figure1Config zero_trials;
+  zero_trials.common = FastCommon();
+  zero_trials.common.num_trials = 0;
+  EXPECT_FALSE(RunFigure1(zero_trials).ok());
+
+  Figure1Config bad_sigma;
+  bad_sigma.common = FastCommon();
+  bad_sigma.common.noise_stddev = 0.0;
+  EXPECT_FALSE(RunFigure1(bad_sigma).ok());
+}
+
+TEST(Figure2RunnerTest, ProducesSeries) {
+  Figure2Config config;
+  config.common = FastCommon();
+  config.num_attributes = 30;
+  config.principal_counts = {2, 15, 30};
+  auto result = RunFigure2(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().series.size(), 4u);
+  EXPECT_EQ(result.value().series[0].points.size(), 3u);
+}
+
+TEST(Figure2RunnerTest, RejectsInvalidPrincipalCounts) {
+  Figure2Config config;
+  config.common = FastCommon();
+  config.num_attributes = 10;
+  config.principal_counts = {11};
+  EXPECT_FALSE(RunFigure2(config).ok());
+  config.principal_counts = {0};
+  EXPECT_FALSE(RunFigure2(config).ok());
+}
+
+TEST(Figure3RunnerTest, ProducesSeries) {
+  Figure3Config config;
+  config.common = FastCommon();
+  config.num_attributes = 30;
+  config.num_principal = 6;
+  config.residual_eigenvalues = {1.0, 25.0};
+  auto result = RunFigure3(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().series.size(), 4u);
+  EXPECT_EQ(result.value().series[0].points[1].x, 25.0);
+}
+
+TEST(Figure3RunnerTest, RejectsResidualAboveLambda) {
+  Figure3Config config;
+  config.common = FastCommon();
+  config.residual_eigenvalues = {500.0};  // >= principal 400.
+  EXPECT_FALSE(RunFigure3(config).ok());
+}
+
+TEST(Figure4RunnerTest, ProducesThreeSeriesAndNote) {
+  Figure4Config config;
+  config.common = FastCommon();
+  config.num_attributes = 30;
+  config.num_principal = 15;
+  config.similarity_knobs = {0.0, 0.5, 1.0};
+  auto result = RunFigure4(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().series.size(), 3u);
+  EXPECT_EQ(result.value().series[0].name, "SF");
+  EXPECT_EQ(result.value().series[1].name, "PCA-DR");
+  EXPECT_EQ(result.value().series[2].name, "Improved-BE-DR");
+  ASSERT_EQ(result.value().notes.size(), 1u);
+  EXPECT_NE(result.value().notes[0].find("independent"), std::string::npos);
+  // Dissimilarity x-axis is increasing in the knob.
+  const Series& pca = result.value().series[1];
+  EXPECT_LT(pca.points[0].x, pca.points[1].x);
+  EXPECT_LT(pca.points[1].x, pca.points[2].x);
+}
+
+TEST(Figure4RunnerTest, RejectsKnobOutOfRange) {
+  Figure4Config config;
+  config.common = FastCommon();
+  config.similarity_knobs = {1.5};
+  EXPECT_FALSE(RunFigure4(config).ok());
+}
+
+TEST(FigureRunnersTest, DeterministicAcrossRuns) {
+  Figure1Config config;
+  config.common = FastCommon();
+  config.attribute_counts = {10, 20};
+  auto a = RunFigure1(config);
+  auto b = RunFigure1(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t s = 0; s < a.value().series.size(); ++s) {
+    for (size_t i = 0; i < a.value().series[s].points.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.value().series[s].points[i].y,
+                       b.value().series[s].points[i].y);
+    }
+  }
+}
+
+TEST(FigureRunnersTest, HonestAttackerModeAlsoRuns) {
+  Figure1Config config;
+  config.common = FastCommon();
+  config.common.oracle_moments = false;
+  config.attribute_counts = {10, 30};
+  auto result = RunFigure1(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().series.size(), 4u);
+}
+
+}  // namespace
+}  // namespace experiment
+}  // namespace randrecon

@@ -1,0 +1,86 @@
+#include "experiment/series.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace experiment {
+namespace {
+
+ExperimentResult MakeResult() {
+  ExperimentResult result;
+  result.experiment_id = "Figure X";
+  result.title = "Test";
+  result.x_label = "x";
+  result.y_label = "RMSE";
+  result.series = {
+      {"A", {{1.0, 10.0}, {2.0, 20.0}}},
+      {"B", {{1.0, 11.0}, {2.0, 21.0}}},
+  };
+  result.notes.push_back("a note");
+  return result;
+}
+
+TEST(SeriesTest, FindSeries) {
+  ExperimentResult r = MakeResult();
+  ASSERT_NE(r.FindSeries("A"), nullptr);
+  EXPECT_EQ(r.FindSeries("A")->points[1].y, 20.0);
+  EXPECT_EQ(r.FindSeries("missing"), nullptr);
+}
+
+TEST(SeriesTest, TableContainsHeadersValuesAndNotes) {
+  const std::string table = FormatExperimentTable(MakeResult());
+  EXPECT_NE(table.find("Figure X"), std::string::npos);
+  EXPECT_NE(table.find("A"), std::string::npos);
+  EXPECT_NE(table.find("B"), std::string::npos);
+  EXPECT_NE(table.find("21.0000"), std::string::npos);
+  EXPECT_NE(table.find("note: a note"), std::string::npos);
+}
+
+TEST(SeriesTest, CsvLayout) {
+  auto csv = ExperimentToCsv(MakeResult());
+  ASSERT_TRUE(csv.ok());
+  EXPECT_NE(csv.value().find("x,A,B"), std::string::npos);
+  EXPECT_NE(csv.value().find("1.000000,10.000000,11.000000"),
+            std::string::npos);
+  EXPECT_NE(csv.value().find("2.000000,20.000000,21.000000"),
+            std::string::npos);
+}
+
+TEST(SeriesTest, CsvRejectsLengthMismatch) {
+  ExperimentResult r = MakeResult();
+  r.series[1].points.pop_back();
+  EXPECT_FALSE(ExperimentToCsv(r).ok());
+}
+
+TEST(SeriesTest, CsvRejectsMismatchedXGrids) {
+  ExperimentResult r = MakeResult();
+  r.series[1].points[0].x = 99.0;
+  EXPECT_FALSE(ExperimentToCsv(r).ok());
+}
+
+TEST(SeriesTest, EmptyResultFormatsWithoutCrash) {
+  ExperimentResult r;
+  r.experiment_id = "empty";
+  EXPECT_NE(FormatExperimentTable(r).find("empty"), std::string::npos);
+  EXPECT_TRUE(ExperimentToCsv(r).ok());
+}
+
+TEST(SeriesTest, WriteCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/series_test.csv";
+  ASSERT_TRUE(WriteExperimentCsv(MakeResult(), path).ok());
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(SeriesTest, WriteCsvToBadPathFails) {
+  EXPECT_EQ(WriteExperimentCsv(MakeResult(), "/no/such/dir/x.csv").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace experiment
+}  // namespace randrecon

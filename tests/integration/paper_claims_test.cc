@@ -1,0 +1,230 @@
+// The paper's qualitative evaluation claims, asserted on scaled-down runs
+// of the actual figure pipelines. These are the "shape" guarantees the
+// benchmark harness regenerates at full size: who wins, what is flat,
+// what crosses what, and in which direction curves move.
+
+#include <gtest/gtest.h>
+
+#include "experiment/figures.h"
+
+namespace randrecon {
+namespace experiment {
+namespace {
+
+CommonConfig ClaimConfig() {
+  CommonConfig common;
+  common.num_records = 600;
+  common.num_trials = 2;
+  return common;
+}
+
+double FirstY(const ExperimentResult& r, const std::string& name) {
+  const Series* s = r.FindSeries(name);
+  EXPECT_NE(s, nullptr) << name;
+  return s->points.front().y;
+}
+
+double LastY(const ExperimentResult& r, const std::string& name) {
+  const Series* s = r.FindSeries(name);
+  EXPECT_NE(s, nullptr) << name;
+  return s->points.back().y;
+}
+
+// --- Figure 1 claims (§7.2) ------------------------------------------------
+
+class Figure1Claims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Figure1Config config;
+    config.common = ClaimConfig();
+    config.attribute_counts = {5, 20, 50, 100};
+    auto run = RunFigure1(config);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    result_ = new ExperimentResult(std::move(run).value());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const ExperimentResult* result_;
+};
+
+const ExperimentResult* Figure1Claims::result_ = nullptr;
+
+TEST_F(Figure1Claims, CorrelationSchemesImproveWithMoreAttributes) {
+  // "all the correlation-based reconstruction schemes (SF, PCA-DR, and
+  // BE-DR) have lower reconstruction errors when the number of attributes
+  // increase."
+  for (const std::string name : {"SF", "PCA-DR", "BE-DR"}) {
+    EXPECT_LT(LastY(*result_, name), 0.75 * FirstY(*result_, name)) << name;
+  }
+}
+
+TEST_F(Figure1Claims, UdrIsInsensitiveToCorrelation) {
+  // "UDR scheme is not sensitive to the change of correlations" — the
+  // Eq. 12 trace pin keeps it flat.
+  EXPECT_NEAR(LastY(*result_, "UDR"), FirstY(*result_, "UDR"),
+              0.15 * FirstY(*result_, "UDR"));
+}
+
+TEST_F(Figure1Claims, UdrMuchWorseThanCorrelationSchemesAtHighCorrelation) {
+  EXPECT_GT(LastY(*result_, "UDR"), 2.0 * LastY(*result_, "BE-DR"));
+  EXPECT_GT(LastY(*result_, "UDR"), 2.0 * LastY(*result_, "PCA-DR"));
+}
+
+TEST_F(Figure1Claims, BeDrBeatsPcaDrAndSf) {
+  // "BE-DR achieves better performance than PCA-DR and SF schemes ...
+  // consistent throughout all our experiments." (skip the m = p point
+  // where correlation is absent and all schemes coincide).
+  for (size_t i = 1; i < result_->FindSeries("BE-DR")->points.size(); ++i) {
+    const double be = result_->FindSeries("BE-DR")->points[i].y;
+    EXPECT_LE(be, result_->FindSeries("PCA-DR")->points[i].y * 1.02) << i;
+    EXPECT_LE(be, result_->FindSeries("SF")->points[i].y * 1.02) << i;
+  }
+}
+
+// --- Figure 2 claims (§7.3) ------------------------------------------------
+
+class Figure2Claims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Figure2Config config;
+    config.common = ClaimConfig();
+    config.num_attributes = 60;
+    config.principal_counts = {2, 15, 40, 60};
+    auto run = RunFigure2(config);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    result_ = new ExperimentResult(std::move(run).value());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const ExperimentResult* result_;
+};
+
+const ExperimentResult* Figure2Claims::result_ = nullptr;
+
+TEST_F(Figure2Claims, AccuracyDegradesAsPrincipalComponentsIncrease) {
+  // "SF, PCA-DR and BE-DR achieve better accuracy when the number of
+  // principal components becomes less."
+  for (const std::string name : {"SF", "PCA-DR", "BE-DR"}) {
+    EXPECT_GT(LastY(*result_, name), 1.5 * FirstY(*result_, name)) << name;
+  }
+}
+
+TEST_F(Figure2Claims, BeDrStaysBest) {
+  const Series* be = result_->FindSeries("BE-DR");
+  for (size_t i = 0; i + 1 < be->points.size(); ++i) {  // Skip p = m end.
+    EXPECT_LE(be->points[i].y,
+              result_->FindSeries("PCA-DR")->points[i].y * 1.02)
+        << i;
+  }
+}
+
+TEST_F(Figure2Claims, BeDrConvergesToUdrAtFullRank) {
+  // At p = m the data is uncorrelated and BE-DR ≈ UDR (§6's relationship
+  // discussion).
+  EXPECT_NEAR(LastY(*result_, "BE-DR"), LastY(*result_, "UDR"),
+              0.1 * LastY(*result_, "UDR"));
+}
+
+// --- Figure 3 claims (§7.4) ------------------------------------------------
+
+class Figure3Claims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Figure3Config config;
+    config.common = ClaimConfig();
+    config.num_attributes = 60;
+    config.num_principal = 12;
+    config.residual_eigenvalues = {1.0, 15.0, 30.0, 50.0};
+    auto run = RunFigure3(config);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    result_ = new ExperimentResult(std::move(run).value());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const ExperimentResult* result_;
+};
+
+const ExperimentResult* Figure3Claims::result_ = nullptr;
+
+TEST_F(Figure3Claims, ErrorsGrowWithNonPrincipalEigenvalues) {
+  // "When the eigenvalues become larger ... the accuracy of SF, PCA-DR
+  // and BE-DR all become worse."
+  for (const std::string name : {"SF", "PCA-DR", "BE-DR"}) {
+    EXPECT_GT(LastY(*result_, name), FirstY(*result_, name)) << name;
+  }
+}
+
+TEST_F(Figure3Claims, PcaCrossesAboveUdrButBeDrDoesNot) {
+  // "After certain points, the original information is discarded so much
+  // that the errors of SF and PCA-DR schemes are even higher than UDR"
+  // while "the performance of BE-DR converges to the performance of UDR".
+  EXPECT_GT(LastY(*result_, "PCA-DR"), LastY(*result_, "UDR"));
+  EXPECT_LE(LastY(*result_, "BE-DR"), LastY(*result_, "UDR") * 1.03);
+}
+
+TEST_F(Figure3Claims, UdrStaysRoughlyFlat) {
+  EXPECT_NEAR(LastY(*result_, "UDR"), FirstY(*result_, "UDR"),
+              0.2 * FirstY(*result_, "UDR"));
+}
+
+// --- Figure 4 claims (§8.2) ------------------------------------------------
+
+class Figure4Claims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Figure4Config config;
+    config.common = ClaimConfig();
+    config.num_attributes = 60;
+    config.num_principal = 30;
+    config.similarity_knobs = {0.0, 0.5, 1.0};
+    auto run = RunFigure4(config);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    result_ = new ExperimentResult(std::move(run).value());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const ExperimentResult* result_;
+};
+
+const ExperimentResult* Figure4Claims::result_ = nullptr;
+
+TEST_F(Figure4Claims, SimilarNoiseGivesBestPrivacy) {
+  // "when the correlations of the random noises are almost the same as
+  // that of the original data, data reconstruction has the highest
+  // error" — errors fall as dissimilarity grows (SF excepted).
+  for (const std::string name : {"PCA-DR", "Improved-BE-DR"}) {
+    EXPECT_LT(LastY(*result_, name), 0.7 * FirstY(*result_, name)) << name;
+  }
+}
+
+TEST_F(Figure4Claims, SimilarNoiseNearlyDefeatsPca) {
+  // At dissimilarity ≈ 0 the PCA projection cannot separate noise from
+  // signal: error stays near the full noise level σ = 5.
+  EXPECT_GT(FirstY(*result_, "PCA-DR"), 4.0);
+}
+
+TEST_F(Figure4Claims, NotesLocateIndependentNoise) {
+  ASSERT_FALSE(result_->notes.empty());
+  EXPECT_NE(result_->notes[0].find("dissimilarity"), std::string::npos);
+}
+
+TEST_F(Figure4Claims, DissimilarityAxisSpansPaperRange) {
+  // With the RMS reading of Definition 8.1 the x-axis lands in the
+  // paper's 0.0-0.25 range (Figure 4 shows 0.04-0.2).
+  const Series* pca = result_->FindSeries("PCA-DR");
+  EXPECT_LT(pca->points.front().x, 0.02);
+  EXPECT_GT(pca->points.back().x, 0.05);
+  EXPECT_LT(pca->points.back().x, 0.5);
+}
+
+}  // namespace
+}  // namespace experiment
+}  // namespace randrecon

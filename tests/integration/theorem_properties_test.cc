@@ -1,0 +1,218 @@
+// Property-based verification of the paper's theorems, parameterized over
+// dimensions, noise levels and seeds (TEST_P sweeps).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/be_dr.h"
+#include "core/covariance_estimation.h"
+#include "core/pca_dr.h"
+#include "data/synthetic.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix_util.h"
+#include "linalg/vector_ops.h"
+#include "perturb/schemes.h"
+#include "stats/moments.h"
+#include "stats/random_orthogonal.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1: among constant guesses z, the mean of the distribution
+// minimizes E[(x − z)²].
+// ---------------------------------------------------------------------------
+
+class Theorem41Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem41Sweep, MeanMinimizesMeanSquareError) {
+  const double mu = GetParam();
+  stats::Rng rng(161);
+  const Vector sample = rng.GaussianVector(20000, mu, 3.0);
+  auto mse_for = [&](double z) {
+    double sum = 0.0;
+    for (double x : sample) sum += (x - z) * (x - z);
+    return sum / static_cast<double>(sample.size());
+  };
+  const double at_mean = mse_for(linalg::Mean(sample));
+  for (double offset : {-2.0, -0.5, 0.5, 2.0}) {
+    EXPECT_GT(mse_for(linalg::Mean(sample) + offset), at_mean);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, Theorem41Sweep,
+                         ::testing::Values(-10.0, 0.0, 3.5, 100.0));
+
+// ---------------------------------------------------------------------------
+// Theorem 5.1: Cov(Y) has Cov(X) off-diagonal and Cov(X) + σ² on the
+// diagonal, for any noise level.
+// ---------------------------------------------------------------------------
+
+class Theorem51Sweep
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(Theorem51Sweep, DiagonalShiftBySigmaSquared) {
+  const double sigma = std::get<0>(GetParam());
+  const size_t m = std::get<1>(GetParam());
+  stats::Rng rng(162 + m);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = data::TwoLevelSpectrum(m, std::max<size_t>(1, m / 4),
+                                            60.0, 2.0);
+  auto synthetic = data::GenerateSpectrumDataset(spec, 30000, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(m, sigma);
+  auto disguised = scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+
+  const Matrix cov_y = stats::SampleCovariance(disguised.value().records());
+  const Matrix cov_x =
+      stats::SampleCovariance(synthetic.value().dataset.records());
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double expected =
+          i == j ? cov_x(i, j) + sigma * sigma : cov_x(i, j);
+      // Sampling error of a covariance entry scales with the product of
+      // the disguised-attribute standard deviations (≈ σx² + σ² here).
+      const double tol =
+          0.07 * (1.0 + std::fabs(expected)) + 0.03 * sigma * sigma + 0.5;
+      EXPECT_NEAR(cov_y(i, j), expected, tol)
+          << "(" << i << "," << j << ") sigma=" << sigma;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NoiseAndDims, Theorem51Sweep,
+    ::testing::Combine(::testing::Values(1.0, 3.0, 8.0),
+                       ::testing::Values(4u, 8u, 16u)));
+
+// ---------------------------------------------------------------------------
+// Theorem 5.2: projecting i.i.d. noise of variance σ² onto p of m
+// orthonormal directions leaves mean square exactly σ² p/m.
+// ---------------------------------------------------------------------------
+
+struct Theorem52Case {
+  size_t m;
+  size_t p;
+  double sigma;
+};
+
+class Theorem52Sweep : public ::testing::TestWithParam<Theorem52Case> {};
+
+TEST_P(Theorem52Sweep, ProjectedNoiseMeanSquareIsSigma2POverM) {
+  const Theorem52Case c = GetParam();
+  stats::Rng rng(163 + c.m * 7 + c.p);
+  const size_t n = 60000;
+  auto scheme = perturb::IndependentNoiseScheme::Gaussian(c.m, c.sigma);
+  const Matrix noise = scheme.GenerateNoise(n, &rng);
+  const Matrix q = stats::RandomOrthogonalMatrix(c.m, &rng);
+  const Matrix q_hat = q.LeftColumns(c.p);
+  const Matrix projected = (noise * q_hat) * q_hat.Transpose();
+  double mean_square = 0.0;
+  for (size_t i = 0; i < projected.size(); ++i) {
+    mean_square += projected.data()[i] * projected.data()[i];
+  }
+  mean_square /= static_cast<double>(projected.size());
+  const double expected = c.sigma * c.sigma * static_cast<double>(c.p) /
+                          static_cast<double>(c.m);
+  EXPECT_NEAR(mean_square, expected, 0.03 * expected + 0.01)
+      << "m=" << c.m << " p=" << c.p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Theorem52Sweep,
+    ::testing::Values(Theorem52Case{4, 1, 5.0}, Theorem52Case{4, 4, 5.0},
+                      Theorem52Case{10, 2, 5.0}, Theorem52Case{10, 7, 2.0},
+                      Theorem52Case{25, 5, 5.0}, Theorem52Case{25, 20, 1.0}));
+
+// ---------------------------------------------------------------------------
+// Theorem 8.1 sanity: the correlated-noise Bayes estimate with Σr = σ²I
+// must coincide with the independent-noise Eq. 11 result.
+// ---------------------------------------------------------------------------
+
+TEST(Theorem81Test, ReducesToEq11ForIsotropicNoise) {
+  stats::Rng rng(164);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = data::TwoLevelSpectrum(6, 2, 90.0, 2.0);
+  auto synthetic = data::GenerateSpectrumDataset(spec, 800, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  const double sigma = 4.0;
+  auto iid_scheme = perturb::IndependentNoiseScheme::Gaussian(6, sigma);
+  auto disguised = iid_scheme.Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+
+  // Same disguised data, two noise descriptions: iid model vs correlated
+  // model with Σr = σ²I.
+  auto correlated_model = perturb::NoiseModel::CorrelatedGaussian(
+      Matrix::Identity(6) * (sigma * sigma));
+  ASSERT_TRUE(correlated_model.ok());
+
+  core::BayesEstimateReconstructor be;
+  auto from_iid =
+      be.Reconstruct(disguised.value().records(), iid_scheme.noise_model());
+  auto from_correlated =
+      be.Reconstruct(disguised.value().records(), correlated_model.value());
+  ASSERT_TRUE(from_iid.ok());
+  ASSERT_TRUE(from_correlated.ok());
+  EXPECT_LT(
+      linalg::MaxAbsDifference(from_iid.value(), from_correlated.value()),
+      1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 8.2: Σy = Σx + Σr for correlated noise, across noise scales.
+// ---------------------------------------------------------------------------
+
+class Theorem82Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem82Sweep, CovarianceAdds) {
+  const double scale = GetParam();
+  stats::Rng rng(165);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = data::TwoLevelSpectrum(5, 2, 50.0, 1.0);
+  auto synthetic = data::GenerateSpectrumDataset(spec, 40000, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  auto scheme = perturb::CorrelatedGaussianScheme::MimicCovariance(
+      synthetic.value().covariance, scale);
+  ASSERT_TRUE(scheme.ok());
+  auto disguised = scheme.value().Disguise(synthetic.value().dataset, &rng);
+  ASSERT_TRUE(disguised.ok());
+  const Matrix sigma_y = stats::SampleCovariance(disguised.value().records());
+  const Matrix expected =
+      synthetic.value().covariance * (1.0 + scale);  // Σx + scale·Σx.
+  EXPECT_LT(linalg::MaxAbsDifference(sigma_y, expected),
+            0.05 * linalg::FrobeniusNorm(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, Theorem82Sweep,
+                         ::testing::Values(0.05, 0.25, 1.0));
+
+// ---------------------------------------------------------------------------
+// Eq. 12: Σλᵢ = Σaᵢᵢ on the synthesized covariance, for every spectrum
+// the experiments use.
+// ---------------------------------------------------------------------------
+
+class Eq12Sweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Eq12Sweep, SpectrumTraceMatchesCovarianceTrace) {
+  const size_t m = GetParam();
+  stats::Rng rng(166 + m);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues =
+      data::TwoLevelSpectrumWithTrace(m, std::max<size_t>(1, m / 5), 1.0, 100.0);
+  auto synthetic = data::GenerateSpectrumDataset(spec, 5, &rng);
+  ASSERT_TRUE(synthetic.ok());
+  EXPECT_NEAR(linalg::Trace(synthetic.value().covariance),
+              static_cast<double>(m) * 100.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, Eq12Sweep,
+                         ::testing::Values(5, 10, 20, 50, 100));
+
+}  // namespace
+}  // namespace randrecon

@@ -1,0 +1,139 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix_util.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace linalg {
+namespace {
+
+Matrix RandomSpd(size_t m, uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix g = rng.GaussianMatrix(m, m);
+  Matrix a = Symmetrize(g * g.Transpose());
+  for (size_t i = 0; i < m; ++i) a(i, i) += 0.5;  // Safely positive definite.
+  return a;
+}
+
+TEST(CholeskyTest, FactorsKnownMatrix) {
+  // A = [[4,2],[2,3]]: L = [[2,0],[1,sqrt(2)]].
+  Matrix a{{4, 2}, {2, 3}};
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol.value().lower();
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+}
+
+TEST(CholeskyTest, LowerTimesTransposeRebuildsInput) {
+  Matrix a = RandomSpd(10, 3);
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol.value().lower();
+  EXPECT_LT(MaxAbsDifference(l * l.Transpose(), a), 1e-9);
+}
+
+TEST(CholeskyTest, SolveMatchesDirectCheck) {
+  Matrix a = RandomSpd(8, 5);
+  stats::Rng rng(6);
+  Vector b = rng.GaussianVector(8);
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x = chol.value().Solve(b);
+  Vector ax = a * x;
+  for (size_t i = 0; i < 8; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+TEST(CholeskyTest, MatrixSolve) {
+  Matrix a = RandomSpd(6, 7);
+  stats::Rng rng(8);
+  Matrix b = rng.GaussianMatrix(6, 3);
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix x = chol.value().Solve(b);
+  EXPECT_LT(MaxAbsDifference(a * x, b), 1e-8);
+}
+
+TEST(CholeskyTest, InverseTimesInputIsIdentity) {
+  Matrix a = RandomSpd(7, 9);
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix inv = chol.value().Inverse();
+  EXPECT_LT(MaxAbsDifference(a * inv, Matrix::Identity(7)), 1e-8);
+}
+
+TEST(CholeskyTest, LogDeterminant) {
+  Matrix a = Matrix::Diagonal({2.0, 3.0, 4.0});
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  EXPECT_NEAR(chol.value().LogDeterminant(), std::log(24.0), 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  auto chol = CholeskyFactorization::Compute(Matrix(2, 3));
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsAsymmetric) {
+  auto chol = CholeskyFactorization::Compute(Matrix{{1, 2}, {0, 1}});
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  auto chol = CholeskyFactorization::Compute(Matrix::Diagonal({1.0, -1.0}));
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(CholeskyTest, RejectsSingular) {
+  // Rank-1 matrix: [[1,1],[1,1]].
+  auto chol = CholeskyFactorization::Compute(Matrix{{1, 1}, {1, 1}});
+  EXPECT_FALSE(chol.ok());
+}
+
+TEST(CholeskyTest, JitterRecoversSingular) {
+  auto chol =
+      CholeskyFactorization::ComputeWithJitter(Matrix{{1, 1}, {1, 1}});
+  ASSERT_TRUE(chol.ok()) << chol.status().ToString();
+  // The jittered factor still approximately reproduces the matrix.
+  const Matrix& l = chol.value().lower();
+  EXPECT_LT(MaxAbsDifference(l * l.Transpose(), Matrix{{1, 1}, {1, 1}}), 1e-3);
+}
+
+TEST(CholeskyTest, JitterGivesUpOnStronglyIndefinite) {
+  auto chol = CholeskyFactorization::ComputeWithJitter(
+      Matrix::Diagonal({1.0, -100.0}), 1e-10, 3);
+  EXPECT_FALSE(chol.ok());
+  EXPECT_EQ(chol.status().code(), StatusCode::kNumericalError);
+}
+
+class CholeskySizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CholeskySizeSweep, SolveResidualIsSmall) {
+  const size_t m = GetParam();
+  Matrix a = RandomSpd(m, 100 + m);
+  stats::Rng rng(200 + m);
+  Vector b = rng.GaussianVector(m);
+  auto chol = CholeskyFactorization::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  Vector x = chol.value().Solve(b);
+  Vector ax = a * x;
+  double resid = 0.0;
+  for (size_t i = 0; i < m; ++i) resid = std::max(resid, std::fabs(ax[i] - b[i]));
+  EXPECT_LT(resid, 1e-7 * (1.0 + FrobeniusNorm(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 100));
+
+}  // namespace
+}  // namespace linalg
+}  // namespace randrecon

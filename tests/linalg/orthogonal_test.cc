@@ -1,0 +1,103 @@
+#include "linalg/orthogonal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix_util.h"
+#include "linalg/vector_ops.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace linalg {
+namespace {
+
+TEST(GramSchmidtTest, OrthonormalizesRandomSquare) {
+  stats::Rng rng(1);
+  Matrix g = rng.GaussianMatrix(10, 10);
+  auto q = GramSchmidtOrthonormalize(g);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(HasOrthonormalColumns(q.value(), 1e-9));
+}
+
+TEST(GramSchmidtTest, PreservesColumnSpan) {
+  // The first orthonormal column must be parallel to the first input
+  // column.
+  Matrix a{{2, 1}, {0, 1}};
+  auto q = GramSchmidtOrthonormalize(a);
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(std::fabs(q.value()(0, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(q.value()(1, 0), 0.0, 1e-12);
+}
+
+TEST(GramSchmidtTest, TallMatrixOk) {
+  stats::Rng rng(2);
+  Matrix g = rng.GaussianMatrix(8, 3);
+  auto q = GramSchmidtOrthonormalize(g);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().rows(), 8u);
+  EXPECT_EQ(q.value().cols(), 3u);
+  EXPECT_TRUE(HasOrthonormalColumns(q.value(), 1e-9));
+}
+
+TEST(GramSchmidtTest, RejectsWideMatrix) {
+  auto q = GramSchmidtOrthonormalize(Matrix(2, 5));
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GramSchmidtTest, RejectsRankDeficient) {
+  Matrix a{{1, 2}, {1, 2}};  // Columns are parallel.
+  auto q = GramSchmidtOrthonormalize(a);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(GramSchmidtTest, IdentityIsFixedPoint) {
+  auto q = GramSchmidtOrthonormalize(Matrix::Identity(4));
+  ASSERT_TRUE(q.ok());
+  EXPECT_LT(MaxAbsDifference(q.value(), Matrix::Identity(4)), 1e-12);
+}
+
+TEST(ProjectOntoColumnsTest, FullBasisIsIdentity) {
+  stats::Rng rng(3);
+  Matrix g = rng.GaussianMatrix(6, 6);
+  Matrix q = GramSchmidtOrthonormalize(g).value();
+  Vector v = rng.GaussianVector(6);
+  Vector projected = ProjectOntoColumns(q, 6, v);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(projected[i], v[i], 1e-9);
+}
+
+TEST(ProjectOntoColumnsTest, PartialProjectionIsIdempotent) {
+  stats::Rng rng(4);
+  Matrix g = rng.GaussianMatrix(6, 6);
+  Matrix q = GramSchmidtOrthonormalize(g).value();
+  Vector v = rng.GaussianVector(6);
+  Vector once = ProjectOntoColumns(q, 3, v);
+  Vector twice = ProjectOntoColumns(q, 3, once);
+  for (size_t i = 0; i < 6; ++i) EXPECT_NEAR(once[i], twice[i], 1e-10);
+}
+
+TEST(ProjectOntoColumnsTest, ProjectionShrinksNorm) {
+  stats::Rng rng(5);
+  Matrix g = rng.GaussianMatrix(8, 8);
+  Matrix q = GramSchmidtOrthonormalize(g).value();
+  Vector v = rng.GaussianVector(8);
+  EXPECT_LE(Norm(ProjectOntoColumns(q, 3, v)), Norm(v) + 1e-12);
+}
+
+TEST(ProjectOntoColumnsTest, ResidualOrthogonalToSubspace) {
+  stats::Rng rng(6);
+  Matrix g = rng.GaussianMatrix(5, 5);
+  Matrix q = GramSchmidtOrthonormalize(g).value();
+  Vector v = rng.GaussianVector(5);
+  Vector projected = ProjectOntoColumns(q, 2, v);
+  Vector residual = Subtract(v, projected);
+  for (size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(Dot(residual, q.Col(k)), 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace randrecon

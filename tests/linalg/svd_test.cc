@@ -1,0 +1,122 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen.h"
+#include "linalg/matrix_util.h"
+#include "linalg/orthogonal.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace linalg {
+namespace {
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix a = Matrix::Diagonal({3.0, 7.0, 1.0});
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok()) << svd.status().ToString();
+  EXPECT_NEAR(svd.value().singular_values[0], 7.0, 1e-10);
+  EXPECT_NEAR(svd.value().singular_values[1], 3.0, 1e-10);
+  EXPECT_NEAR(svd.value().singular_values[2], 1.0, 1e-10);
+}
+
+TEST(SvdTest, RoundTripRandomTall) {
+  stats::Rng rng(201);
+  Matrix a = rng.GaussianMatrix(20, 6);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(MaxAbsDifference(ComposeFromSvd(svd.value()), a), 1e-9);
+}
+
+TEST(SvdTest, FactorsAreOrthonormal) {
+  stats::Rng rng(202);
+  Matrix a = rng.GaussianMatrix(15, 5);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_TRUE(HasOrthonormalColumns(svd.value().u, 1e-9));
+  EXPECT_TRUE(HasOrthonormalColumns(svd.value().v, 1e-9));
+}
+
+TEST(SvdTest, SingularValuesDescendingNonNegative) {
+  stats::Rng rng(203);
+  Matrix a = rng.GaussianMatrix(12, 8);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  const Vector& s = svd.value().singular_values;
+  for (size_t i = 0; i + 1 < s.size(); ++i) EXPECT_GE(s[i], s[i + 1]);
+  EXPECT_GE(s.back(), 0.0);
+}
+
+TEST(SvdTest, MatchesEigenOfGramMatrix) {
+  // σᵢ² must equal the eigenvalues of AᵀA.
+  stats::Rng rng(204);
+  Matrix a = rng.GaussianMatrix(30, 6);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  auto eig = SymmetricEigen(Symmetrize(a.Transpose() * a));
+  ASSERT_TRUE(eig.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(svd.value().singular_values[i] * svd.value().singular_values[i],
+                eig.value().eigenvalues[i], 1e-7);
+  }
+}
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Two identical columns: one singular value must be ~0 and the
+  // round-trip must still hold.
+  Matrix a{{1, 1}, {2, 2}, {3, 3}};
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd.value().singular_values[1], 0.0, 1e-10);
+  EXPECT_LT(MaxAbsDifference(ComposeFromSvd(svd.value()), a), 1e-9);
+}
+
+TEST(SvdTest, ZeroMatrix) {
+  Matrix a(5, 3);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  for (double s : svd.value().singular_values) EXPECT_EQ(s, 0.0);
+  EXPECT_LT(MaxAbsDifference(ComposeFromSvd(svd.value()), a), 1e-12);
+}
+
+TEST(SvdTest, RejectsWideMatrix) {
+  auto svd = ThinSvd(Matrix(2, 5));
+  EXPECT_FALSE(svd.ok());
+  EXPECT_EQ(svd.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SvdTest, SquareOrthogonalInputHasUnitSingularValues) {
+  stats::Rng rng(205);
+  Matrix g = rng.GaussianMatrix(6, 6);
+  Matrix q = GramSchmidtOrthonormalize(g).value();
+  auto svd = ThinSvd(q);
+  ASSERT_TRUE(svd.ok());
+  for (double s : svd.value().singular_values) EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+class SvdShapeSweep : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SvdShapeSweep, RoundTripAndOrthogonality) {
+  const auto [n, m] = GetParam();
+  stats::Rng rng(206 + n * 31 + m);
+  Matrix a = rng.GaussianMatrix(n, m);
+  auto svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok()) << n << "x" << m;
+  EXPECT_LT(MaxAbsDifference(ComposeFromSvd(svd.value()), a),
+            1e-8 * (1.0 + FrobeniusNorm(a)));
+  EXPECT_TRUE(HasOrthonormalColumns(svd.value().v, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapeSweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(1, 1),
+                      std::make_pair<size_t, size_t>(5, 5),
+                      std::make_pair<size_t, size_t>(10, 3),
+                      std::make_pair<size_t, size_t>(50, 20),
+                      std::make_pair<size_t, size_t>(200, 50)));
+
+}  // namespace
+}  // namespace linalg
+}  // namespace randrecon

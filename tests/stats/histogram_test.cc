@@ -1,0 +1,138 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/distribution.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace stats {
+namespace {
+
+TEST(HistogramTest, CreateValidation) {
+  EXPECT_TRUE(Histogram::Create(0.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(0.0, 1.0, 0).ok());
+  EXPECT_FALSE(Histogram::Create(1.0, 1.0, 10).ok());
+  EXPECT_FALSE(Histogram::Create(2.0, 1.0, 10).ok());
+}
+
+TEST(HistogramTest, CountsLandInCorrectBins) {
+  auto h = Histogram::Create(0.0, 10.0, 10);
+  ASSERT_TRUE(h.ok());
+  Histogram hist = h.value();
+  hist.Add(0.5);
+  hist.Add(9.5);
+  hist.Add(5.0);
+  EXPECT_EQ(hist.Count(0), 1u);
+  EXPECT_EQ(hist.Count(9), 1u);
+  EXPECT_EQ(hist.Count(5), 1u);
+  EXPECT_EQ(hist.total_count(), 3u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdgeBins) {
+  auto h = Histogram::Create(0.0, 10.0, 10);
+  ASSERT_TRUE(h.ok());
+  Histogram hist = h.value();
+  hist.Add(-5.0);
+  hist.Add(50.0);
+  EXPECT_EQ(hist.Count(0), 1u);
+  EXPECT_EQ(hist.Count(9), 1u);
+  EXPECT_EQ(hist.total_count(), 2u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  auto h = Histogram::Create(0.0, 10.0, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_DOUBLE_EQ(h.value().BinCenter(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.value().BinCenter(9), 9.5);
+}
+
+TEST(HistogramTest, DensityIntegratesToOne) {
+  auto h = Histogram::Create(-3.0, 3.0, 30);
+  ASSERT_TRUE(h.ok());
+  Histogram hist = h.value();
+  Rng rng(41);
+  hist.AddAll(rng.GaussianVector(5000));
+  double mass = 0.0;
+  for (size_t k = 0; k < hist.num_bins(); ++k) {
+    mass += hist.Density(k) * hist.bin_width();
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, FromSamplesCoversRange) {
+  linalg::Vector samples{1.0, 2.0, 3.0, 10.0};
+  auto h = Histogram::FromSamples(samples, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().total_count(), 4u);
+  EXPECT_LE(h.value().lo(), 1.0);
+  EXPECT_GE(h.value().hi(), 10.0);
+}
+
+TEST(HistogramTest, FromConstantSamples) {
+  auto h = Histogram::FromSamples({4.0, 4.0, 4.0}, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h.value().total_count(), 3u);
+}
+
+TEST(HistogramTest, FromEmptySamplesFails) {
+  EXPECT_FALSE(Histogram::FromSamples({}, 3).ok());
+}
+
+TEST(HistogramTest, L1DistanceIdenticalIsZero) {
+  Rng rng(42);
+  auto h1 = Histogram::Create(-3.0, 3.0, 20);
+  ASSERT_TRUE(h1.ok());
+  Histogram a = h1.value();
+  a.AddAll(rng.GaussianVector(1000));
+  auto d = Histogram::L1Distance(a, a);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 0.0);
+}
+
+TEST(HistogramTest, L1DistanceRejectsDifferentBinning) {
+  Histogram a = Histogram::Create(0.0, 1.0, 10).value();
+  Histogram b = Histogram::Create(0.0, 2.0, 10).value();
+  EXPECT_FALSE(Histogram::L1Distance(a, b).ok());
+}
+
+TEST(HistogramTest, GaussianSampleMatchesGaussianDensity) {
+  Rng rng(43);
+  auto h = Histogram::Create(-4.0, 4.0, 40);
+  ASSERT_TRUE(h.ok());
+  Histogram hist = h.value();
+  hist.AddAll(rng.GaussianVector(200000));
+  NormalDistribution normal(0.0, 1.0);
+  for (size_t k = 5; k < 35; ++k) {  // Skip tail bins (few samples).
+    EXPECT_NEAR(hist.Density(k), normal.Pdf(hist.BinCenter(k)), 0.02);
+  }
+}
+
+TEST(KdeTest, SilvermanBandwidthPositive) {
+  Rng rng(44);
+  EXPECT_GT(SilvermanBandwidth(rng.GaussianVector(100)), 0.0);
+  EXPECT_GT(SilvermanBandwidth({1.0, 1.0, 1.0}), 0.0);  // Zero-variance guard.
+}
+
+TEST(KdeTest, KdeApproximatesNormalPdf) {
+  Rng rng(45);
+  linalg::Vector samples = rng.GaussianVector(20000);
+  NormalDistribution normal(0.0, 1.0);
+  for (double x : {-1.0, 0.0, 1.0}) {
+    EXPECT_NEAR(GaussianKde(samples, x), normal.Pdf(x), 0.03);
+  }
+}
+
+TEST(KdeTest, ExplicitBandwidthIsUsed) {
+  linalg::Vector samples{0.0};
+  // With bandwidth 1 the KDE at 0 equals the standard normal peak.
+  EXPECT_NEAR(GaussianKde(samples, 0.0, 1.0), 0.3989, 1e-3);
+  // A wider bandwidth flattens it.
+  EXPECT_LT(GaussianKde(samples, 0.0, 4.0), 0.2);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace randrecon

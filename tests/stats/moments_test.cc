@@ -1,0 +1,134 @@
+#include "stats/moments.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix_util.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(MomentsTest, ColumnMeans) {
+  Matrix data{{1, 10}, {3, 20}};
+  EXPECT_EQ(ColumnMeans(data), (Vector{2, 15}));
+}
+
+TEST(MomentsTest, ColumnMeansEmpty) {
+  Matrix data(0, 3);
+  EXPECT_EQ(ColumnMeans(data), (Vector{0, 0, 0}));
+}
+
+TEST(MomentsTest, ColumnVariances) {
+  Matrix data{{1, 0}, {3, 0}};
+  const Vector vars = ColumnVariances(data);
+  EXPECT_DOUBLE_EQ(vars[0], 1.0);  // Population convention.
+  EXPECT_DOUBLE_EQ(vars[1], 0.0);
+}
+
+TEST(MomentsTest, CenterColumnsSubtractsMeans) {
+  Matrix data{{1, 10}, {3, 20}};
+  Vector means;
+  Matrix centered = CenterColumns(data, &means);
+  EXPECT_EQ(means, (Vector{2, 15}));
+  EXPECT_EQ(ColumnMeans(centered), (Vector{0, 0}));
+  EXPECT_DOUBLE_EQ(centered(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(centered(1, 1), 5.0);
+}
+
+TEST(MomentsTest, SampleCovarianceKnown) {
+  // Two perfectly correlated columns.
+  Matrix data{{1, 2}, {2, 4}, {3, 6}};
+  Matrix cov = SampleCovariance(data);
+  EXPECT_NEAR(cov(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cov(0, 1), cov(1, 0));
+}
+
+TEST(MomentsTest, SampleCovarianceDdof1) {
+  Matrix data{{1, 2}, {2, 4}, {3, 6}};
+  Matrix cov = SampleCovariance(data, 1);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);  // Unbiased: divide by n-1 = 2.
+}
+
+TEST(MomentsTest, SampleCovarianceIsSymmetricPsd) {
+  Rng rng(21);
+  Matrix data = rng.GaussianMatrix(300, 8);
+  Matrix cov = SampleCovariance(data);
+  EXPECT_TRUE(linalg::IsSymmetric(cov, 1e-12));
+  // PSD: all quadratic forms non-negative (spot-check random directions).
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector v = rng.GaussianVector(8);
+    const Vector cv = cov * v;
+    double quad = 0.0;
+    for (size_t i = 0; i < 8; ++i) quad += v[i] * cv[i];
+    EXPECT_GE(quad, -1e-10);
+  }
+}
+
+TEST(MomentsTest, SampleCorrelationOfPerfectlyCorrelatedColumns) {
+  Matrix data{{1, 2}, {2, 4}, {3, 6}};
+  Matrix corr = SampleCorrelation(data);
+  EXPECT_NEAR(corr(0, 1), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(corr(0, 0), 1.0);
+}
+
+TEST(MomentsTest, SampleCorrelationOfAntiCorrelatedColumns) {
+  Matrix data{{1, -1}, {2, -2}, {3, -3}};
+  Matrix corr = SampleCorrelation(data);
+  EXPECT_NEAR(corr(0, 1), -1.0, 1e-12);
+}
+
+TEST(MomentsTest, IndependentColumnsNearZeroCorrelation) {
+  Rng rng(22);
+  Matrix data = rng.GaussianMatrix(20000, 2);
+  Matrix corr = SampleCorrelation(data);
+  EXPECT_NEAR(corr(0, 1), 0.0, 0.03);
+}
+
+TEST(MomentsTest, RmseAndMse) {
+  Matrix a{{0, 0}, {0, 0}};
+  Matrix b{{3, 4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(MeanSquareError(a, b), 25.0 / 4.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquareError(a, b), 2.5);
+  EXPECT_DOUBLE_EQ(RootMeanSquareError(a, a), 0.0);
+}
+
+TEST(MomentsTest, PerAttributeRmse) {
+  Matrix a{{0, 0}, {0, 0}};
+  Matrix b{{3, 0}, {3, 4}};
+  const Vector rmse = PerAttributeRmse(a, b);
+  EXPECT_DOUBLE_EQ(rmse[0], 3.0);
+  EXPECT_DOUBLE_EQ(rmse[1], std::sqrt(8.0));
+}
+
+TEST(MomentsDeathTest, RmseShapeMismatchAborts) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_DEATH({ RootMeanSquareError(a, b); }, "shape");
+}
+
+TEST(MomentsTest, CovarianceApproachesTruthWithLargeN) {
+  // Columns: x, x + e with known covariance [[1,1],[1,1.25]].
+  Rng rng(23);
+  const size_t n = 50000;
+  Matrix data(n, 2);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    data(i, 0) = x;
+    data(i, 1) = x + rng.Gaussian(0.0, 0.5);
+  }
+  Matrix cov = SampleCovariance(data);
+  EXPECT_NEAR(cov(0, 0), 1.0, 0.03);
+  EXPECT_NEAR(cov(0, 1), 1.0, 0.03);
+  EXPECT_NEAR(cov(1, 1), 1.25, 0.04);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace randrecon

@@ -1,0 +1,95 @@
+#include "stats/rng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+
+namespace randrecon {
+namespace stats {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Gaussian(), b.Gaussian());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Gaussian() != b.Gaussian()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(7);
+  linalg::Vector sample = rng.GaussianVector(100000);
+  EXPECT_NEAR(linalg::Mean(sample), 0.0, 0.02);
+  EXPECT_NEAR(linalg::Variance(sample), 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(8);
+  linalg::Vector sample = rng.GaussianVector(100000, 3.0, 2.0);
+  EXPECT_NEAR(linalg::Mean(sample), 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(linalg::Variance(sample)), 2.0, 0.05);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMatrixShapeAndVariance) {
+  Rng rng(11);
+  linalg::Matrix m = rng.GaussianMatrix(200, 50);
+  EXPECT_EQ(m.rows(), 200u);
+  EXPECT_EQ(m.cols(), 50u);
+  double sum = 0.0, sumsq = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) {
+    sum += m.data()[i];
+    sumsq += m.data()[i] * m.data()[i];
+  }
+  const double n = static_cast<double>(m.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, NextSeedProducesIndependentStreams) {
+  Rng parent(12);
+  Rng child1(parent.NextSeed());
+  Rng child2(parent.NextSeed());
+  // The streams should not be identical.
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (child1.Gaussian() != child2.Gaussian()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace randrecon
