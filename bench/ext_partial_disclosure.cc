@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       config.common.noise_stddev, config.common.num_trials);
   const int rc = randrecon::bench::ReportExperiment(
       randrecon::experiment::RunPartialDisclosureSweep(config),
-      "ext_partial_disclosure.csv", stopwatch);
+      "ext_partial_disclosure.csv", stopwatch, &config.common);
   if (rc == 0) {
     std::printf(
         "Reading: every attribute the adversary learns out-of-band drags "

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       config.common.noise_stddev, config.common.num_trials);
   const int rc = randrecon::bench::ReportExperiment(
       randrecon::experiment::RunSerialDependencySweep(config),
-      "ext_serial_dependency.csv", stopwatch);
+      "ext_serial_dependency.csv", stopwatch, &config.common);
   if (rc == 0) {
     std::printf(
         "Reading: the disguised series itself (NDR) always sits at sigma; "

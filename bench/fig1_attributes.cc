@@ -29,5 +29,5 @@ int main(int argc, char** argv) {
       config.common.noise_stddev, config.common.num_trials);
   return randrecon::bench::ReportExperiment(
       randrecon::experiment::RunFigure1(config), "fig1_attributes.csv",
-      stopwatch);
+      stopwatch, &config.common);
 }

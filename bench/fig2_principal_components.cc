@@ -26,5 +26,5 @@ int main(int argc, char** argv) {
       config.common.noise_stddev, config.common.num_trials);
   return randrecon::bench::ReportExperiment(
       randrecon::experiment::RunFigure2(config),
-      "fig2_principal_components.csv", stopwatch);
+      "fig2_principal_components.csv", stopwatch, &config.common);
 }

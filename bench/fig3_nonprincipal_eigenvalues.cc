@@ -28,5 +28,5 @@ int main(int argc, char** argv) {
       config.common.num_trials);
   return randrecon::bench::ReportExperiment(
       randrecon::experiment::RunFigure3(config),
-      "fig3_nonprincipal_eigenvalues.csv", stopwatch);
+      "fig3_nonprincipal_eigenvalues.csv", stopwatch, &config.common);
 }

@@ -32,5 +32,5 @@ int main(int argc, char** argv) {
       config.common.num_records, config.common.num_trials);
   return randrecon::bench::ReportExperiment(
       randrecon::experiment::RunFigure4(config), "fig4_noise_similarity.csv",
-      stopwatch);
+      stopwatch, &config.common);
 }

@@ -12,7 +12,9 @@ namespace core {
 namespace {
 
 /// Replaces the non-principal eigenvalues (below the largest descending
-/// gap) by their mean, clamped at `floor`.
+/// gap) by their mean, clamped at `floor`. The eigendecomposition and the
+/// Q Λ Qᵀ recomposition both run on the blocked kernel layer
+/// (linalg/kernels.h), so this stays cheap at high dimension.
 Result<linalg::Matrix> AverageBulkEigenvalues(const linalg::Matrix& cov,
                                               double floor) {
   RR_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/eigen.h"
+#include "linalg/kernels.h"
 #include "stats/moments.h"
 
 namespace randrecon {
@@ -48,7 +49,8 @@ Result<linalg::Matrix> SpectralFilteringReconstructor::Reconstruct(
   linalg::Vector means;
   linalg::Matrix centered = stats::CenterColumns(disguised, &means);
   const linalg::Matrix q_hat = eig.eigenvectors.LeftColumns(p);
-  linalg::Matrix reconstructed = (centered * q_hat) * q_hat.Transpose();
+  linalg::Matrix reconstructed =
+      linalg::kernels::ProjectOntoBasis(centered, q_hat);
   for (size_t i = 0; i < reconstructed.rows(); ++i) {
     double* row = reconstructed.row_data(i);
     for (size_t j = 0; j < m; ++j) row[j] += means[j];

@@ -1,0 +1,333 @@
+#include "linalg/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+
+namespace randrecon {
+namespace linalg {
+namespace kernels {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Micro-kernel configuration.
+//
+// The inner loop is written with GCC/Clang vector extensions so one source
+// compiles to whatever SIMD the build enables. The register tile is
+// kMr rows x (2 vectors) columns; sizes are chosen so the accumulator
+// tile plus a couple of working vectors fits the architectural register
+// file (32 zmm / 16 ymm / 16 xmm).
+// ---------------------------------------------------------------------------
+#if defined(__AVX512F__)
+#define RR_SIMD_BYTES 64
+constexpr size_t kMr = 6;  // 12 zmm accumulators.
+#elif defined(__AVX__)
+#define RR_SIMD_BYTES 32
+constexpr size_t kMr = 4;  // 8 ymm accumulators.
+#else
+#define RR_SIMD_BYTES 16
+constexpr size_t kMr = 4;  // 8 xmm accumulators.
+#endif
+
+typedef double vreal __attribute__((vector_size(RR_SIMD_BYTES)));
+constexpr size_t kVecLen = RR_SIMD_BYTES / sizeof(double);
+constexpr size_t kNr = 2 * kVecLen;
+
+// Cache blocking: a kKc x kNr B panel slice stays in L1 across the row
+// sweep, a kMc x kKc packed A block stays in L2, and a kKc x kNc packed B
+// block stays in L2/L3.
+constexpr size_t kKc = 256;
+constexpr size_t kMc = 96;  // Divisible by every kMr above.
+constexpr size_t kNc = 2048;
+
+// Below this many multiply-adds the packed path costs more than it saves
+// (measured cutover on AVX-512 is near 110^3); run the plain loops.
+constexpr size_t kBlockedFlopCutoff = size_t{1} << 20;
+// Engage the thread pool only when there is enough work to amortize it.
+constexpr size_t kParallelFlopCutoff = size_t{8} << 20;
+
+/// Packs rows [row0, row0+mc) x depth [k0, k0+kc) of an m x k operand into
+/// kMr-row panels: panel p holds rows [p*kMr, (p+1)*kMr), laid out
+/// depth-major (out[kk*kMr + r]), zero-padded to a full panel. When
+/// `transposed`, the logical operand is aᵀ and element (row, kk) is read
+/// from a[kk*lda + row] instead — this is how GramAtA consumes the data
+/// matrix without materializing its transpose. The flag is a template
+/// parameter so the hot non-transposed copy loop vectorizes cleanly.
+template <bool transposed>
+void PackA(const double* a, size_t lda, size_t row0, size_t k0, size_t mc,
+           size_t kc, double* out) {
+  for (size_t p = 0; p < mc; p += kMr) {
+    const size_t pr = std::min(kMr, mc - p);
+    for (size_t kk = 0; kk < kc; ++kk) {
+      for (size_t r = 0; r < pr; ++r) {
+        out[kk * kMr + r] = transposed
+                                ? a[(k0 + kk) * lda + (row0 + p + r)]
+                                : a[(row0 + p + r) * lda + (k0 + kk)];
+      }
+      for (size_t r = pr; r < kMr; ++r) out[kk * kMr + r] = 0.0;
+    }
+    out += kKc * kMr;
+  }
+}
+
+/// Packs depth [k0, k0+kc) x columns [col0, col0+nc) of a k x n operand
+/// into kNr-column panels laid out depth-major (out[kk*kNr + u]),
+/// zero-padded. When `transposed`, the logical operand is bᵀ with b stored
+/// n x k, so element (kk, col) is read from b[col*ldb + kk] — this is how
+/// MatMulABt consumes the second factor's rows directly.
+template <bool transposed>
+void PackB(const double* b, size_t ldb, size_t k0, size_t col0, size_t kc,
+           size_t nc, double* out) {
+  for (size_t q = 0; q < nc; q += kNr) {
+    const size_t qn = std::min(kNr, nc - q);
+    for (size_t kk = 0; kk < kc; ++kk) {
+      for (size_t u = 0; u < qn; ++u) {
+        out[kk * kNr + u] = transposed ? b[(col0 + q + u) * ldb + (k0 + kk)]
+                                       : b[(k0 + kk) * ldb + (col0 + q + u)];
+      }
+      for (size_t u = qn; u < kNr; ++u) out[kk * kNr + u] = 0.0;
+    }
+    out += kKc * kNr;
+  }
+}
+
+/// The register-tiled core: accumulates a kMr x kNr tile of C from packed
+/// panels, then adds it into C (respecting the pr x qn valid region of
+/// edge tiles).
+inline void MicroKernel(const double* __restrict ap, const double* __restrict bp,
+                        size_t kc, double* __restrict c, size_t ldc, size_t pr,
+                        size_t qn) {
+  vreal acc[kMr][2];
+  for (size_t r = 0; r < kMr; ++r) {
+    acc[r][0] = vreal{};
+    acc[r][1] = vreal{};
+  }
+  for (size_t kk = 0; kk < kc; ++kk) {
+    vreal b0, b1;
+    __builtin_memcpy(&b0, bp + kk * kNr, sizeof(vreal));
+    __builtin_memcpy(&b1, bp + kk * kNr + kVecLen, sizeof(vreal));
+    for (size_t r = 0; r < kMr; ++r) {
+      const double av = ap[kk * kMr + r];
+      acc[r][0] += av * b0;
+      acc[r][1] += av * b1;
+    }
+  }
+  if (pr == kMr && qn == kNr) {
+    for (size_t r = 0; r < kMr; ++r) {
+      for (size_t h = 0; h < 2; ++h) {
+        for (size_t u = 0; u < kVecLen; ++u) {
+          c[r * ldc + h * kVecLen + u] += acc[r][h][u];
+        }
+      }
+    }
+  } else {
+    for (size_t r = 0; r < pr; ++r) {
+      for (size_t u = 0; u < qn; ++u) {
+        c[r * ldc + u] += acc[r][u / kVecLen][u % kVecLen];
+      }
+    }
+  }
+}
+
+/// Blocked GEMM driver: C(m x n) = op_a(a) · op_b(b) with C pre-zeroed by
+/// the caller. The k0 loop is outermost and sequential, so each C element
+/// accumulates its k-blocks in a fixed order; parallelism splits the i0
+/// row-blocks, whose C tiles are disjoint — together this makes the
+/// result independent of the thread count.
+/// With `upper_only`, micro-tiles lying strictly below the diagonal of C
+/// are skipped (the caller mirrors them from the upper triangle): a syrk
+/// for symmetric outputs at half the flops. The tile set is a pure
+/// function of the geometry, so determinism is unaffected.
+template <bool a_trans, bool b_trans>
+void GemmBlocked(const double* a, size_t lda, const double* b, size_t ldb,
+                 double* c, size_t m, size_t k, size_t n,
+                 const ParallelOptions& options, bool upper_only = false) {
+  const size_t nc_max = std::min(kNc, (n + kNr - 1) / kNr * kNr);
+  std::vector<double> bpack(nc_max * kKc);
+  const size_t num_iblocks = (m + kMc - 1) / kMc;
+
+  ParallelOptions block_options = options;
+  if (m * k * n < kParallelFlopCutoff) block_options.num_threads = 1;
+
+  for (size_t k0 = 0; k0 < k; k0 += kKc) {
+    const size_t kc = std::min(kKc, k - k0);
+    for (size_t j0 = 0; j0 < n; j0 += kNc) {
+      const size_t nc = std::min(kNc, n - j0);
+      PackB<b_trans>(b, ldb, k0, j0, kc, nc, bpack.data());
+      ParallelFor(
+          0, num_iblocks,
+          [&](size_t ib_begin, size_t ib_end) {
+            std::vector<double> apack(kMc * kKc);
+            for (size_t ib = ib_begin; ib < ib_end; ++ib) {
+              const size_t i0 = ib * kMc;
+              const size_t mc = std::min(kMc, m - i0);
+              PackA<a_trans>(a, lda, i0, k0, mc, kc, apack.data());
+              for (size_t p = 0; p < mc; p += kMr) {
+                const size_t pr = std::min(kMr, mc - p);
+                const double* ap = apack.data() + (p / kMr) * kKc * kMr;
+                for (size_t q = 0; q < nc; q += kNr) {
+                  const size_t qn = std::min(kNr, nc - q);
+                  // Tile columns [j0+q, j0+q+qn) all below row i0+p → the
+                  // whole tile is strictly lower-triangle; skip it.
+                  if (upper_only && j0 + q + qn <= i0 + p) continue;
+                  const double* bp = bpack.data() + (q / kNr) * kKc * kNr;
+                  MicroKernel(ap, bp, kc, c + (i0 + p) * n + j0 + q, n, pr,
+                              qn);
+                }
+              }
+            }
+          },
+          block_options);
+    }
+  }
+}
+
+}  // namespace
+
+void MatMul(const double* a, const double* b, double* c, size_t m, size_t k,
+            size_t n, const ParallelOptions& options) {
+  if (m == 0 || n == 0) return;
+  std::memset(c, 0, m * n * sizeof(double));
+  if (k == 0) return;
+  if (m * k * n < kBlockedFlopCutoff) {
+    // The plain i-k-j loop the kernel layer replaced; still the fastest
+    // shape for small operands. No zero-skip (the old loop had one): a
+    // 0.0 factor must multiply — and so propagate — a NaN/Inf partner,
+    // exactly as the blocked path does, so semantics don't flip with
+    // operand size.
+    for (size_t i = 0; i < m; ++i) {
+      const double* a_row = a + i * k;
+      double* c_row = c + i * n;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const double a_ik = a_row[kk];
+        const double* b_row = b + kk * n;
+        for (size_t j = 0; j < n; ++j) c_row[j] += a_ik * b_row[j];
+      }
+    }
+    return;
+  }
+  GemmBlocked<false, false>(a, k, b, n, c, m, k, n, options);
+}
+
+void MatMulABt(const double* a, const double* b, double* c, size_t m, size_t k,
+               size_t n, const ParallelOptions& options) {
+  if (m == 0 || n == 0) return;
+  std::memset(c, 0, m * n * sizeof(double));
+  if (k == 0) return;
+  if (m * k * n < kBlockedFlopCutoff) {
+    // Row-by-row dot products: both operands are walked contiguously.
+    for (size_t i = 0; i < m; ++i) {
+      const double* a_row = a + i * k;
+      double* c_row = c + i * n;
+      for (size_t j = 0; j < n; ++j) {
+        const double* b_row = b + j * k;
+        double sum = 0.0;
+        for (size_t kk = 0; kk < k; ++kk) sum += a_row[kk] * b_row[kk];
+        c_row[j] = sum;
+      }
+    }
+    return;
+  }
+  GemmBlocked<false, true>(a, k, b, k, c, m, k, n, options);
+}
+
+void GramAtA(const double* a, size_t n, size_t m, double* c,
+             const ParallelOptions& options) {
+  if (m == 0) return;
+  std::memset(c, 0, m * m * sizeof(double));
+  if (n == 0) return;
+  if (m * m * n < kBlockedFlopCutoff) {
+    // Column-pair accumulation exploiting symmetry (the loop
+    // stats::SampleCovariance used to run inline). No zero-skip: a 0.0
+    // factor must still multiply (and so propagate) a NaN/Inf partner.
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = a + i * m;
+      for (size_t p = 0; p < m; ++p) {
+        const double v = row[p];
+        double* c_row = c + p * m;
+        for (size_t q = p; q < m; ++q) c_row[q] += v * row[q];
+      }
+    }
+    for (size_t p = 0; p < m; ++p) {
+      for (size_t q = p + 1; q < m; ++q) c[q * m + p] = c[p * m + q];
+    }
+    return;
+  }
+  // C = aᵀ · a through the same driver, syrk-style: only the upper
+  // block-triangle of tiles is computed (the first operand is the data
+  // matrix read transposed, lda = m; the second is the data matrix
+  // as-is), then the strict lower triangle is mirrored — exactly
+  // symmetric by construction, at half the flops of a full product.
+  //
+  // Known limitation: the driver parallelizes output-row blocks only, so
+  // a tall-skinny Gram (huge n, m <= one row block) stays single-threaded.
+  // Parallelizing the record dimension needs per-chunk partials combined
+  // in fixed order to keep determinism — a follow-up scaling PR.
+  GemmBlocked<true, false>(a, m, a, m, c, m, n, m, options,
+                           /*upper_only=*/true);
+  for (size_t p = 0; p < m; ++p) {
+    for (size_t q = p + 1; q < m; ++q) c[q * m + p] = c[p * m + q];
+  }
+}
+
+void TransposeInto(const double* in, size_t rows, size_t cols, double* out) {
+  constexpr size_t kTile = 32;  // 32x32 doubles = 8 KiB working set.
+  if (rows * cols < kTile * kTile) {
+    for (size_t i = 0; i < rows; ++i) {
+      const double* src = in + i * cols;
+      for (size_t j = 0; j < cols; ++j) out[j * rows + i] = src[j];
+    }
+    return;
+  }
+  for (size_t i0 = 0; i0 < rows; i0 += kTile) {
+    const size_t i1 = std::min(i0 + kTile, rows);
+    for (size_t j0 = 0; j0 < cols; j0 += kTile) {
+      const size_t j1 = std::min(j0 + kTile, cols);
+      for (size_t i = i0; i < i1; ++i) {
+        const double* src = in + i * cols;
+        for (size_t j = j0; j < j1; ++j) out[j * rows + i] = src[j];
+      }
+    }
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b, const ParallelOptions& options) {
+  RR_CHECK_EQ(a.cols(), b.rows()) << "matmul shape mismatch";
+  Matrix out(a.rows(), b.cols());
+  MatMul(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols(),
+         options);
+  return out;
+}
+
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b,
+                        const ParallelOptions& options) {
+  RR_CHECK_EQ(a.cols(), b.cols()) << "matmul-ABt shape mismatch";
+  Matrix out(a.rows(), b.rows());
+  MatMulABt(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.rows(),
+            options);
+  return out;
+}
+
+Matrix ProjectOntoBasis(const Matrix& x, const Matrix& basis,
+                        const ParallelOptions& options) {
+  RR_CHECK_EQ(x.cols(), basis.rows()) << "projection shape mismatch";
+  const Matrix scores = MatMul(x, basis, options);
+  return MatMulTransposed(scores, basis, options);
+}
+
+Matrix GramMatrix(const Matrix& centered, double denom,
+                  const ParallelOptions& options) {
+  RR_CHECK_GT(denom, 0.0);
+  Matrix out(centered.cols(), centered.cols());
+  GramAtA(centered.data(), centered.rows(), centered.cols(), out.data(),
+          options);
+  double* c = out.data();
+  for (size_t i = 0; i < out.size(); ++i) c[i] /= denom;
+  return out;
+}
+
+}  // namespace kernels
+}  // namespace linalg
+}  // namespace randrecon

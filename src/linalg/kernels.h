@@ -1,0 +1,77 @@
+// High-performance dense kernels under the Matrix API.
+//
+// Every attack in the paper funnels into three primitives — dense matrix
+// products, sample covariance (a Gram matrix of centered data), and
+// symmetric eigendecomposition — so those primitives get a dedicated
+// kernel layer: cache-blocked, register-tiled loops over raw row-major
+// pointers (no bounds checks inside), parallelized over row ranges via
+// common/parallel.h once the operand sizes justify waking the pool.
+//
+// Layout of the layer:
+//   * Pointer kernels (MatMul, MatMulABt, GramAtA, TransposeInto): the
+//     actual blocked implementations. Small problems fall through to the
+//     plain loops the kernels replaced, so tiny matrices never pay
+//     packing overhead.
+//   * Matrix-level wrappers (MatMul, MatMulTransposed, ProjectOntoBasis,
+//     GramMatrix): shape-checked conveniences used by Matrix::operator*,
+//     stats::SampleCovariance and the reconstruction hot paths.
+//
+// Determinism: for a fixed build, results are bitwise identical for any
+// thread count — work is partitioned by output rows/tiles and every
+// output element's floating-point accumulation order is independent of
+// the partition.
+
+#ifndef RANDRECON_LINALG_KERNELS_H_
+#define RANDRECON_LINALG_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/parallel.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace linalg {
+namespace kernels {
+
+/// c(m x n) = a(m x k) · b(k x n). All row-major; c is overwritten.
+void MatMul(const double* a, const double* b, double* c, size_t m, size_t k,
+            size_t n, const ParallelOptions& options = {});
+
+/// c(m x n) = a(m x k) · b(n x k)ᵀ without materializing the transpose.
+/// The projection step X Q̂ Q̂ᵀ of PCA-DR/SF and the Q Λ Qᵀ recomposition
+/// are exactly this shape.
+void MatMulABt(const double* a, const double* b, double* c, size_t m, size_t k,
+               size_t n, const ParallelOptions& options = {});
+
+/// c(m x m) = a(n x m)ᵀ · a(n x m): the Gram matrix of the columns of `a`
+/// in a single pass over the data (syrk-style). The result is exactly
+/// symmetric by construction.
+void GramAtA(const double* a, size_t n, size_t m, double* c,
+             const ParallelOptions& options = {});
+
+/// out(cols x rows) = in(rows x cols)ᵀ, cache-blocked.
+void TransposeInto(const double* in, size_t rows, size_t cols, double* out);
+
+/// Shape-checked Matrix products routed through the pointer kernels.
+Matrix MatMul(const Matrix& a, const Matrix& b,
+              const ParallelOptions& options = {});
+
+/// a · bᵀ (a.cols() must equal b.cols()).
+Matrix MatMulTransposed(const Matrix& a, const Matrix& b,
+                        const ParallelOptions& options = {});
+
+/// x · basis · basisᵀ — the rank-p projection of the rows of `x` onto the
+/// column span of `basis` (x: n x m, basis: m x p, result: n x m).
+Matrix ProjectOntoBasis(const Matrix& x, const Matrix& basis,
+                        const ParallelOptions& options = {});
+
+/// centeredᵀ · centered / denom — the sample covariance of pre-centered
+/// data in one blocked pass (denom = n or n-1 depending on ddof).
+Matrix GramMatrix(const Matrix& centered, double denom,
+                  const ParallelOptions& options = {});
+
+}  // namespace kernels
+}  // namespace linalg
+}  // namespace randrecon
+
+#endif  // RANDRECON_LINALG_KERNELS_H_

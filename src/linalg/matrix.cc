@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "linalg/kernels.h"
 
 namespace randrecon {
 namespace linalg {
@@ -63,12 +64,7 @@ void Matrix::SetCol(size_t j, const Vector& values) {
 
 Matrix Matrix::Transpose() const {
   Matrix t(cols_, rows_);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* src = row_data(i);
-    for (size_t j = 0; j < cols_; ++j) {
-      t.data_[j * rows_ + i] = src[j];
-    }
-  }
+  kernels::TransposeInto(data_.data(), rows_, cols_, t.data_.data());
   return t;
 }
 
@@ -132,22 +128,7 @@ Matrix operator-(const Matrix& a, const Matrix& b) {
 }
 
 Matrix operator*(const Matrix& a, const Matrix& b) {
-  RR_CHECK_EQ(a.cols(), b.rows()) << "matmul shape mismatch";
-  Matrix out(a.rows(), b.cols());
-  // i-k-j loop order keeps both B and the output row in cache.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* a_row = a.row_data(i);
-    double* out_row = out.row_data(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      const double a_ik = a_row[k];
-      if (a_ik == 0.0) continue;
-      const double* b_row = b.row_data(k);
-      for (size_t j = 0; j < b.cols(); ++j) {
-        out_row[j] += a_ik * b_row[j];
-      }
-    }
-  }
-  return out;
+  return kernels::MatMul(a, b);
 }
 
 Matrix operator*(const Matrix& a, double scalar) {

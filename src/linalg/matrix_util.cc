@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "linalg/eigen.h"
+#include "linalg/kernels.h"
 
 namespace randrecon {
 namespace linalg {
@@ -69,7 +70,8 @@ Result<Matrix> ClipToPositiveSemiDefinite(const Matrix& a, double floor) {
 }
 
 bool HasOrthonormalColumns(const Matrix& q, double tol) {
-  const Matrix gram = q.Transpose() * q;
+  // qᵀq is a column Gram matrix: one blocked pass, no transpose copy.
+  const Matrix gram = kernels::GramMatrix(q, 1.0);
   const Matrix identity = Matrix::Identity(q.cols());
   return MaxAbsDifference(gram, identity) <= tol;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "linalg/kernels.h"
 #include "linalg/matrix_util.h"
 
 namespace randrecon {
@@ -53,24 +54,12 @@ linalg::Matrix CenterColumns(const linalg::Matrix& data,
 linalg::Matrix SampleCovariance(const linalg::Matrix& data, int ddof) {
   RR_CHECK(ddof == 0 || ddof == 1) << "ddof must be 0 or 1";
   const size_t n = data.rows();
-  const size_t m = data.cols();
   RR_CHECK_GT(n, static_cast<size_t>(ddof)) << "not enough records";
+  // Cov = centeredᵀ centered / (n - ddof), in one blocked syrk-style pass
+  // over the centered records (linalg/kernels.h).
   const linalg::Matrix centered = CenterColumns(data);
-  // Cov = centeredᵀ centered / (n - ddof); computed column-pair-wise to
-  // exploit symmetry.
-  linalg::Matrix cov(m, m);
-  const double denom = static_cast<double>(n - ddof);
-  for (size_t a = 0; a < m; ++a) {
-    for (size_t b = a; b < m; ++b) {
-      double sum = 0.0;
-      for (size_t i = 0; i < n; ++i) {
-        sum += centered(i, a) * centered(i, b);
-      }
-      cov(a, b) = sum / denom;
-      cov(b, a) = cov(a, b);
-    }
-  }
-  return cov;
+  return linalg::kernels::GramMatrix(centered,
+                                     static_cast<double>(n - ddof));
 }
 
 linalg::Matrix SampleCorrelation(const linalg::Matrix& data) {
