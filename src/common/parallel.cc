@@ -172,6 +172,17 @@ void ParallelFor(size_t begin, size_t end,
   });
 }
 
+void ParallelForEach(size_t begin, size_t end,
+                     const std::function<void(size_t)>& body,
+                     const ParallelOptions& options) {
+  RR_CHECK_LE(begin, end);
+  const size_t items = end - begin;
+  if (items == 0) return;
+  const size_t threads = EffectiveThreadCount(options, items);
+  ThreadPool::Instance().Run(items, threads,
+                             [&](size_t t) { body(begin + t); });
+}
+
 double ParallelReduceSum(size_t begin, size_t end, size_t chunk_size,
                          const std::function<double(size_t, size_t)>& chunk_sum,
                          const ParallelOptions& options) {

@@ -50,6 +50,16 @@ void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& body,
                  const ParallelOptions& options = {});
 
+/// Invokes `body(i)` once per index in [begin, end), with indices claimed
+/// dynamically by whichever worker frees up first — for coarse,
+/// unevenly-sized tasks (one task per index, e.g. whole pipeline jobs).
+/// Unlike ParallelFor there is no contiguous pre-partition, so one
+/// expensive index never serializes the indices behind it. Bodies run
+/// concurrently and must only write to disjoint data.
+void ParallelForEach(size_t begin, size_t end,
+                     const std::function<void(size_t)>& body,
+                     const ParallelOptions& options = {});
+
 /// Deterministic parallel sum: [begin, end) is split into fixed chunks of
 /// `chunk_size` (boundaries independent of thread count),
 /// `chunk_sum(chunk_begin, chunk_end)` produces each partial, and the

@@ -41,6 +41,30 @@ Result<linalg::Matrix> AverageBulkEigenvalues(const linalg::Matrix& cov,
 
 }  // namespace
 
+Result<linalg::Matrix> EstimateOriginalCovariance(
+    linalg::Matrix disguised_covariance, const perturb::NoiseModel& noise,
+    const MomentEstimationOptions& options) {
+  if (disguised_covariance.rows() != noise.num_attributes() ||
+      disguised_covariance.cols() != noise.num_attributes()) {
+    return Status::InvalidArgument(
+        "EstimateOriginalCovariance: covariance dimension != noise model");
+  }
+  // Theorem 8.2: Σy = Σx + Σr, hence Σ̂x = Σy − Σr. For independent noise
+  // Σr is diagonal (= σ²I) and this is exactly Theorem 5.1's "subtract σ²
+  // from the diagonal".
+  linalg::Matrix cov = std::move(disguised_covariance);
+  cov -= noise.covariance();
+
+  if (options.bulk_average_nonprincipal) {
+    RR_ASSIGN_OR_RETURN(
+        cov, AverageBulkEigenvalues(cov, std::max(options.eigen_floor, 0.0)));
+  } else if (options.clip_to_psd) {
+    RR_ASSIGN_OR_RETURN(
+        cov, linalg::ClipToPositiveSemiDefinite(cov, options.eigen_floor));
+  }
+  return cov;
+}
+
 Result<OriginalMoments> EstimateOriginalMoments(
     const linalg::Matrix& disguised, const perturb::NoiseModel& noise,
     const MomentEstimationOptions& options) {
@@ -52,21 +76,9 @@ Result<OriginalMoments> EstimateOriginalMoments(
 
   OriginalMoments out;
   out.mean = stats::ColumnMeans(disguised);
-
-  // Theorem 8.2: Σy = Σx + Σr, hence Σ̂x = Σy − Σr. For independent noise
-  // Σr is diagonal (= σ²I) and this is exactly Theorem 5.1's "subtract σ²
-  // from the diagonal".
-  linalg::Matrix cov = stats::SampleCovariance(disguised);
-  cov -= noise.covariance();
-
-  if (options.bulk_average_nonprincipal) {
-    RR_ASSIGN_OR_RETURN(
-        cov, AverageBulkEigenvalues(cov, std::max(options.eigen_floor, 0.0)));
-  } else if (options.clip_to_psd) {
-    RR_ASSIGN_OR_RETURN(
-        cov, linalg::ClipToPositiveSemiDefinite(cov, options.eigen_floor));
-  }
-  out.covariance = std::move(cov);
+  RR_ASSIGN_OR_RETURN(out.covariance,
+                      EstimateOriginalCovariance(
+                          stats::SampleCovariance(disguised), noise, options));
   return out;
 }
 

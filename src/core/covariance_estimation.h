@@ -47,6 +47,16 @@ Result<OriginalMoments> EstimateOriginalMoments(
     const linalg::Matrix& disguised, const perturb::NoiseModel& noise,
     const MomentEstimationOptions& options = {});
 
+/// The covariance half of EstimateOriginalMoments for callers that have
+/// already computed Cov(Y) — e.g. the out-of-core pipeline, which
+/// accumulates it without materializing Y (stats::StreamingMoments).
+/// Applies the Theorem 5.1/8.2 subtraction Σ̂x = Cov(Y) − Σr and the same
+/// PSD/bulk-average post-processing, so streaming and in-memory attacks
+/// estimate from identical code.
+Result<linalg::Matrix> EstimateOriginalCovariance(
+    linalg::Matrix disguised_covariance, const perturb::NoiseModel& noise,
+    const MomentEstimationOptions& options = {});
+
 }  // namespace core
 }  // namespace randrecon
 

@@ -19,6 +19,29 @@ double SpectralFilteringReconstructor::NoiseEigenvalueUpperBound(
   return noise_variance * root * root;
 }
 
+size_t SelectSfComponents(const linalg::Vector& disguised_eigenvalues,
+                          const perturb::NoiseModel& noise,
+                          size_t num_records, const SfOptions& options) {
+  const size_t m = disguised_eigenvalues.size();
+  RR_CHECK_EQ(m, noise.num_attributes()) << "SF: spectrum/noise mismatch";
+
+  // The published bound is for i.i.d. noise of variance σ². If the noise
+  // is correlated the attacker's best drop-in is the average per-attribute
+  // variance (the paper observes SF behaving anomalously there — §8.2).
+  double noise_variance = 0.0;
+  for (size_t j = 0; j < m; ++j) noise_variance += noise.Variance(j);
+  noise_variance /= static_cast<double>(m);
+
+  const double upper_bound =
+      options.bound_scale *
+      SpectralFilteringReconstructor::NoiseEigenvalueUpperBound(
+          noise_variance, num_records, m);
+
+  size_t p = 0;
+  while (p < m && disguised_eigenvalues[p] > upper_bound) ++p;
+  return std::clamp<size_t>(p, std::min<size_t>(options.min_components, m), m);
+}
+
 Result<linalg::Matrix> SpectralFilteringReconstructor::Reconstruct(
     const linalg::Matrix& disguised, const perturb::NoiseModel& noise) const {
   RR_RETURN_NOT_OK(ValidateShapes(disguised, noise));
@@ -32,19 +55,7 @@ Result<linalg::Matrix> SpectralFilteringReconstructor::Reconstruct(
   RR_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
                       linalg::SymmetricEigen(cov_y));
 
-  // The published bound is for i.i.d. noise of variance σ². If the noise
-  // is correlated the attacker's best drop-in is the average per-attribute
-  // variance (the paper observes SF behaving anomalously there — §8.2).
-  double noise_variance = 0.0;
-  for (size_t j = 0; j < m; ++j) noise_variance += noise.Variance(j);
-  noise_variance /= static_cast<double>(m);
-
-  const double upper_bound =
-      options_.bound_scale * NoiseEigenvalueUpperBound(noise_variance, n, m);
-
-  size_t p = 0;
-  while (p < m && eig.eigenvalues[p] > upper_bound) ++p;
-  p = std::clamp<size_t>(p, std::min<size_t>(options_.min_components, m), m);
+  const size_t p = SelectSfComponents(eig.eigenvalues, noise, n, options_);
 
   linalg::Vector means;
   linalg::Matrix centered = stats::CenterColumns(disguised, &means);

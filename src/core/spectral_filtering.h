@@ -39,6 +39,17 @@ struct SfOptions {
   size_t min_components = 1;
 };
 
+/// SF's component-count rule on an already-computed Cov(Y) spectrum
+/// (descending): counts the eigenvalues above the (scaled)
+/// Marchenko–Pastur bound, clamped to [min(min_components, m), m]. For a
+/// correlated NoiseModel the bound is evaluated with the average
+/// per-attribute noise variance, the natural attacker fallback. Exposed
+/// so the out-of-core pipeline shares the exact selection the in-memory
+/// attack uses.
+size_t SelectSfComponents(const linalg::Vector& disguised_eigenvalues,
+                          const perturb::NoiseModel& noise,
+                          size_t num_records, const SfOptions& options = {});
+
 /// Kargupta et al.'s spectral-filtering attack.
 class SpectralFilteringReconstructor final : public Reconstructor {
  public:

@@ -7,6 +7,33 @@
 
 namespace randrecon {
 namespace data {
+namespace {
+
+/// getline that also strips one trailing '\r', so CRLF exports parse the
+/// same as LF ones. A final line without any newline is still returned.
+bool ReadCsvLine(std::istream& in, std::string* line) {
+  if (!std::getline(in, *line)) return false;
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return true;
+}
+
+/// Drains a reader into a full Dataset (the non-streaming entry points).
+Result<Dataset> DrainReader(CsvChunkReader reader) {
+  const size_t m = reader.num_attributes();
+  linalg::Matrix buffer(1024, m);
+  std::vector<double> values;
+  size_t n = 0;
+  for (;;) {
+    RR_ASSIGN_OR_RETURN(const size_t rows, reader.ReadChunk(&buffer));
+    if (rows == 0) break;
+    values.insert(values.end(), buffer.data(), buffer.data() + rows * m);
+    n += rows;
+  }
+  return Dataset::Create(linalg::Matrix::FromRowMajor(n, m, std::move(values)),
+                         reader.attribute_names());
+}
+
+}  // namespace
 
 std::string ToCsvString(const Dataset& dataset, int precision) {
   std::ostringstream out;
@@ -36,54 +63,90 @@ Status WriteCsv(const Dataset& dataset, const std::string& path,
   return Status::OK();
 }
 
-Result<Dataset> FromCsvString(const std::string& text) {
-  std::istringstream in(text);
+Result<CsvChunkReader> CsvChunkReader::Create(
+    std::unique_ptr<std::istream> stream, std::string origin) {
   std::string line;
-  if (!std::getline(in, line)) {
-    return Status::InvalidArgument("FromCsvString: empty input");
+  if (!ReadCsvLine(*stream, &line)) {
+    return Status::InvalidArgument(origin + ": empty input");
   }
   std::vector<std::string> names;
   for (std::string& field : SplitString(line, ',')) {
     names.push_back(TrimWhitespace(field));
   }
-  const size_t m = names.size();
+  // A header-only input without a trailing newline leaves eofbit set;
+  // clear it so tellg() records a seekable body offset.
+  if (stream->eof()) stream->clear();
+  const std::streampos body_start = stream->tellg();
+  return CsvChunkReader(std::move(stream), std::move(origin), std::move(names),
+                        body_start);
+}
 
-  std::vector<double> values;
-  size_t n = 0;
-  size_t line_number = 1;
-  while (std::getline(in, line)) {
-    ++line_number;
+Result<CsvChunkReader> CsvChunkReader::Open(const std::string& path) {
+  auto file = std::make_unique<std::ifstream>(path);
+  if (!file->is_open()) {
+    return Status::IoError("CsvChunkReader: cannot open '" + path + "'");
+  }
+  return Create(std::move(file), "'" + path + "'");
+}
+
+Result<CsvChunkReader> CsvChunkReader::FromString(std::string text) {
+  return Create(std::make_unique<std::istringstream>(std::move(text)),
+                "<string>");
+}
+
+Result<size_t> CsvChunkReader::ReadChunk(linalg::Matrix* buffer) {
+  RR_CHECK_EQ(buffer->cols(), num_attributes())
+      << "CsvChunkReader: chunk buffer width mismatch";
+  const size_t m = num_attributes();
+  size_t filled = 0;
+  std::string line;
+  while (filled < buffer->rows() && ReadCsvLine(*stream_, &line)) {
+    ++line_number_;
     if (TrimWhitespace(line).empty()) continue;
     const std::vector<std::string> fields = SplitString(line, ',');
     if (fields.size() != m) {
       return Status::InvalidArgument(
-          "FromCsvString: line " + std::to_string(line_number) + " has " +
-          std::to_string(fields.size()) + " fields, expected " +
+          "csv " + origin_ + ": line " + std::to_string(line_number_) +
+          " has " + std::to_string(fields.size()) + " fields, expected " +
           std::to_string(m));
     }
-    for (const std::string& field : fields) {
-      double value = 0.0;
-      if (!ParseDouble(field, &value)) {
+    double* row = buffer->row_data(filled);
+    for (size_t j = 0; j < m; ++j) {
+      if (!ParseDouble(fields[j], &row[j])) {
         return Status::InvalidArgument(
-            "FromCsvString: non-numeric field '" + field + "' on line " +
-            std::to_string(line_number));
+            "csv " + origin_ + ": non-numeric field '" + fields[j] +
+            "' on line " + std::to_string(line_number_));
       }
-      values.push_back(value);
     }
-    ++n;
+    ++filled;
   }
-  return Dataset::Create(linalg::Matrix::FromRowMajor(n, m, std::move(values)),
-                         std::move(names));
+  // getline returns false for both end-of-input and a hard read error;
+  // only the former is a clean (possibly shorter) chunk.
+  if (stream_->bad()) {
+    return Status::IoError("csv " + origin_ + ": read error near line " +
+                           std::to_string(line_number_));
+  }
+  return filled;
+}
+
+Status CsvChunkReader::Reset() {
+  stream_->clear();
+  stream_->seekg(body_start_);
+  if (stream_->fail()) {
+    return Status::IoError("CsvChunkReader: cannot rewind " + origin_);
+  }
+  line_number_ = 1;
+  return Status::OK();
+}
+
+Result<Dataset> FromCsvString(const std::string& text) {
+  RR_ASSIGN_OR_RETURN(CsvChunkReader reader, CsvChunkReader::FromString(text));
+  return DrainReader(std::move(reader));
 }
 
 Result<Dataset> ReadCsv(const std::string& path) {
-  std::ifstream file(path);
-  if (!file.is_open()) {
-    return Status::IoError("ReadCsv: cannot open '" + path + "'");
-  }
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-  return FromCsvString(buffer.str());
+  RR_ASSIGN_OR_RETURN(CsvChunkReader reader, CsvChunkReader::Open(path));
+  return DrainReader(std::move(reader));
 }
 
 }  // namespace data

@@ -1,11 +1,20 @@
-// CSV import/export for Dataset. The benchmark harness exports every
-// figure's series as CSV; the examples round-trip datasets through files
-// the way a practitioner would.
+// CSV import/export for Dataset, plus a streaming chunk reader for the
+// out-of-core pipeline. The benchmark harness exports every figure's
+// series as CSV; the examples round-trip datasets through files the way a
+// practitioner would; src/pipeline ingests unbounded report streams
+// through CsvChunkReader without ever materializing the table.
+//
+// Parsing is tolerant of real-world exports: CRLF line endings and a
+// missing trailing newline are accepted, blank lines are skipped, and
+// ragged-row / non-numeric errors name the 1-based offending line.
 
 #ifndef RANDRECON_DATA_CSV_H_
 #define RANDRECON_DATA_CSV_H_
 
+#include <istream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "data/dataset.h"
@@ -19,7 +28,7 @@ Status WriteCsv(const Dataset& dataset, const std::string& path,
 
 /// Reads a CSV file produced by WriteCsv (header row + numeric body).
 /// Fails with IoError if the file can't be opened and InvalidArgument on
-/// ragged rows or non-numeric fields.
+/// ragged rows or non-numeric fields (both carry the line number).
 Result<Dataset> ReadCsv(const std::string& path);
 
 /// Serializes to a CSV string (used by tests; WriteCsv wraps this).
@@ -27,6 +36,58 @@ std::string ToCsvString(const Dataset& dataset, int precision = 10);
 
 /// Parses a CSV string (header row + numeric body).
 Result<Dataset> FromCsvString(const std::string& text);
+
+/// Streaming, line-at-a-time CSV reader: the header is parsed eagerly,
+/// records are served in caller-sized row blocks, and the table is never
+/// resident in full. ReadCsv/FromCsvString are thin drains over this
+/// reader; pipeline::CsvRecordSource adapts it to the RecordSource
+/// interface for multi-pass out-of-core attacks.
+class CsvChunkReader {
+ public:
+  /// Opens `path` and parses the header row. IoError if the file can't
+  /// be opened; InvalidArgument on empty input.
+  static Result<CsvChunkReader> Open(const std::string& path);
+
+  /// A reader over an in-memory CSV string (tests, small tables).
+  static Result<CsvChunkReader> FromString(std::string text);
+
+  /// Attribute names from the header row, whitespace-trimmed.
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+  size_t num_attributes() const { return names_.size(); }
+
+  /// Parses up to buffer->rows() records into the leading rows of
+  /// `buffer` (whose column count must equal num_attributes()). Returns
+  /// the number of rows filled; 0 means the input is exhausted. Blank
+  /// lines are skipped; ragged or non-numeric rows fail with
+  /// InvalidArgument naming the 1-based line.
+  Result<size_t> ReadChunk(linalg::Matrix* buffer);
+
+  /// Rewinds to the first record row, so the stream can be consumed
+  /// again (the multi-pass pipeline contract). IoError if the underlying
+  /// stream cannot seek.
+  Status Reset();
+
+  /// Physical lines consumed so far, header included (diagnostics).
+  size_t line_number() const { return line_number_; }
+
+ private:
+  CsvChunkReader(std::unique_ptr<std::istream> stream, std::string origin,
+                 std::vector<std::string> names, std::streampos body_start)
+      : stream_(std::move(stream)),
+        origin_(std::move(origin)),
+        names_(std::move(names)),
+        body_start_(body_start) {}
+
+  static Result<CsvChunkReader> Create(std::unique_ptr<std::istream> stream,
+                                       std::string origin);
+
+  std::unique_ptr<std::istream> stream_;
+  std::string origin_;  ///< Path or "<string>", for error messages.
+  std::vector<std::string> names_;
+  std::streampos body_start_;
+  size_t line_number_ = 1;  ///< The header is line 1.
+};
 
 }  // namespace data
 }  // namespace randrecon

@@ -233,40 +233,84 @@ void MatMulABt(const double* a, const double* b, double* c, size_t m, size_t k,
   GemmBlocked<false, true>(a, k, b, k, c, m, k, n, options);
 }
 
-void GramAtA(const double* a, size_t n, size_t m, double* c,
-             const ParallelOptions& options) {
+void GramAtAChunk(const double* a, size_t rows, size_t m, double* partial,
+                  const ParallelOptions& options) {
   if (m == 0) return;
-  std::memset(c, 0, m * m * sizeof(double));
-  if (n == 0) return;
-  if (m * m * n < kBlockedFlopCutoff) {
+  std::memset(partial, 0, m * m * sizeof(double));
+  if (rows == 0) return;
+  if (m * m * rows < kBlockedFlopCutoff) {
     // Column-pair accumulation exploiting symmetry (the loop
     // stats::SampleCovariance used to run inline). No zero-skip: a 0.0
     // factor must still multiply (and so propagate) a NaN/Inf partner.
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < rows; ++i) {
       const double* row = a + i * m;
       for (size_t p = 0; p < m; ++p) {
         const double v = row[p];
-        double* c_row = c + p * m;
-        for (size_t q = p; q < m; ++q) c_row[q] += v * row[q];
+        double* partial_row = partial + p * m;
+        for (size_t q = p; q < m; ++q) partial_row[q] += v * row[q];
       }
-    }
-    for (size_t p = 0; p < m; ++p) {
-      for (size_t q = p + 1; q < m; ++q) c[q * m + p] = c[p * m + q];
     }
     return;
   }
-  // C = aᵀ · a through the same driver, syrk-style: only the upper
-  // block-triangle of tiles is computed (the first operand is the data
-  // matrix read transposed, lda = m; the second is the data matrix
-  // as-is), then the strict lower triangle is mirrored — exactly
-  // symmetric by construction, at half the flops of a full product.
-  //
-  // Known limitation: the driver parallelizes output-row blocks only, so
-  // a tall-skinny Gram (huge n, m <= one row block) stays single-threaded.
-  // Parallelizing the record dimension needs per-chunk partials combined
-  // in fixed order to keep determinism — a follow-up scaling PR.
-  GemmBlocked<true, false>(a, m, a, m, c, m, n, m, options,
+  // partial = aᵀ · a through the blocked driver, syrk-style: only the
+  // upper block-triangle of tiles is computed (the first operand is the
+  // chunk read transposed, lda = m; the second is the chunk as-is) at
+  // half the flops of a full product. GemmBlocked partitions disjoint
+  // output tiles only, so the accumulation order per element does not
+  // depend on the thread count.
+  GemmBlocked<true, false>(a, m, a, m, partial, m, rows, m, options,
                            /*upper_only=*/true);
+}
+
+void GramAtA(const double* a, size_t n, size_t m, double* c,
+             const ParallelOptions& options) {
+  if (m == 0) return;
+  const size_t num_chunks = (n + kGramChunkRows - 1) / kGramChunkRows;
+  if (num_chunks <= 1) {
+    // One chunk: write the partial straight into c. Bitwise identical to
+    // the buffered merge below (and to a streaming accumulator's
+    // "partial added into a zeroed scatter"): the accumulators start at
+    // +0.0 and never produce -0.0, so 0.0 + x == x for every element.
+    GramAtAChunk(a, n, m, c, options);
+  } else {
+    std::memset(c, 0, m * m * sizeof(double));
+    // Record-dimension (k) parallelism: chunk partials are computed wave
+    // by wave — across chunks when m fits a single output-row block of
+    // the GEMM driver (the tall-skinny case that used to run
+    // single-threaded), within each chunk otherwise — and folded into c
+    // strictly in chunk order. Each element's floating-point order is
+    // therefore a pure function of n alone: bitwise identical for any
+    // thread count and for any out-of-core caller flushing
+    // kGramChunkRows records at a time.
+    const size_t threads = EffectiveThreadCount(options, num_chunks);
+    const size_t wave = m > kMc ? 1 : std::min(num_chunks, threads);
+    std::vector<double> partials(wave * m * m);
+    ParallelOptions chunk_options = options;
+    if (wave > 1) chunk_options.num_threads = 1;
+    for (size_t wave_begin = 0; wave_begin < num_chunks; wave_begin += wave) {
+      const size_t wave_end = std::min(wave_begin + wave, num_chunks);
+      ParallelFor(
+          wave_begin, wave_end,
+          [&](size_t chunk_begin, size_t chunk_end) {
+            for (size_t chunk = chunk_begin; chunk < chunk_end; ++chunk) {
+              const size_t row0 = chunk * kGramChunkRows;
+              const size_t rows = std::min(kGramChunkRows, n - row0);
+              GramAtAChunk(a + row0 * m, rows, m,
+                           partials.data() + (chunk - wave_begin) * m * m,
+                           chunk_options);
+            }
+          },
+          options);
+      for (size_t chunk = wave_begin; chunk < wave_end; ++chunk) {
+        const double* partial = partials.data() + (chunk - wave_begin) * m * m;
+        for (size_t p = 0; p < m; ++p) {
+          double* c_row = c + p * m;
+          const double* partial_row = partial + p * m;
+          for (size_t q = p; q < m; ++q) c_row[q] += partial_row[q];
+        }
+      }
+    }
+  }
   for (size_t p = 0; p < m; ++p) {
     for (size_t q = p + 1; q < m; ++q) c[q * m + p] = c[p * m + q];
   }

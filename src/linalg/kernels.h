@@ -43,9 +43,30 @@ void MatMul(const double* a, const double* b, double* c, size_t m, size_t k,
 void MatMulABt(const double* a, const double* b, double* c, size_t m, size_t k,
                size_t n, const ParallelOptions& options = {});
 
+/// Fixed record-chunk size of GramAtA's accumulation order. Chunk
+/// boundaries always fall at record indices that are multiples of this
+/// constant, so an out-of-core accumulator that flushes kGramChunkRows
+/// records at a time (stats::StreamingMoments) reproduces the in-memory
+/// Gram matrix bitwise.
+constexpr size_t kGramChunkRows = 4096;
+
+/// partial(m x m) = a(rows x m)ᵀ · a(rows x m) for ONE record chunk:
+/// fills the upper triangle (p <= q); the strict lower triangle is
+/// UNSPECIFIED (zero on the small-size path, diagonal-straddling tile
+/// spill on the blocked path) — read p <= q only, or mirror it yourself.
+/// `partial` is overwritten. The floating-point accumulation order of
+/// every upper-triangle element is a pure function of (rows, m) —
+/// independent of the thread count — so merging chunk partials in chunk
+/// order is bitwise deterministic.
+void GramAtAChunk(const double* a, size_t rows, size_t m, double* partial,
+                  const ParallelOptions& options = {});
+
 /// c(m x m) = a(n x m)ᵀ · a(n x m): the Gram matrix of the columns of `a`
-/// in a single pass over the data (syrk-style). The result is exactly
-/// symmetric by construction.
+/// (syrk-style). The result is exactly symmetric by construction.
+/// Internally the record dimension is processed in fixed chunks of
+/// kGramChunkRows rows (GramAtAChunk partials folded into c in chunk
+/// order), which parallelizes the tall-skinny case (huge n, small m) and
+/// pins one accumulation order for in-memory and streaming callers alike.
 void GramAtA(const double* a, size_t n, size_t m, double* c,
              const ParallelOptions& options = {});
 

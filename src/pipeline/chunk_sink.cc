@@ -1,0 +1,68 @@
+#include "pipeline/chunk_sink.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace randrecon {
+namespace pipeline {
+
+Status CollectChunkSink::Consume(size_t row_offset, const linalg::Matrix& chunk,
+                                 size_t num_rows) {
+  RR_CHECK_EQ(chunk.cols(), num_attributes_) << "CollectChunkSink: width";
+  RR_CHECK_EQ(row_offset, num_records_)
+      << "CollectChunkSink: chunks arrived out of order";
+  RR_CHECK_LE(num_rows, chunk.rows()) << "CollectChunkSink: overrun";
+  values_.insert(values_.end(), chunk.data(),
+                 chunk.data() + num_rows * num_attributes_);
+  num_records_ += num_rows;
+  return Status::OK();
+}
+
+linalg::Matrix CollectChunkSink::ToMatrix() const {
+  return linalg::Matrix::FromRowMajor(num_records_, num_attributes_, values_);
+}
+
+Result<CsvChunkSink> CsvChunkSink::Create(
+    const std::string& path, const std::vector<std::string>& attribute_names,
+    int precision) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("CsvChunkSink: cannot open '" + path +
+                           "' for writing");
+  }
+  file << JoinStrings(attribute_names, ",") << "\n";
+  if (file.fail()) {
+    return Status::IoError("CsvChunkSink: header write to '" + path +
+                           "' failed");
+  }
+  return CsvChunkSink(std::move(file), path, precision);
+}
+
+Status CsvChunkSink::Consume(size_t, const linalg::Matrix& chunk,
+                             size_t num_rows) {
+  RR_CHECK_LE(num_rows, chunk.rows()) << "CsvChunkSink: overrun";
+  for (size_t i = 0; i < num_rows; ++i) {
+    const double* row = chunk.row_data(i);
+    for (size_t j = 0; j < chunk.cols(); ++j) {
+      if (j > 0) file_ << ",";
+      file_ << FormatDouble(row[j], precision_);
+    }
+    file_ << "\n";
+  }
+  if (file_.fail()) {
+    return Status::IoError("CsvChunkSink: write to '" + path_ + "' failed");
+  }
+  return Status::OK();
+}
+
+Status CsvChunkSink::Close() {
+  if (!file_.is_open()) return Status::OK();
+  file_.close();
+  if (file_.fail()) {
+    return Status::IoError("CsvChunkSink: closing '" + path_ + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace pipeline
+}  // namespace randrecon

@@ -1,0 +1,90 @@
+// ChunkSink: the output side of the out-of-core attack pipeline.
+//
+// The projection pass emits reconstructed records chunk by chunk, in
+// stream order; a sink decides what happens to them — discard (metrics
+// only), collect in memory (tests, small runs), or append to a CSV file
+// (bounded-memory end to end).
+
+#ifndef RANDRECON_PIPELINE_CHUNK_SINK_H_
+#define RANDRECON_PIPELINE_CHUNK_SINK_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace pipeline {
+
+/// Receives reconstructed chunks in stream order.
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+
+  /// `chunk`'s leading `num_rows` rows are reconstructed records starting
+  /// at global record index `row_offset`.
+  virtual Status Consume(size_t row_offset, const linalg::Matrix& chunk,
+                         size_t num_rows) = 0;
+};
+
+/// Discards every chunk (the caller only wants the report's metrics).
+class NullChunkSink final : public ChunkSink {
+ public:
+  Status Consume(size_t, const linalg::Matrix&, size_t) override {
+    return Status::OK();
+  }
+};
+
+/// Materializes the reconstructed stream — for tests and small runs
+/// where comparing against an in-memory attack is the point.
+class CollectChunkSink final : public ChunkSink {
+ public:
+  explicit CollectChunkSink(size_t num_attributes)
+      : num_attributes_(num_attributes) {}
+
+  Status Consume(size_t row_offset, const linalg::Matrix& chunk,
+                 size_t num_rows) override;
+
+  /// Everything consumed so far as one n x m matrix.
+  linalg::Matrix ToMatrix() const;
+
+  size_t num_records() const { return num_records_; }
+
+ private:
+  size_t num_attributes_;
+  size_t num_records_ = 0;
+  std::vector<double> values_;
+};
+
+/// Appends reconstructed records to a CSV file (header written eagerly),
+/// keeping the whole pipeline at bounded memory.
+class CsvChunkSink final : public ChunkSink {
+ public:
+  /// Opens `path` and writes a header of `attribute_names`. IoError if
+  /// the file can't be created.
+  static Result<CsvChunkSink> Create(
+      const std::string& path, const std::vector<std::string>& attribute_names,
+      int precision = 10);
+
+  Status Consume(size_t row_offset, const linalg::Matrix& chunk,
+                 size_t num_rows) override;
+
+  /// Flushes and closes; IoError on a failed write. Called by the
+  /// destructor if omitted (ignoring the status).
+  Status Close();
+
+ private:
+  CsvChunkSink(std::ofstream file, std::string path, int precision)
+      : file_(std::move(file)), path_(std::move(path)), precision_(precision) {}
+
+  std::ofstream file_;
+  std::string path_;
+  int precision_;
+};
+
+}  // namespace pipeline
+}  // namespace randrecon
+
+#endif  // RANDRECON_PIPELINE_CHUNK_SINK_H_

@@ -1,0 +1,83 @@
+#include "pipeline/record_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace randrecon {
+namespace pipeline {
+
+Result<size_t> MatrixRecordSource::NextChunk(linalg::Matrix* buffer) {
+  RR_CHECK_EQ(buffer->cols(), records_->cols())
+      << "MatrixRecordSource: chunk buffer width mismatch";
+  const size_t rows =
+      std::min(buffer->rows(), records_->rows() - next_row_);
+  if (rows > 0) {
+    std::memcpy(buffer->data(), records_->row_data(next_row_),
+                rows * records_->cols() * sizeof(double));
+    next_row_ += rows;
+  }
+  return rows;
+}
+
+Result<CsvRecordSource> CsvRecordSource::Open(const std::string& path) {
+  RR_ASSIGN_OR_RETURN(data::CsvChunkReader reader,
+                      data::CsvChunkReader::Open(path));
+  return CsvRecordSource(std::move(reader));
+}
+
+Result<CsvRecordSource> CsvRecordSource::FromString(std::string text) {
+  RR_ASSIGN_OR_RETURN(data::CsvChunkReader reader,
+                      data::CsvChunkReader::FromString(std::move(text)));
+  return CsvRecordSource(std::move(reader));
+}
+
+Result<MvnRecordSource> MvnRecordSource::Create(
+    const linalg::Vector& mean, const linalg::Matrix& covariance,
+    size_t num_records, uint64_t seed) {
+  RR_ASSIGN_OR_RETURN(
+      stats::MultivariateNormalSampler sampler,
+      stats::MultivariateNormalSampler::Create(mean, covariance));
+  return MvnRecordSource(std::move(sampler), num_records, seed);
+}
+
+Result<size_t> MvnRecordSource::NextChunk(linalg::Matrix* buffer) {
+  RR_CHECK_EQ(buffer->cols(), sampler_.dimension())
+      << "MvnRecordSource: chunk buffer width mismatch";
+  const size_t rows = std::min(buffer->rows(), num_records_ - served_);
+  // Draws are strictly record-ordered, so record i receives the same
+  // pseudo-random values no matter how the stream is chunked.
+  for (size_t i = 0; i < rows; ++i) {
+    buffer->SetRow(i, sampler_.SampleRecord(&rng_));
+  }
+  served_ += rows;
+  return rows;
+}
+
+PerturbingRecordSource::PerturbingRecordSource(
+    std::unique_ptr<RecordSource> inner,
+    const perturb::RandomizationScheme* scheme, uint64_t seed)
+    : inner_(std::move(inner)), scheme_(scheme), seed_(seed), rng_(seed) {
+  RR_CHECK(inner_ != nullptr) << "PerturbingRecordSource: null inner source";
+  RR_CHECK(scheme_ != nullptr) << "PerturbingRecordSource: null scheme";
+  RR_CHECK_EQ(inner_->num_attributes(), scheme_->num_attributes())
+      << "PerturbingRecordSource: scheme/source width mismatch";
+}
+
+Result<size_t> PerturbingRecordSource::NextChunk(linalg::Matrix* buffer) {
+  RR_ASSIGN_OR_RETURN(const size_t rows, inner_->NextChunk(buffer));
+  if (rows == 0) return rows;
+  // Noise draws are record-ordered inside GenerateNoise, so the disguised
+  // stream is also chunk-size invariant.
+  const linalg::Matrix noise = scheme_->GenerateNoise(rows, &rng_);
+  for (size_t i = 0; i < rows; ++i) {
+    double* row = buffer->row_data(i);
+    const double* noise_row = noise.row_data(i);
+    for (size_t j = 0; j < noise.cols(); ++j) row[j] += noise_row[j];
+  }
+  return rows;
+}
+
+}  // namespace pipeline
+}  // namespace randrecon

@@ -1,0 +1,182 @@
+// RecordSource: the input side of the out-of-core attack pipeline.
+//
+// A source serves an ordered stream of n records (m attributes each) in
+// caller-sized chunks, and can be rewound. Rewindability is the load-
+// bearing contract: the covariance attacks need two passes over Y (means
+// + centered scatter, then projection), and every pass must observe the
+// byte-identical record sequence — RAPPOR-style report logs, CSV exports
+// and seeded synthetic populations all satisfy it naturally.
+//
+// Adapters provided here:
+//   * MatrixRecordSource      — an in-memory record matrix, chunked.
+//   * CsvRecordSource         — a CSV file/string via data::CsvChunkReader,
+//                               never holding the table in full.
+//   * MvnRecordSource         — a seeded synthetic N(µ, Σ) population of
+//                               fixed size, regenerated per pass.
+//   * PerturbingRecordSource  — decorator turning any source X into the
+//                               attacker-visible stream Y = X + R.
+//
+// Every adapter's stream is invariant to the chunk size it is read with
+// (draws and parses are strictly record-ordered), which the pipeline's
+// determinism contract builds on.
+
+#ifndef RANDRECON_PIPELINE_RECORD_SOURCE_H_
+#define RANDRECON_PIPELINE_RECORD_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "data/csv.h"
+#include "linalg/matrix.h"
+#include "perturb/schemes.h"
+#include "stats/mvn.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace pipeline {
+
+/// An ordered, rewindable stream of records.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  /// Record width m.
+  virtual size_t num_attributes() const = 0;
+
+  /// Rewinds to the first record. The re-streamed sequence must be
+  /// byte-identical to the previous pass.
+  virtual Status Reset() = 0;
+
+  /// Fills the leading rows of `buffer` (shape: chunk_rows x m) with the
+  /// next records and returns how many were written; 0 means the stream
+  /// is exhausted.
+  virtual Result<size_t> NextChunk(linalg::Matrix* buffer) = 0;
+};
+
+/// Streams an in-memory record matrix. Owns its copy when constructed by
+/// value; the pointer constructor borrows (the matrix must outlive the
+/// source) so multi-job runners don't duplicate big datasets.
+class MatrixRecordSource final : public RecordSource {
+ public:
+  explicit MatrixRecordSource(linalg::Matrix records)
+      : owned_(std::move(records)), records_(&owned_) {}
+  explicit MatrixRecordSource(const linalg::Matrix* records)
+      : records_(records) {}
+
+  // records_ points into the object itself when owning, so moves must
+  // rebind it; copies are disallowed (copy the matrix explicitly if you
+  // really want a duplicate stream).
+  MatrixRecordSource(MatrixRecordSource&& other) noexcept
+      : owned_(std::move(other.owned_)),
+        records_(other.records_ == &other.owned_ ? &owned_ : other.records_),
+        next_row_(other.next_row_) {}
+  MatrixRecordSource& operator=(MatrixRecordSource&& other) noexcept {
+    const bool owning = other.records_ == &other.owned_;
+    owned_ = std::move(other.owned_);
+    records_ = owning ? &owned_ : other.records_;
+    next_row_ = other.next_row_;
+    return *this;
+  }
+  MatrixRecordSource(const MatrixRecordSource&) = delete;
+  MatrixRecordSource& operator=(const MatrixRecordSource&) = delete;
+
+  size_t num_attributes() const override { return records_->cols(); }
+  Status Reset() override {
+    next_row_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> NextChunk(linalg::Matrix* buffer) override;
+
+ private:
+  linalg::Matrix owned_;
+  const linalg::Matrix* records_;
+  size_t next_row_ = 0;
+};
+
+/// Streams a CSV file (or in-memory CSV text) chunk by chunk.
+class CsvRecordSource final : public RecordSource {
+ public:
+  static Result<CsvRecordSource> Open(const std::string& path);
+  static Result<CsvRecordSource> FromString(std::string text);
+
+  const std::vector<std::string>& attribute_names() const {
+    return reader_.attribute_names();
+  }
+  size_t num_attributes() const override { return reader_.num_attributes(); }
+  Status Reset() override { return reader_.Reset(); }
+  Result<size_t> NextChunk(linalg::Matrix* buffer) override {
+    return reader_.ReadChunk(buffer);
+  }
+
+ private:
+  explicit CsvRecordSource(data::CsvChunkReader reader)
+      : reader_(std::move(reader)) {}
+
+  data::CsvChunkReader reader_;
+};
+
+/// Streams `num_records` i.i.d. draws from N(mean, covariance) — the
+/// §7.1 population served as a stream instead of a matrix. Reset()
+/// restarts the pseudo-random draw sequence from the seed, so every pass
+/// regenerates identical records without storing any of them.
+class MvnRecordSource final : public RecordSource {
+ public:
+  /// Fails like MultivariateNormalSampler::Create (asymmetric /
+  /// indefinite covariance, mean length mismatch).
+  static Result<MvnRecordSource> Create(const linalg::Vector& mean,
+                                        const linalg::Matrix& covariance,
+                                        size_t num_records, uint64_t seed);
+
+  size_t num_attributes() const override { return sampler_.dimension(); }
+  Status Reset() override {
+    rng_ = stats::Rng(seed_);
+    served_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> NextChunk(linalg::Matrix* buffer) override;
+
+ private:
+  MvnRecordSource(stats::MultivariateNormalSampler sampler, size_t num_records,
+                  uint64_t seed)
+      : sampler_(std::move(sampler)),
+        num_records_(num_records),
+        seed_(seed),
+        rng_(seed) {}
+
+  stats::MultivariateNormalSampler sampler_;
+  size_t num_records_;
+  uint64_t seed_;
+  stats::Rng rng_;
+  size_t served_ = 0;
+};
+
+/// Decorator: serves the inner stream disguised as Y = X + R, drawing R
+/// from `scheme` with its own seeded noise stream. Reset() rewinds both
+/// the inner source and the noise stream, so repeated passes observe the
+/// same disguised records — the attacker's view of a randomized report
+/// stream. `scheme` is borrowed and must outlive the source.
+class PerturbingRecordSource final : public RecordSource {
+ public:
+  PerturbingRecordSource(std::unique_ptr<RecordSource> inner,
+                         const perturb::RandomizationScheme* scheme,
+                         uint64_t seed);
+
+  size_t num_attributes() const override { return inner_->num_attributes(); }
+  Status Reset() override {
+    rng_ = stats::Rng(seed_);
+    return inner_->Reset();
+  }
+  Result<size_t> NextChunk(linalg::Matrix* buffer) override;
+
+ private:
+  std::unique_ptr<RecordSource> inner_;
+  const perturb::RandomizationScheme* scheme_;
+  uint64_t seed_;
+  stats::Rng rng_;
+};
+
+}  // namespace pipeline
+}  // namespace randrecon
+
+#endif  // RANDRECON_PIPELINE_RECORD_SOURCE_H_

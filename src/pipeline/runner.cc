@@ -1,0 +1,90 @@
+#include "pipeline/runner.h"
+
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
+namespace randrecon {
+namespace pipeline {
+namespace {
+
+PipelineJobResult RunOneJobOrThrow(const PipelineJob& job) {
+  PipelineJobResult result;
+  result.name = job.name;
+  Stopwatch stopwatch;
+  auto finish = [&](Status status) {
+    result.status = std::move(status);
+    result.elapsed_seconds = stopwatch.ElapsedSeconds();
+    return result;
+  };
+
+  if (!job.disguised) {
+    return finish(
+        Status::InvalidArgument("PipelineJob: no disguised source factory"));
+  }
+  Result<std::unique_ptr<RecordSource>> disguised = job.disguised();
+  if (!disguised.ok()) return finish(disguised.status());
+
+  std::unique_ptr<RecordSource> reference;
+  if (job.reference) {
+    Result<std::unique_ptr<RecordSource>> made = job.reference();
+    if (!made.ok()) return finish(made.status());
+    reference = std::move(made).value();
+  }
+
+  NullChunkSink null_sink;
+  ChunkSink* sink = job.sink != nullptr ? job.sink.get() : &null_sink;
+
+  const StreamingAttackPipeline pipeline(job.attack);
+  Result<StreamingAttackReport> report = pipeline.Run(
+      disguised.value().get(), job.noise, sink, reference.get());
+  if (!report.ok()) return finish(report.status());
+  result.report = std::move(report).value();
+  return finish(Status::OK());
+}
+
+/// The documented isolation contract covers user-supplied factories and
+/// sinks too: an exception escaping one job (e.g. bad_alloc materializing
+/// a huge source) must fail that job, not reach the thread pool's
+/// catch-all abort or escape RunPipelineJobs.
+PipelineJobResult RunOneJob(const PipelineJob& job) {
+  try {
+    return RunOneJobOrThrow(job);
+  } catch (const std::exception& e) {
+    PipelineJobResult result;
+    result.name = job.name;
+    result.status = Status::FailedPrecondition(
+        std::string("PipelineJob: uncaught exception: ") + e.what());
+    return result;
+  } catch (...) {
+    PipelineJobResult result;
+    result.name = job.name;
+    result.status =
+        Status::FailedPrecondition("PipelineJob: uncaught non-std exception");
+    return result;
+  }
+}
+
+}  // namespace
+
+std::vector<PipelineJobResult> RunPipelineJobs(
+    const std::vector<PipelineJob>& jobs,
+    const PipelineRunnerOptions& options) {
+  std::vector<PipelineJobResult> results(jobs.size());
+  if (jobs.empty()) return results;
+  // One dynamically-claimed pool task per job, so a single expensive job
+  // never serializes the jobs queued behind it. Each body writes only
+  // its own result slot, and a job's numbers are deterministic on their
+  // own (sources are seeded/rewindable, kernels are thread-count
+  // invariant), so the batch output is independent of the worker count
+  // and of which worker ran which job.
+  ParallelOptions parallel;
+  parallel.num_threads = options.num_workers;
+  parallel.min_parallel_items = 2;
+  ParallelForEach(
+      0, jobs.size(), [&](size_t i) { results[i] = RunOneJob(jobs[i]); },
+      parallel);
+  return results;
+}
+
+}  // namespace pipeline
+}  // namespace randrecon

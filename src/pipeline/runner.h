@@ -1,0 +1,74 @@
+// PipelineRunner: a batch scheduler for streaming attack jobs — the
+// multi-tenant "attack service" shape. Many (dataset × noise × attack)
+// jobs are sharded across the process thread pool; each job streams its
+// own sources in bounded memory, failures are isolated per job, and the
+// result order matches the submission order regardless of scheduling.
+
+#ifndef RANDRECON_PIPELINE_RUNNER_H_
+#define RANDRECON_PIPELINE_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perturb/noise_model.h"
+#include "pipeline/streaming_attack.h"
+
+namespace randrecon {
+namespace pipeline {
+
+/// Builds a fresh source per run, so concurrent jobs never share stream
+/// cursors. Return a Status to report an unavailable input (missing CSV,
+/// bad covariance, ...) — the job fails, the batch continues.
+using SourceFactory =
+    std::function<Result<std::unique_ptr<RecordSource>>()>;
+
+/// One unit of batch work: attack one disguised stream with one noise
+/// model and one attack configuration.
+struct PipelineJob {
+  /// Display identifier echoed into the result.
+  std::string name;
+  /// The disguised stream Y (required).
+  SourceFactory disguised;
+  /// Optional aligned ground-truth stream for rmse_vs_reference.
+  SourceFactory reference;
+  /// The public noise knowledge handed to the attack.
+  perturb::NoiseModel noise = perturb::NoiseModel::IndependentGaussian(1, 1.0);
+  /// Attack + chunking configuration.
+  StreamingAttackOptions attack;
+  /// Where reconstructed chunks go; null means NullChunkSink. Sinks are
+  /// per-job (never shared), so no cross-job synchronization is needed.
+  std::shared_ptr<ChunkSink> sink;
+};
+
+/// Outcome of one job.
+struct PipelineJobResult {
+  std::string name;
+  /// OK iff the job ran to completion; the factory/pipeline error
+  /// otherwise.
+  Status status;
+  /// Valid iff status.ok().
+  StreamingAttackReport report;
+  double elapsed_seconds = 0.0;
+};
+
+/// Scheduler knobs.
+struct PipelineRunnerOptions {
+  /// Jobs run concurrently on up to this many workers (0 = auto, i.e.
+  /// RANDRECON_THREADS / hardware concurrency). Each job's own kernels
+  /// run inline when the batch occupies the pool, so the worker count
+  /// never changes any job's numbers — only the wall clock.
+  int num_workers = 0;
+};
+
+/// Runs every job (failures isolated per job; a malformed job fails, it
+/// never aborts the batch) and returns results in submission order.
+std::vector<PipelineJobResult> RunPipelineJobs(
+    const std::vector<PipelineJob>& jobs,
+    const PipelineRunnerOptions& options = {});
+
+}  // namespace pipeline
+}  // namespace randrecon
+
+#endif  // RANDRECON_PIPELINE_RUNNER_H_

@@ -1,0 +1,236 @@
+#include "pipeline/streaming_attack.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "linalg/eigen.h"
+#include "linalg/kernels.h"
+#include "stats/streaming_moments.h"
+
+namespace randrecon {
+namespace pipeline {
+namespace {
+
+/// The eigenbasis and diagnostics pass 2 projects through.
+struct AttackBasis {
+  linalg::Matrix q_hat;  ///< m x p principal eigenvectors.
+  linalg::Vector eigenvalues;
+  size_t num_components = 0;
+};
+
+Result<AttackBasis> SelectBasis(const StreamingAttackOptions& options,
+                                const linalg::Matrix& cov_y,
+                                const perturb::NoiseModel& noise,
+                                size_t num_records) {
+  AttackBasis basis;
+  switch (options.attack) {
+    case StreamingAttack::kSpectralFiltering: {
+      // SF separates signal from noise on Cov(Y) directly via the
+      // Marchenko–Pastur bound — no noise subtraction.
+      RR_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
+                          linalg::SymmetricEigen(cov_y));
+      basis.num_components = core::SelectSfComponents(
+          eig.eigenvalues, noise, num_records, options.sf);
+      basis.eigenvalues = std::move(eig.eigenvalues);
+      basis.q_hat = eig.eigenvectors.LeftColumns(basis.num_components);
+      return basis;
+    }
+    case StreamingAttack::kPcaDr: {
+      // Theorem 5.1/8.2 estimate (or the §5.3 oracle), then the eigengap
+      // rule — the exact code path of core::PcaReconstructor.
+      linalg::Matrix cov_x;
+      if (options.pca.oracle_covariance.has_value()) {
+        if (options.pca.oracle_covariance->rows() != cov_y.rows()) {
+          return Status::InvalidArgument(
+              "StreamingAttackPipeline: oracle covariance dimension mismatch");
+        }
+        cov_x = *options.pca.oracle_covariance;
+      } else {
+        RR_ASSIGN_OR_RETURN(cov_x,
+                            core::EstimateOriginalCovariance(
+                                cov_y, noise, options.pca.moment_options));
+      }
+      RR_ASSIGN_OR_RETURN(linalg::EigenDecomposition eig,
+                          linalg::SymmetricEigen(cov_x));
+      basis.num_components =
+          core::SelectNumComponents(eig.eigenvalues, options.pca);
+      basis.eigenvalues = std::move(eig.eigenvalues);
+      basis.q_hat = eig.eigenvectors.LeftColumns(basis.num_components);
+      return basis;
+    }
+  }
+  return Status::InvalidArgument("StreamingAttackPipeline: unknown attack");
+}
+
+}  // namespace
+
+Result<StreamingAttackReport> StreamingAttackPipeline::Run(
+    RecordSource* disguised, const perturb::NoiseModel& noise, ChunkSink* sink,
+    RecordSource* reference) const {
+  RR_CHECK(disguised != nullptr) << "StreamingAttackPipeline: null source";
+  RR_CHECK(sink != nullptr) << "StreamingAttackPipeline: null sink";
+  // chunk_rows is plain job configuration (possibly external), so a bad
+  // value fails the job instead of RR_CHECK-aborting a whole batch.
+  if (options_.chunk_rows == 0) {
+    return Status::InvalidArgument(
+        "StreamingAttackPipeline: chunk_rows must be positive");
+  }
+  const size_t m = disguised->num_attributes();
+  if (m == 0 || m != noise.num_attributes()) {
+    return Status::InvalidArgument(
+        "StreamingAttackPipeline: noise model has " +
+        std::to_string(noise.num_attributes()) + " attributes, stream has " +
+        std::to_string(m));
+  }
+  if (reference != nullptr && reference->num_attributes() != m) {
+    return Status::InvalidArgument(
+        "StreamingAttackPipeline: reference stream width mismatch");
+  }
+
+  linalg::Matrix chunk(options_.chunk_rows, m);
+
+  // ---- Pass 1: moments (two sweeps) + one eigendecomposition. ---------
+  stats::StreamingMoments moments(m, options_.parallel);
+  RR_RETURN_NOT_OK(disguised->Reset());
+  for (;;) {
+    RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
+    if (rows == 0) break;
+    moments.AccumulateMeans(chunk, rows);
+  }
+  const size_t n = moments.num_records();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "StreamingAttackPipeline: need at least 2 records, saw " +
+        std::to_string(n));
+  }
+  moments.FinalizeMeans();
+  RR_RETURN_NOT_OK(disguised->Reset());
+  size_t scatter_records = 0;
+  for (;;) {
+    RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
+    if (rows == 0) break;
+    moments.AccumulateScatter(chunk, rows);
+    scatter_records += rows;
+  }
+  // A drifting source (records appended/lost between sweeps) is a data
+  // error, not a programming error: fail the job before the accumulator's
+  // own count RR_CHECK would abort the process.
+  if (scatter_records != n) {
+    return Status::InvalidArgument(
+        "StreamingAttackPipeline: source served " +
+        std::to_string(scatter_records) + " records on the scatter sweep but " +
+        std::to_string(n) + " on the means sweep");
+  }
+  const linalg::Vector mean = moments.means();
+  const linalg::Matrix cov_y = moments.FinalizeCovariance();
+
+  RR_ASSIGN_OR_RETURN(AttackBasis basis,
+                      SelectBasis(options_, cov_y, noise, n));
+  const size_t p = basis.num_components;
+
+  // ---- Pass 2: project every chunk through the basis. -----------------
+  RR_RETURN_NOT_OK(disguised->Reset());
+  if (reference != nullptr) RR_RETURN_NOT_OK(reference->Reset());
+  linalg::Matrix reference_chunk(reference != nullptr ? options_.chunk_rows : 0,
+                                 reference != nullptr ? m : 0);
+  linalg::Matrix centered(options_.chunk_rows, m);
+  linalg::Matrix scores(options_.chunk_rows, m);  // p <= m columns used.
+  linalg::Matrix reconstructed(options_.chunk_rows, m);
+  double squared_vs_disguised = 0.0;
+  double squared_vs_reference = 0.0;
+  size_t row_offset = 0;
+  for (;;) {
+    RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
+    if (rows == 0) break;
+    // X̂ = Ȳ Q̂ Q̂ᵀ + µ̂, chunk-wise through the pointer kernels (no
+    // per-chunk allocation): scores = Ȳ Q̂, then X̂ = scores Q̂ᵀ.
+    for (size_t i = 0; i < rows; ++i) {
+      const double* in_row = chunk.row_data(i);
+      double* out_row = centered.row_data(i);
+      for (size_t j = 0; j < m; ++j) out_row[j] = in_row[j] - mean[j];
+    }
+    linalg::kernels::MatMul(centered.data(), basis.q_hat.data(), scores.data(),
+                            rows, m, p, options_.parallel);
+    linalg::kernels::MatMulABt(scores.data(), basis.q_hat.data(),
+                               reconstructed.data(), rows, p, m,
+                               options_.parallel);
+    for (size_t i = 0; i < rows; ++i) {
+      double* row = reconstructed.row_data(i);
+      for (size_t j = 0; j < m; ++j) row[j] += mean[j];
+    }
+    // Running metrics fold element-by-element in record order, so they
+    // are independent of the chunking too.
+    for (size_t i = 0; i < rows; ++i) {
+      const double* recon_row = reconstructed.row_data(i);
+      const double* disguised_row = chunk.row_data(i);
+      for (size_t j = 0; j < m; ++j) {
+        const double d = recon_row[j] - disguised_row[j];
+        squared_vs_disguised += d * d;
+      }
+    }
+    if (reference != nullptr) {
+      // Gather exactly `rows` reference records. A source may legally
+      // under-fill its buffer (NextChunk only promises "how many were
+      // written"), so drain it until this chunk is covered; only true
+      // exhaustion is a misalignment. Asking for the full buffer directly
+      // is safe only when the targets coincide — requesting more than
+      // `rows` could consume records belonging to the next chunk.
+      size_t gathered = 0;
+      if (rows == reference_chunk.rows()) {
+        RR_ASSIGN_OR_RETURN(gathered, reference->NextChunk(&reference_chunk));
+      }
+      while (gathered < rows) {  // Under-filled or ragged final chunk.
+        linalg::Matrix window(rows - gathered, m);
+        RR_ASSIGN_OR_RETURN(const size_t got, reference->NextChunk(&window));
+        if (got == 0) {
+          return Status::InvalidArgument(
+              "StreamingAttackPipeline: reference stream ended at record " +
+              std::to_string(row_offset + gathered) + ", input has more");
+        }
+        std::memcpy(reference_chunk.row_data(gathered), window.data(),
+                    got * m * sizeof(double));
+        gathered += got;
+      }
+      for (size_t i = 0; i < rows; ++i) {
+        const double* recon_row = reconstructed.row_data(i);
+        const double* reference_row = reference_chunk.row_data(i);
+        for (size_t j = 0; j < m; ++j) {
+          const double d = recon_row[j] - reference_row[j];
+          squared_vs_reference += d * d;
+        }
+      }
+    }
+    RR_RETURN_NOT_OK(sink->Consume(row_offset, reconstructed, rows));
+    row_offset += rows;
+  }
+  if (row_offset != n) {
+    return Status::InvalidArgument(
+        "StreamingAttackPipeline: source served " + std::to_string(row_offset) +
+        " records on pass 2 but " + std::to_string(n) + " on pass 1");
+  }
+  if (reference != nullptr) {
+    RR_ASSIGN_OR_RETURN(const size_t extra, reference->NextChunk(&reference_chunk));
+    if (extra != 0) {
+      return Status::InvalidArgument(
+          "StreamingAttackPipeline: reference stream longer than the input");
+    }
+  }
+
+  StreamingAttackReport report;
+  report.num_records = n;
+  report.num_attributes = m;
+  report.num_components = p;
+  report.eigenvalues = std::move(basis.eigenvalues);
+  report.mean = mean;
+  const double denom = static_cast<double>(n) * static_cast<double>(m);
+  report.rmse_vs_disguised = std::sqrt(squared_vs_disguised / denom);
+  report.has_reference = reference != nullptr;
+  if (report.has_reference) {
+    report.rmse_vs_reference = std::sqrt(squared_vs_reference / denom);
+  }
+  return report;
+}
+
+}  // namespace pipeline
+}  // namespace randrecon

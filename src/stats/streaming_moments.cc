@@ -1,0 +1,131 @@
+#include "stats/streaming_moments.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "linalg/kernels.h"
+
+namespace randrecon {
+namespace stats {
+
+using linalg::kernels::kGramChunkRows;
+
+StreamingMoments::StreamingMoments(size_t num_attributes,
+                                   const ParallelOptions& options)
+    : num_attributes_(num_attributes),
+      options_(options),
+      sums_(num_attributes, 0.0) {
+  RR_CHECK_GT(num_attributes, 0u) << "StreamingMoments: zero attributes";
+}
+
+void StreamingMoments::AccumulateMeans(const double* rows, size_t num_rows) {
+  RR_CHECK(phase_ == Phase::kMeans)
+      << "StreamingMoments: AccumulateMeans after FinalizeMeans";
+  // Strictly record-ordered accumulation: the exact summation order of
+  // stats::ColumnMeans, independent of how the stream is chunked.
+  const size_t m = num_attributes_;
+  for (size_t i = 0; i < num_rows; ++i) {
+    const double* row = rows + i * m;
+    for (size_t j = 0; j < m; ++j) sums_[j] += row[j];
+  }
+  mean_count_ += num_rows;
+}
+
+void StreamingMoments::AccumulateMeans(const linalg::Matrix& chunk,
+                                       size_t num_rows) {
+  RR_CHECK_EQ(chunk.cols(), num_attributes_) << "chunk width mismatch";
+  RR_CHECK_LE(num_rows, chunk.rows()) << "more rows than the chunk holds";
+  AccumulateMeans(chunk.data(), num_rows);
+}
+
+void StreamingMoments::FinalizeMeans() {
+  RR_CHECK(phase_ == Phase::kMeans) << "StreamingMoments: double FinalizeMeans";
+  RR_CHECK_GT(mean_count_, 0u) << "StreamingMoments: no records accumulated";
+  means_ = sums_;
+  for (double& value : means_) value /= static_cast<double>(mean_count_);
+  phase_ = Phase::kScatter;
+}
+
+const linalg::Vector& StreamingMoments::means() const {
+  RR_CHECK(phase_ != Phase::kMeans)
+      << "StreamingMoments: means() before FinalizeMeans";
+  return means_;
+}
+
+void StreamingMoments::AccumulateScatter(const double* rows, size_t num_rows) {
+  RR_CHECK(phase_ == Phase::kScatter)
+      << "StreamingMoments: AccumulateScatter outside the scatter phase";
+  const size_t m = num_attributes_;
+  if (staging_.empty() && num_rows > 0) {
+    staging_.resize(kGramChunkRows * m);
+    partial_.resize(m * m);
+    scatter_.assign(m * m, 0.0);
+  }
+  size_t consumed = 0;
+  while (consumed < num_rows) {
+    const size_t span = std::min(num_rows - consumed,
+                                 kGramChunkRows - staging_rows_);
+    double* staged = staging_.data() + staging_rows_ * m;
+    const double* source = rows + consumed * m;
+    for (size_t i = 0; i < span; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        // The same centering op CenterColumns applies element-wise.
+        staged[i * m + j] = source[i * m + j] - means_[j];
+      }
+    }
+    staging_rows_ += span;
+    consumed += span;
+    // Flushes happen exactly every kGramChunkRows records, so block
+    // boundaries sit at global record indices that are multiples of the
+    // constant — invariant to the caller's chunk sizes.
+    if (staging_rows_ == kGramChunkRows) FlushStagingBlock();
+  }
+  scatter_count_ += num_rows;
+}
+
+void StreamingMoments::AccumulateScatter(const linalg::Matrix& chunk,
+                                         size_t num_rows) {
+  RR_CHECK_EQ(chunk.cols(), num_attributes_) << "chunk width mismatch";
+  RR_CHECK_LE(num_rows, chunk.rows()) << "more rows than the chunk holds";
+  AccumulateScatter(chunk.data(), num_rows);
+}
+
+void StreamingMoments::FlushStagingBlock() {
+  const size_t m = num_attributes_;
+  linalg::kernels::GramAtAChunk(staging_.data(), staging_rows_, m,
+                                partial_.data(), options_);
+  // Fold the block partial in block order — the same ordered merge
+  // kernels::GramAtA performs, so the bits match the in-memory path.
+  for (size_t p = 0; p < m; ++p) {
+    double* scatter_row = scatter_.data() + p * m;
+    const double* partial_row = partial_.data() + p * m;
+    for (size_t q = p; q < m; ++q) scatter_row[q] += partial_row[q];
+  }
+  staging_rows_ = 0;
+}
+
+linalg::Matrix StreamingMoments::FinalizeCovariance(int ddof) {
+  RR_CHECK(phase_ == Phase::kScatter)
+      << "StreamingMoments: FinalizeCovariance outside the scatter phase";
+  RR_CHECK(ddof == 0 || ddof == 1) << "ddof must be 0 or 1";
+  RR_CHECK_EQ(scatter_count_, mean_count_)
+      << "StreamingMoments: scatter pass saw a different record count";
+  RR_CHECK_GT(mean_count_, static_cast<size_t>(ddof)) << "not enough records";
+  if (staging_rows_ > 0) FlushStagingBlock();
+  phase_ = Phase::kDone;
+
+  const size_t m = num_attributes_;
+  linalg::Matrix covariance(m, m);
+  double* c = covariance.data();
+  std::copy(scatter_.begin(), scatter_.end(), c);
+  // Mirror, then divide — the order kernels::GramMatrix uses.
+  for (size_t p = 0; p < m; ++p) {
+    for (size_t q = p + 1; q < m; ++q) c[q * m + p] = c[p * m + q];
+  }
+  const double denom = static_cast<double>(mean_count_ - ddof);
+  for (size_t i = 0; i < covariance.size(); ++i) c[i] /= denom;
+  return covariance;
+}
+
+}  // namespace stats
+}  // namespace randrecon

@@ -36,6 +36,28 @@ TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
   }
 }
 
+TEST(ParallelForEachTest, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> visits(237);
+    for (auto& v : visits) v.store(0);
+    ParallelOptions options;
+    options.num_threads = threads;
+    ParallelForEach(
+        5, 5 + visits.size(), [&](size_t i) { visits[i - 5].fetch_add(1); },
+        options);
+    for (size_t i = 0; i < visits.size(); ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " with " << threads
+                                     << " threads";
+    }
+  }
+}
+
+TEST(ParallelForEachTest, EmptyRangeIsANoOp) {
+  int calls = 0;
+  ParallelForEach(3, 3, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
 TEST(ParallelForTest, HandlesEmptyAndTinyRanges) {
   int calls = 0;
   ParallelFor(5, 5, [&](size_t, size_t) { ++calls; });

@@ -90,6 +90,106 @@ TEST(CsvTest, ParseTrimsHeaderWhitespace) {
             (std::vector<std::string>{"a", "b"}));
 }
 
+TEST(CsvTest, ParseAcceptsCrlfLineEndings) {
+  auto parsed = FromCsvString("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().attribute_names(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(parsed.value().num_records(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.value().records()(1, 1), 4.0);
+}
+
+TEST(CsvTest, ParseAcceptsMissingTrailingNewline) {
+  auto parsed = FromCsvString("a,b\n1,2\n3,4");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().num_records(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.value().records()(1, 0), 3.0);
+}
+
+TEST(CsvTest, ParseAcceptsHeaderOnlyWithoutNewline) {
+  auto parsed = FromCsvString("a,b");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().num_records(), 0u);
+  EXPECT_EQ(parsed.value().num_attributes(), 2u);
+}
+
+TEST(CsvTest, RaggedRowErrorNamesLineAfterCrlfAndBlanks) {
+  auto parsed = FromCsvString("a,b\r\n1,2\r\n\r\n3\r\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 4"), std::string::npos)
+      << parsed.status().ToString();
+}
+
+TEST(CsvChunkReaderTest, ServesRowBlocksAndSignalsEnd) {
+  auto reader = CsvChunkReader::FromString("x,y\n1,2\n3,4\n5,6\n7,8\n9,10\n");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  CsvChunkReader r = std::move(reader).value();
+  EXPECT_EQ(r.num_attributes(), 2u);
+  Matrix buffer(2, 2);
+  auto rows = r.ReadChunk(&buffer);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), 2u);
+  EXPECT_DOUBLE_EQ(buffer(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(buffer(1, 1), 4.0);
+  rows = r.ReadChunk(&buffer);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), 2u);
+  rows = r.ReadChunk(&buffer);  // Partial final chunk.
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), 1u);
+  EXPECT_DOUBLE_EQ(buffer(0, 1), 10.0);
+  rows = r.ReadChunk(&buffer);  // Exhausted.
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), 0u);
+}
+
+TEST(CsvChunkReaderTest, ResetReplaysTheSameRecords) {
+  auto reader = CsvChunkReader::FromString("x\n1\n2\n3\n");
+  ASSERT_TRUE(reader.ok());
+  CsvChunkReader r = std::move(reader).value();
+  Matrix buffer(8, 1);
+  ASSERT_EQ(r.ReadChunk(&buffer).value(), 3u);
+  ASSERT_TRUE(r.Reset().ok());
+  auto rows = r.ReadChunk(&buffer);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), 3u);
+  EXPECT_DOUBLE_EQ(buffer(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(buffer(2, 0), 3.0);
+}
+
+TEST(CsvChunkReaderTest, FileReaderStreamsAndResets) {
+  const std::string path = ::testing::TempDir() + "/csv_chunked.csv";
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  ASSERT_TRUE(WriteCsv(Dataset::Create(m, {"u", "v"}).value(), path).ok());
+  auto reader = CsvChunkReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  CsvChunkReader r = std::move(reader).value();
+  Matrix buffer(2, 2);
+  ASSERT_EQ(r.ReadChunk(&buffer).value(), 2u);
+  ASSERT_EQ(r.ReadChunk(&buffer).value(), 1u);
+  ASSERT_TRUE(r.Reset().ok());
+  ASSERT_EQ(r.ReadChunk(&buffer).value(), 2u);
+  EXPECT_DOUBLE_EQ(buffer(0, 0), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvChunkReaderTest, OpenMissingFileIsIoError) {
+  auto reader = CsvChunkReader::Open("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvChunkReaderTest, NonNumericErrorNamesLine) {
+  auto reader = CsvChunkReader::FromString("x\n1\nbad\n");
+  ASSERT_TRUE(reader.ok());
+  CsvChunkReader r = std::move(reader).value();
+  Matrix buffer(8, 1);
+  auto rows = r.ReadChunk(&buffer);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_NE(rows.status().message().find("'bad'"), std::string::npos);
+  EXPECT_NE(rows.status().message().find("line 3"), std::string::npos);
+}
+
 TEST(CsvTest, HighPrecisionSurvivesRoundTrip) {
   Matrix m{{1.0 / 3.0}};
   Dataset d = Dataset::Create(m, {"x"}).value();

@@ -138,6 +138,57 @@ TEST(KernelsTest, GramIsExactlySymmetric) {
   }
 }
 
+TEST(KernelsTest, TallSkinnyGramChunkedMatchesReference) {
+  // n spans several kGramChunkRows record chunks with a ragged tail; m is
+  // small enough that the record (k) dimension carries all parallelism.
+  stats::Rng rng(49);
+  const size_t n = 3 * kernels::kGramChunkRows + 513;
+  const Matrix data = rng.GaussianMatrix(n, 24);
+  EXPECT_LE(MaxAbsDifference(kernels::GramMatrix(data, 100.0),
+                             ReferenceGram(data, 100.0)),
+            kTol);
+}
+
+TEST(KernelsTest, GramChunkBoundaryExactSizes) {
+  // Straddle the single-chunk fast path and the chunked merge.
+  stats::Rng rng(50);
+  for (size_t n : {kernels::kGramChunkRows, kernels::kGramChunkRows + 1}) {
+    const Matrix data = rng.GaussianMatrix(n, 17);
+    EXPECT_LE(MaxAbsDifference(kernels::GramMatrix(data, 3.0),
+                               ReferenceGram(data, 3.0)),
+              kTol)
+        << "n=" << n;
+  }
+}
+
+TEST(KernelsTest, TallSkinnyGramIsBitwiseThreadCountInvariant) {
+  stats::Rng rng(51);
+  const size_t n = 2 * kernels::kGramChunkRows + 777;
+  const size_t m = 24;
+  const Matrix data = rng.GaussianMatrix(n, m);
+  Matrix serial(m, m);
+  Matrix pooled(m, m);
+  ParallelOptions one_thread;
+  one_thread.num_threads = 1;
+  ParallelOptions four_threads;
+  four_threads.num_threads = 4;
+  kernels::GramAtA(data.data(), n, m, serial.data(), one_thread);
+  kernels::GramAtA(data.data(), n, m, pooled.data(), four_threads);
+  EXPECT_EQ(MaxAbsDifference(serial, pooled), 0.0);
+}
+
+TEST(KernelsTest, TallSkinnyGramIsExactlySymmetric) {
+  stats::Rng rng(52);
+  const size_t n = kernels::kGramChunkRows + 999;
+  const Matrix data = rng.GaussianMatrix(n, 12);
+  const Matrix gram = kernels::GramMatrix(data, static_cast<double>(n));
+  for (size_t i = 0; i < gram.rows(); ++i) {
+    for (size_t j = i + 1; j < gram.cols(); ++j) {
+      ASSERT_EQ(gram(i, j), gram(j, i)) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
 TEST(KernelsTest, OperatorStarRoutesThroughKernels) {
   stats::Rng rng(48);
   const Matrix a = rng.GaussianMatrix(140, 140);

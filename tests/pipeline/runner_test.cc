@@ -1,0 +1,182 @@
+// The batch scheduler: submission-order results, per-job failure
+// isolation, and agreement with individually-run pipelines.
+
+#include "pipeline/runner.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "linalg/matrix_util.h"
+#include "perturb/schemes.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace pipeline {
+namespace {
+
+using linalg::Matrix;
+
+struct BatchFixture {
+  Matrix disguised;
+  perturb::NoiseModel noise = perturb::NoiseModel::IndependentGaussian(1, 1.0);
+};
+
+BatchFixture MakeBatchFixture() {
+  stats::Rng rng(31);
+  data::SyntheticDatasetSpec spec;
+  spec.eigenvalues = data::TwoLevelSpectrum(10, 2, 6.0, 0.2);
+  auto generated = data::GenerateSpectrumDataset(spec, 400, &rng);
+  const auto scheme = perturb::IndependentNoiseScheme::Gaussian(10, 0.5);
+  BatchFixture fixture;
+  fixture.disguised = generated.value().dataset.records() +
+                      scheme.GenerateNoise(400, &rng);
+  fixture.noise = scheme.noise_model();
+  return fixture;
+}
+
+SourceFactory MatrixFactory(const Matrix* records) {
+  return [records]() -> Result<std::unique_ptr<RecordSource>> {
+    return std::unique_ptr<RecordSource>(
+        std::make_unique<MatrixRecordSource>(records));
+  };
+}
+
+TEST(PipelineRunnerTest, BatchMatchesIndividualRuns) {
+  const BatchFixture fixture = MakeBatchFixture();
+
+  std::vector<PipelineJob> jobs(2);
+  jobs[0].name = "pca";
+  jobs[0].disguised = MatrixFactory(&fixture.disguised);
+  jobs[0].noise = fixture.noise;
+  jobs[0].attack.attack = StreamingAttack::kPcaDr;
+  jobs[0].attack.chunk_rows = 53;
+  jobs[0].sink = std::make_shared<CollectChunkSink>(10);
+  jobs[1].name = "sf";
+  jobs[1].disguised = MatrixFactory(&fixture.disguised);
+  jobs[1].noise = fixture.noise;
+  jobs[1].attack.attack = StreamingAttack::kSpectralFiltering;
+  jobs[1].attack.chunk_rows = 53;
+  jobs[1].sink = std::make_shared<CollectChunkSink>(10);
+
+  const auto results = RunPipelineJobs(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].name, "pca");
+  EXPECT_EQ(results[1].name, "sf");
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.report.num_records, 400u);
+    EXPECT_GE(result.elapsed_seconds, 0.0);
+  }
+
+  // Each sharded job's output equals a lone pipeline run of the same job.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    MatrixRecordSource source(&fixture.disguised);
+    CollectChunkSink lone_sink(10);
+    const auto lone = StreamingAttackPipeline(jobs[i].attack)
+                          .Run(&source, fixture.noise, &lone_sink);
+    ASSERT_TRUE(lone.ok());
+    const auto* batch_sink =
+        static_cast<const CollectChunkSink*>(jobs[i].sink.get());
+    EXPECT_EQ(linalg::MaxAbsDifference(batch_sink->ToMatrix(),
+                                       lone_sink.ToMatrix()),
+              0.0)
+        << jobs[i].name;
+    EXPECT_EQ(results[i].report.num_components, lone.value().num_components);
+  }
+}
+
+TEST(PipelineRunnerTest, FailedJobIsIsolated) {
+  const BatchFixture fixture = MakeBatchFixture();
+
+  std::vector<PipelineJob> jobs(3);
+  jobs[0].name = "ok-before";
+  jobs[0].disguised = MatrixFactory(&fixture.disguised);
+  jobs[0].noise = fixture.noise;
+  jobs[1].name = "broken-source";
+  jobs[1].disguised = []() -> Result<std::unique_ptr<RecordSource>> {
+    RR_ASSIGN_OR_RETURN(CsvRecordSource source,
+                        CsvRecordSource::Open("/nonexistent/reports.csv"));
+    return std::unique_ptr<RecordSource>(
+        std::make_unique<CsvRecordSource>(std::move(source)));
+  };
+  jobs[1].noise = fixture.noise;
+  jobs[2].name = "ok-after";
+  jobs[2].disguised = MatrixFactory(&fixture.disguised);
+  jobs[2].noise = fixture.noise;
+
+  const auto results = RunPipelineJobs(jobs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_FALSE(results[1].status.ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kIoError);
+  EXPECT_TRUE(results[2].status.ok()) << results[2].status.ToString();
+}
+
+TEST(PipelineRunnerTest, ThrowingFactoryIsIsolatedToo) {
+  const BatchFixture fixture = MakeBatchFixture();
+  std::vector<PipelineJob> jobs(2);
+  jobs[0].name = "throws";
+  jobs[0].disguised = []() -> Result<std::unique_ptr<RecordSource>> {
+    throw std::runtime_error("factory blew up");
+  };
+  jobs[0].noise = fixture.noise;
+  jobs[1].name = "survives";
+  jobs[1].disguised = MatrixFactory(&fixture.disguised);
+  jobs[1].noise = fixture.noise;
+
+  const auto results = RunPipelineJobs(jobs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(results[0].status.message().find("factory blew up"),
+            std::string::npos);
+  EXPECT_TRUE(results[1].status.ok()) << results[1].status.ToString();
+}
+
+TEST(PipelineRunnerTest, MissingFactoryFailsCleanly) {
+  std::vector<PipelineJob> jobs(1);
+  jobs[0].name = "empty";
+  const auto results = RunPipelineJobs(jobs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineRunnerTest, EmptyBatchIsNoOp) {
+  EXPECT_TRUE(RunPipelineJobs({}).empty());
+}
+
+TEST(PipelineRunnerTest, WorkerCountDoesNotChangeResults) {
+  const BatchFixture fixture = MakeBatchFixture();
+  auto make_jobs = [&] {
+    std::vector<PipelineJob> jobs(4);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].name = "job" + std::to_string(i);
+      jobs[i].disguised = MatrixFactory(&fixture.disguised);
+      jobs[i].noise = fixture.noise;
+      jobs[i].attack.attack = i % 2 == 0 ? StreamingAttack::kPcaDr
+                                         : StreamingAttack::kSpectralFiltering;
+      jobs[i].attack.chunk_rows = 31 + i;
+      jobs[i].sink = std::make_shared<CollectChunkSink>(10);
+    }
+    return jobs;
+  };
+  auto serial_jobs = make_jobs();
+  auto pooled_jobs = make_jobs();
+  PipelineRunnerOptions serial;
+  serial.num_workers = 1;
+  PipelineRunnerOptions pooled;
+  pooled.num_workers = 4;
+  RunPipelineJobs(serial_jobs, serial);
+  RunPipelineJobs(pooled_jobs, pooled);
+  for (size_t i = 0; i < serial_jobs.size(); ++i) {
+    const auto* a = static_cast<const CollectChunkSink*>(serial_jobs[i].sink.get());
+    const auto* b = static_cast<const CollectChunkSink*>(pooled_jobs[i].sink.get());
+    EXPECT_EQ(linalg::MaxAbsDifference(a->ToMatrix(), b->ToMatrix()), 0.0)
+        << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace randrecon
