@@ -13,6 +13,14 @@
 //     working set is O(chunk_rows·m + m²) while the in-memory attack
 //     holds multiple n x m matrices.
 //
+// PR 3 adds the generation side: MvnRecordSource + PerturbingRecordSource
+// running on the scalar mt19937 Rng vs the Philox counter substrate
+// (vectorized fills, fixed-block parallel generation), plus the full
+// MVN -> perturb -> streaming-attack run in both modes. The exit gate
+// also re-checks the substrate's streaming contract: the batch-mode
+// disguised stream must be BITWISE identical across chunk sizes
+// {1, 7, 64, n} x thread counts {1, 4}.
+//
 // Flags: --smoke=true     small sizes / single rep (CI)
 //        --seed=N         RNG seed (default 7)
 //        --chunk_rows=N   streamed chunk size (default 4096)
@@ -25,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench/bench_util.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
@@ -34,8 +44,10 @@
 #include "linalg/kernels.h"
 #include "linalg/matrix_util.h"
 #include "perturb/schemes.h"
+#include "pipeline/chunk_sink.h"
 #include "pipeline/streaming_attack.h"
 #include "stats/moments.h"
+#include "stats/philox.h"
 #include "stats/rng.h"
 #include "stats/streaming_moments.h"
 
@@ -106,6 +118,64 @@ void Record(std::vector<BenchResult>* results, const std::string& name,
   std::printf("\n");
 }
 
+/// Builds the MVN -> perturb synthetic disguised stream used by the
+/// generation benchmarks (population seed and noise seed derived from
+/// the bench seed; both modes produce chunk-invariant streams).
+pipeline::PerturbingRecordSource MakeDisguisedSource(
+    const linalg::Vector& mean, const Matrix& covariance, size_t n,
+    uint64_t seed, const perturb::IndependentNoiseScheme* scheme,
+    pipeline::GeneratorMode mode,
+    const ParallelOptions& parallel = ParallelOptions{}) {
+  auto inner = pipeline::MvnRecordSource::Create(mean, covariance, n, seed,
+                                                 mode);
+  if (!inner.ok()) {
+    std::fprintf(stderr, "%s\n", inner.status().ToString().c_str());
+    std::exit(1);
+  }
+  pipeline::MvnRecordSource mvn = std::move(inner).value();
+  mvn.set_parallel_options(parallel);  // inner generation, not just noise
+  pipeline::PerturbingRecordSource source(
+      std::make_unique<pipeline::MvnRecordSource>(std::move(mvn)), scheme,
+      seed + 1, mode);
+  source.set_parallel_options(parallel);
+  return source;
+}
+
+/// Drains a source through `chunk`-row reads; returns records served.
+size_t DrainSource(pipeline::RecordSource* source, size_t chunk, size_t m) {
+  Matrix buffer(chunk, m);
+  size_t total = 0;
+  for (;;) {
+    auto rows = source->NextChunk(&buffer);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (rows.value() == 0) break;
+    total += rows.value();
+  }
+  return total;
+}
+
+/// Collects the full stream into one matrix (for the bitwise-invariance
+/// sweep, which runs at a reduced n).
+Matrix CollectSource(pipeline::RecordSource* source, size_t chunk, size_t m) {
+  Matrix buffer(chunk, m);
+  std::vector<double> values;
+  for (;;) {
+    auto rows = source->NextChunk(&buffer);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (rows.value() == 0) break;
+    values.insert(values.end(), buffer.data(),
+                  buffer.data() + rows.value() * m);
+  }
+  const size_t n = values.size() / m;
+  return Matrix::FromRowMajor(n, m, std::move(values));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace randrecon
@@ -141,6 +211,111 @@ int main(int argc, char** argv) {
   stats::Rng rng(static_cast<uint64_t>(seed.value()));
   std::vector<BenchResult> results;
   double worst_recon_diff = 0.0;
+  bool generation_invariant = true;
+  std::printf("substrate engine: %s\n",
+              stats::philox_internal::ActiveEngine());
+
+  // -------------------------------------------------------------------
+  // Generation: the MVN -> perturb synthetic stream on the scalar Rng vs
+  // the counter substrate, and the full streaming attack over each.
+  // -------------------------------------------------------------------
+  for (size_t n : sizes) {
+    const int reps = n <= 100000 ? 3 : 1;
+    const size_t m = smoke.value() ? 16 : 32;
+    const double records = static_cast<double>(n);
+    const linalg::Vector mean(m, 0.0);
+    data::SyntheticDatasetSpec spec;
+    spec.eigenvalues = data::TwoLevelSpectrum(m, m / 8, 8.0, 0.1);
+    auto truth = data::GenerateSpectrumDataset(spec, 0, &rng);
+    if (!truth.ok()) {
+      std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+      return 1;
+    }
+    const Matrix& covariance = truth.value().covariance;
+    const auto scheme = perturb::IndependentNoiseScheme::Gaussian(m, sigma);
+    const perturb::NoiseModel& noise = scheme.noise_model();
+    const uint64_t gen_seed = static_cast<uint64_t>(seed.value()) + n;
+    std::printf("-- generation n=%zu m=%zu chunk=%zu\n", n, m, chunk);
+
+    struct ModeCase {
+      const char* label;
+      pipeline::GeneratorMode mode;
+    };
+    const ModeCase modes[] = {
+        {"seq", pipeline::GeneratorMode::kSequentialRng},
+        {"batch", pipeline::GeneratorMode::kCounterBatch},
+    };
+    double gen_seconds[2] = {0.0, 0.0};
+    double e2e_seconds[2] = {0.0, 0.0};
+    for (int mode_index = 0; mode_index < 2; ++mode_index) {
+      const ModeCase& mode_case = modes[mode_index];
+      // Raw generation throughput: drain the disguised stream once.
+      gen_seconds[mode_index] = bench::TimeMedian(reps, [&] {
+        auto source = bench::MakeDisguisedSource(mean, covariance, n, gen_seed,
+                                                 &scheme, mode_case.mode);
+        if (bench::DrainSource(&source, chunk, m) != n) std::exit(1);
+      });
+      // End-to-end: two-pass streaming SF attack regenerating the stream
+      // from the seed on every pass (the out-of-core story).
+      pipeline::StreamingAttackOptions options;
+      options.attack = pipeline::StreamingAttack::kSpectralFiltering;
+      options.chunk_rows = chunk;
+      e2e_seconds[mode_index] = bench::TimeMedian(reps, [&] {
+        auto source = bench::MakeDisguisedSource(mean, covariance, n, gen_seed,
+                                                 &scheme, mode_case.mode);
+        pipeline::NullChunkSink sink;
+        auto report = pipeline::StreamingAttackPipeline(options).Run(
+            &source, noise, &sink);
+        if (!report.ok()) {
+          std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+          std::exit(1);
+        }
+      });
+    }
+    const std::string gen_stem = "generate_mvn_noise/" + std::to_string(n);
+    bench::Record(&results, gen_stem + "/seq", gen_seconds[0], records);
+    bench::Record(&results, gen_stem + "/batch", gen_seconds[1], records,
+                  {{"speedup", gen_seconds[0] / gen_seconds[1]}});
+    const std::string e2e_stem = "e2e_mvn_attack/" + std::to_string(n);
+    bench::Record(&results, e2e_stem + "/seq", e2e_seconds[0], records);
+    bench::Record(&results, e2e_stem + "/batch", e2e_seconds[1], records,
+                  {{"speedup", e2e_seconds[0] / e2e_seconds[1]}});
+
+    // Bitwise invariance of the batch-mode disguised stream across chunk
+    // sizes {1, 7, 64, n} x threads {1, 4}, at a reduced record count so
+    // the chunk=1 sweep stays cheap.
+    const size_t n_check = std::min<size_t>(n, 20000);
+    Matrix reference;
+    double invariance_diff = 0.0;
+    for (size_t sweep_chunk : {size_t{1}, size_t{7}, size_t{64}, n_check}) {
+      for (int threads : {1, 4}) {
+        ParallelOptions parallel;
+        parallel.num_threads = threads;
+        auto source = bench::MakeDisguisedSource(
+            mean, covariance, n_check, gen_seed, &scheme,
+            pipeline::GeneratorMode::kCounterBatch, parallel);
+        Matrix streamed = bench::CollectSource(&source, sweep_chunk, m);
+        if (reference.rows() == 0) {
+          reference = std::move(streamed);
+        } else {
+          invariance_diff = std::max(
+              invariance_diff, linalg::MaxAbsDifference(reference, streamed));
+        }
+      }
+    }
+    if (invariance_diff != 0.0) generation_invariant = false;
+    BenchResult invariance;
+    invariance.name = "generation_invariance/" + std::to_string(n);
+    invariance.elapsed_seconds = 0.0;
+    invariance.records_per_second = 0.0;
+    invariance.metrics.emplace_back("bitwise_invariant",
+                                    invariance_diff == 0.0 ? 1.0 : 0.0);
+    invariance.metrics.emplace_back("max_abs_diff", invariance_diff);
+    results.push_back(invariance);
+    std::printf("%-26s chunk{1,7,64,%zu} x threads{1,4}: %s\n",
+                invariance.name.c_str(), n_check,
+                invariance_diff == 0.0 ? "bitwise identical" : "DIVERGED");
+  }
 
   for (size_t n : sizes) {
     const int reps = n <= 100000 ? 5 : 1;
@@ -258,6 +433,12 @@ int main(int argc, char** argv) {
                  "FAIL: streaming reconstruction diverged from in-memory "
                  "(max_abs_diff %.3g > 1e-10)\n",
                  worst_recon_diff);
+    return 1;
+  }
+  if (!generation_invariant) {
+    std::fprintf(stderr,
+                 "FAIL: batch-mode disguised stream not bitwise invariant "
+                 "across chunk sizes / thread counts\n");
     return 1;
   }
 

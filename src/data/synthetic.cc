@@ -44,6 +44,21 @@ Result<SyntheticDataset> GenerateSpectrumDataset(
   return out;
 }
 
+Result<SyntheticDataset> GenerateSpectrumDataset(
+    const SyntheticDatasetSpec& spec, size_t num_records, stats::Rng* rng,
+    stats::Philox* gen) {
+  // Build the (cheap, m x m) ground truth with a zero-record call so the
+  // validation and basis logic stays in one place...
+  RR_ASSIGN_OR_RETURN(SyntheticDataset out,
+                      GenerateSpectrumDataset(spec, 0, rng));
+  // ...then draw the n x m population through the batch substrate.
+  RR_ASSIGN_OR_RETURN(
+      stats::MultivariateNormalSampler sampler,
+      stats::MultivariateNormalSampler::Create(out.mean, out.covariance));
+  out.dataset = Dataset(sampler.SampleMatrix(num_records, gen));
+  return out;
+}
+
 linalg::Vector TwoLevelSpectrum(size_t num_attributes, size_t num_principal,
                                 double principal_value,
                                 double residual_value) {

@@ -13,6 +13,7 @@
 
 #include "common/result.h"
 #include "data/dataset.h"
+#include "stats/philox.h"
 #include "stats/rng.h"
 
 namespace randrecon {
@@ -40,6 +41,14 @@ struct SyntheticDataset {
 /// eigenvalues or a mean of the wrong length.
 Result<SyntheticDataset> GenerateSpectrumDataset(
     const SyntheticDatasetSpec& spec, size_t num_records, stats::Rng* rng);
+
+/// Batch-substrate variant for large populations: the orthogonal basis
+/// still comes from the scalar `rng` (Gram–Schmidt is m x m and cheap),
+/// but the n x m mvnrnd draw runs through the vectorized counter
+/// substrate (MultivariateNormalSampler::SampleMatrix over `gen`).
+Result<SyntheticDataset> GenerateSpectrumDataset(
+    const SyntheticDatasetSpec& spec, size_t num_records, stats::Rng* rng,
+    stats::Philox* gen);
 
 /// Builds the two-level spectrum used by every experiment: the first
 /// `num_principal` eigenvalues equal `principal_value`, the remaining

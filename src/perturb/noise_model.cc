@@ -28,7 +28,8 @@ NoiseModel NoiseModel::IndependentGaussian(size_t num_attributes,
   linalg::Vector diag(num_attributes, stddev * stddev);
   linalg::Matrix covariance = linalg::Matrix::Diagonal(diag);
   return NoiseModel(false, std::move(covariance),
-                    GaussianMarginals(linalg::Matrix::Diagonal(diag)));
+                    GaussianMarginals(linalg::Matrix::Diagonal(diag)),
+                    /*identical_marginals=*/true);
 }
 
 Result<NoiseModel> NoiseModel::Independent(
@@ -53,7 +54,8 @@ Result<NoiseModel> NoiseModel::Independent(
   for (size_t j = 0; j < num_attributes; ++j) {
     marginals.push_back(per_attribute->Clone());
   }
-  return NoiseModel(false, std::move(covariance), std::move(marginals));
+  return NoiseModel(false, std::move(covariance), std::move(marginals),
+                    /*identical_marginals=*/true);
 }
 
 Result<NoiseModel> NoiseModel::CorrelatedGaussian(linalg::Matrix covariance) {
@@ -72,11 +74,16 @@ Result<NoiseModel> NoiseModel::CorrelatedGaussian(linalg::Matrix covariance) {
     }
   }
   auto marginals = GaussianMarginals(covariance);
-  return NoiseModel(true, std::move(covariance), std::move(marginals));
+  // Correlated noise is sampled jointly, not marginal-by-marginal, so the
+  // identical-marginals fast path stays off even for equal variances.
+  return NoiseModel(true, std::move(covariance), std::move(marginals),
+                    /*identical_marginals=*/false);
 }
 
 NoiseModel::NoiseModel(const NoiseModel& other)
-    : correlated_(other.correlated_), covariance_(other.covariance_) {
+    : correlated_(other.correlated_),
+      covariance_(other.covariance_),
+      identical_marginals_(other.identical_marginals_) {
   marginals_.reserve(other.marginals_.size());
   for (const auto& marginal : other.marginals_) {
     marginals_.push_back(marginal->Clone());
@@ -87,6 +94,7 @@ NoiseModel& NoiseModel::operator=(const NoiseModel& other) {
   if (this == &other) return *this;
   correlated_ = other.correlated_;
   covariance_ = other.covariance_;
+  identical_marginals_ = other.identical_marginals_;
   marginals_.clear();
   marginals_.reserve(other.marginals_.size());
   for (const auto& marginal : other.marginals_) {
@@ -105,6 +113,20 @@ bool NoiseModel::HasUniformVariance(double tol) const {
 const stats::ScalarDistribution& NoiseModel::Marginal(size_t j) const {
   RR_CHECK_LT(j, marginals_.size());
   return *marginals_[j];
+}
+
+bool NoiseModel::SupportsBatchSampling() const {
+  for (const auto& marginal : marginals_) {
+    if (!marginal->SupportsBatchSampling()) return false;
+  }
+  return !marginals_.empty();
+}
+
+void NoiseModel::SampleMarginalSliceAt(size_t j, const stats::Philox& stream,
+                                       uint64_t elem_begin, double* out,
+                                       size_t n) const {
+  RR_CHECK_LT(j, marginals_.size());
+  marginals_[j]->SampleSliceAt(stream, elem_begin, out, n);
 }
 
 }  // namespace perturb

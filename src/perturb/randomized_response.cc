@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "common/check.h"
 
 namespace randrecon {
 namespace perturb {
@@ -38,6 +41,20 @@ BitVector WarnerScheme::DisguiseAll(const BitVector& true_bits,
   BitVector out(true_bits.size());
   for (size_t i = 0; i < true_bits.size(); ++i) {
     out[i] = Disguise(true_bits[i], rng);
+  }
+  return out;
+}
+
+BitVector WarnerScheme::DisguiseAll(const BitVector& true_bits,
+                                    stats::Philox* gen) const {
+  BitVector coins(true_bits.size());
+  if (!true_bits.empty()) {
+    gen->FillBernoulli(theta_, coins.data(), coins.size());
+  }
+  BitVector out(true_bits.size());
+  for (size_t i = 0; i < true_bits.size(); ++i) {
+    RR_CHECK(true_bits[i] == 0 || true_bits[i] == 1) << "bit must be 0/1";
+    out[i] = coins[i] ? true_bits[i] : static_cast<uint8_t>(1 - true_bits[i]);
   }
   return out;
 }
@@ -90,6 +107,29 @@ Result<linalg::Matrix> MaskScheme::Disguise(const linalg::Matrix& transactions,
       const bool keep = rng->Uniform(0.0, 1.0) < theta_;
       out(i, j) = keep ? value : 1.0 - value;
     }
+  }
+  return out;
+}
+
+Result<linalg::Matrix> MaskScheme::Disguise(const linalg::Matrix& transactions,
+                                            stats::Philox* gen) const {
+  const size_t total = transactions.rows() * transactions.cols();
+  const double* in = transactions.data();
+  // Validate before drawing so a rejected matrix leaves the generator
+  // cursor untouched, like the scalar Rng overload.
+  for (size_t i = 0; i < total; ++i) {
+    if (in[i] != 0.0 && in[i] != 1.0) {
+      return Status::InvalidArgument(
+          "MaskScheme: transactions must be 0/1, got " +
+          std::to_string(in[i]));
+    }
+  }
+  std::vector<uint8_t> keep(total);
+  if (total > 0) gen->FillBernoulli(theta_, keep.data(), total);
+  linalg::Matrix out(transactions.rows(), transactions.cols());
+  double* o = out.data();
+  for (size_t i = 0; i < total; ++i) {
+    o[i] = keep[i] ? in[i] : 1.0 - in[i];
   }
   return out;
 }

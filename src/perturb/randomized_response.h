@@ -28,6 +28,7 @@
 
 #include "common/result.h"
 #include "linalg/matrix.h"
+#include "stats/philox.h"
 #include "stats/rng.h"
 
 namespace randrecon {
@@ -48,6 +49,11 @@ class WarnerScheme {
 
   /// Disguises a whole column.
   BitVector DisguiseAll(const BitVector& true_bits, stats::Rng* rng) const;
+
+  /// Batch entry point: one vectorized Bernoulli(θ) fill decides every
+  /// respondent's truth coin (consumes true_bits.size() substrate draws
+  /// from gen's cursor). Bit i flips iff coin i is 0.
+  BitVector DisguiseAll(const BitVector& true_bits, stats::Philox* gen) const;
 
   /// Unbiased estimate of the true proportion π from the observed
   /// proportion of 1-answers: π̂ = (p_obs + θ − 1) / (2θ − 1), clamped
@@ -80,6 +86,12 @@ class MaskScheme {
   /// validated to be 0/1).
   Result<linalg::Matrix> Disguise(const linalg::Matrix& transactions,
                                   stats::Rng* rng) const;
+
+  /// Batch entry point: one vectorized Bernoulli(θ) keep-mask fill for
+  /// the whole matrix (consumes rows*cols substrate draws from gen's
+  /// cursor); entry (i, j) is kept iff mask[i*m + j] is 1.
+  Result<linalg::Matrix> Disguise(const linalg::Matrix& transactions,
+                                  stats::Philox* gen) const;
 
   /// Unbiased single-item support estimate from the disguised column
   /// proportion (same inversion as Warner).

@@ -1,12 +1,24 @@
 #include "perturb/schemes.h"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "linalg/eigen.h"
 #include "linalg/matrix_util.h"
 
 namespace randrecon {
 namespace perturb {
+
+void RandomizationScheme::AddNoiseAt(const stats::Philox& /*base*/,
+                                     uint64_t /*record_begin*/,
+                                     size_t /*rows*/,
+                                     linalg::Matrix* /*chunk*/,
+                                     const ParallelOptions& /*options*/) const {
+  RR_CHECK(false)
+      << "AddNoiseAt called on a scheme without batch noise support";
+}
 
 Result<data::Dataset> RandomizationScheme::Disguise(
     const data::Dataset& original, stats::Rng* rng) const {
@@ -51,6 +63,33 @@ linalg::Matrix IndependentNoiseScheme::GenerateNoise(size_t num_records,
   return noise;
 }
 
+void IndependentNoiseScheme::AddNoiseAt(const stats::Philox& base,
+                                        uint64_t record_begin, size_t rows,
+                                        linalg::Matrix* chunk,
+                                        const ParallelOptions& options) const {
+  RR_CHECK(SupportsBatchNoise())
+      << "IndependentNoiseScheme: marginals lack batch sampling";
+  const size_t m = num_attributes();
+  RR_CHECK_EQ(chunk->cols(), m);
+  RR_CHECK_LE(rows, chunk->rows());
+  // Block b's noise is elements [0, kBatchBlockRows*m) of the (shared)
+  // marginal's canonical sequence over Substream(b), laid out row-major —
+  // an element-granular pure function, so straddled blocks are sliced
+  // without generating the rest of the block.
+  stats::ForEachBatchBlock(
+      record_begin, rows, options,
+      [&](uint64_t b, uint64_t lo, uint64_t hi) {
+        const size_t count = static_cast<size_t>(hi - lo) * m;
+        const uint64_t elem0 =
+            (lo - b * stats::kBatchBlockRows) * static_cast<uint64_t>(m);
+        std::vector<double> noise(count);
+        noise_model_.SampleMarginalSliceAt(0, base.Substream(b), elem0,
+                                           noise.data(), count);
+        double* out = chunk->row_data(static_cast<size_t>(lo - record_begin));
+        for (size_t i = 0; i < count; ++i) out[i] += noise[i];
+      });
+}
+
 Result<CorrelatedGaussianScheme> CorrelatedGaussianScheme::Create(
     linalg::Matrix covariance) {
   RR_ASSIGN_OR_RETURN(NoiseModel model,
@@ -92,7 +131,43 @@ Result<CorrelatedGaussianScheme> CorrelatedGaussianScheme::FromEigenstructure(
 
 linalg::Matrix CorrelatedGaussianScheme::GenerateNoise(size_t num_records,
                                                        stats::Rng* rng) const {
-  return sampler_.SampleMatrix(num_records, rng);
+  // Deliberately record-by-record, NOT the batched SampleMatrix: the
+  // sequential-mode PerturbingRecordSource calls this once per chunk,
+  // and the blocked GEMM behind SampleMatrix picks different (equally
+  // correct, differently rounded) accumulation paths depending on the
+  // row count — which would break the documented bitwise chunk-size
+  // invariance of the disguised stream. Per-record matvecs keep every
+  // record's bytes independent of the chunking; bulk callers use the
+  // Philox batch paths instead.
+  const size_t m = num_attributes();
+  linalg::Matrix noise(num_records, m);
+  for (size_t i = 0; i < num_records; ++i) {
+    noise.SetRow(i, sampler_.SampleRecord(rng));
+  }
+  return noise;
+}
+
+void CorrelatedGaussianScheme::AddNoiseAt(const stats::Philox& base,
+                                          uint64_t record_begin, size_t rows,
+                                          linalg::Matrix* chunk,
+                                          const ParallelOptions& options) const {
+  const size_t m = num_attributes();
+  RR_CHECK_EQ(chunk->cols(), m);
+  RR_CHECK_LE(rows, chunk->rows());
+  // Jointly Gaussian noise rides the MVN block generator: noise record i
+  // is row i of the sampler's deterministic record stream over `base`.
+  stats::ForEachBatchBlock(
+      record_begin, rows, options,
+      [&](uint64_t b, uint64_t lo, uint64_t hi) {
+        const size_t count = static_cast<size_t>(hi - lo);
+        std::vector<double> noise(count * m);
+        sampler_.SampleBlockSlice(
+            base, b, static_cast<size_t>(lo - b * stats::kBatchBlockRows),
+            static_cast<size_t>(hi - b * stats::kBatchBlockRows),
+            noise.data());
+        double* out = chunk->row_data(static_cast<size_t>(lo - record_begin));
+        for (size_t i = 0; i < count * m; ++i) out[i] += noise[i];
+      });
 }
 
 linalg::Vector InterpolateSpectra(const linalg::Vector& from,

@@ -30,6 +30,20 @@ class RandomizationScheme {
   virtual linalg::Matrix GenerateNoise(size_t num_records,
                                        stats::Rng* rng) const = 0;
 
+  /// True when AddNoiseAt's counter-based batch path is implemented.
+  virtual bool SupportsBatchNoise() const { return false; }
+
+  /// Batch entry point: adds the noise of the absolute records
+  /// [record_begin, record_begin + rows) of the noise stream derived
+  /// from `base` into the leading rows of `chunk`. The noise of record i
+  /// is a pure function of (base, i): draws come from fixed
+  /// stats::kBatchBlockRows record blocks with counter-derived per-block
+  /// substreams, so chunking and threading never change the stream.
+  /// RR_CHECK-fails unless SupportsBatchNoise().
+  virtual void AddNoiseAt(const stats::Philox& base, uint64_t record_begin,
+                          size_t rows, linalg::Matrix* chunk,
+                          const ParallelOptions& options = {}) const;
+
   /// The public knowledge an adversary has about this scheme's noise.
   virtual const NoiseModel& noise_model() const = 0;
 
@@ -55,6 +69,13 @@ class IndependentNoiseScheme final : public RandomizationScheme {
   }
   linalg::Matrix GenerateNoise(size_t num_records,
                                stats::Rng* rng) const override;
+  bool SupportsBatchNoise() const override {
+    return noise_model_.HasIdenticalMarginals() &&
+           noise_model_.SupportsBatchSampling();
+  }
+  void AddNoiseAt(const stats::Philox& base, uint64_t record_begin,
+                  size_t rows, linalg::Matrix* chunk,
+                  const ParallelOptions& options = {}) const override;
   const NoiseModel& noise_model() const override { return noise_model_; }
 
  private:
@@ -91,6 +112,13 @@ class CorrelatedGaussianScheme final : public RandomizationScheme {
   }
   linalg::Matrix GenerateNoise(size_t num_records,
                                stats::Rng* rng) const override;
+  bool SupportsBatchNoise() const override { return true; }
+  /// Straddled edge blocks are regenerated in full on every call (the
+  /// price of statelessness); prefer chunk sizes >= stats::kBatchBlockRows
+  /// when streaming correlated noise.
+  void AddNoiseAt(const stats::Philox& base, uint64_t record_begin,
+                  size_t rows, linalg::Matrix* chunk,
+                  const ParallelOptions& options = {}) const override;
   const NoiseModel& noise_model() const override { return noise_model_; }
 
  private:

@@ -35,19 +35,23 @@ Result<CsvRecordSource> CsvRecordSource::FromString(std::string text) {
 
 Result<MvnRecordSource> MvnRecordSource::Create(
     const linalg::Vector& mean, const linalg::Matrix& covariance,
-    size_t num_records, uint64_t seed) {
+    size_t num_records, uint64_t seed, GeneratorMode mode) {
   RR_ASSIGN_OR_RETURN(
       stats::MultivariateNormalSampler sampler,
       stats::MultivariateNormalSampler::Create(mean, covariance));
-  return MvnRecordSource(std::move(sampler), num_records, seed);
+  return MvnRecordSource(std::move(sampler), num_records, seed, mode);
 }
 
 Result<size_t> MvnRecordSource::NextChunk(linalg::Matrix* buffer) {
   RR_CHECK_EQ(buffer->cols(), sampler_.dimension())
       << "MvnRecordSource: chunk buffer width mismatch";
   const size_t rows = std::min(buffer->rows(), num_records_ - served_);
-  // Draws are strictly record-ordered, so record i receives the same
-  // pseudo-random values no matter how the stream is chunked.
+  if (mode_ == GeneratorMode::kCounterBatch) {
+    return NextChunkBatch(buffer, rows);
+  }
+  // Sequential path: draws are strictly record-ordered, so record i
+  // receives the same pseudo-random values no matter how the stream is
+  // chunked.
   for (size_t i = 0; i < rows; ++i) {
     buffer->SetRow(i, sampler_.SampleRecord(&rng_));
   }
@@ -55,19 +59,72 @@ Result<size_t> MvnRecordSource::NextChunk(linalg::Matrix* buffer) {
   return rows;
 }
 
+Result<size_t> MvnRecordSource::NextChunkBatch(linalg::Matrix* buffer,
+                                               size_t rows) {
+  constexpr uint64_t kBlock = stats::kBatchBlockRows;
+  const size_t m = sampler_.dimension();
+  const uint64_t r0 = served_;
+  const uint64_t r1 = served_ + rows;
+  if (rows == 0) return size_t{0};
+  const uint64_t b0 = r0 / kBlock;
+  const uint64_t b1 = (r1 - 1) / kBlock;
+  // Pass 1 (parallel): every block fully covered by this chunk is
+  // generated straight into the caller's buffer.
+  ParallelForEach(0, static_cast<size_t>(b1 - b0 + 1), [&](size_t i) {
+    const uint64_t b = b0 + i;
+    if (b * kBlock < r0 || (b + 1) * kBlock > r1) return;  // edge block
+    sampler_.SampleBlockSlice(base_, b, 0, kBlock,
+                              buffer->row_data(
+                                  static_cast<size_t>(b * kBlock - r0)));
+  }, parallel_);
+  // Pass 2 (serial): edge blocks straddling the chunk go through the
+  // one-block cache; consecutive small chunks reuse it.
+  for (uint64_t b = b0; b <= b1; ++b) {
+    const uint64_t lo = std::max(r0, b * kBlock);
+    const uint64_t hi = std::min(r1, (b + 1) * kBlock);
+    if (lo == b * kBlock && hi == (b + 1) * kBlock) continue;  // done above
+    if (cached_block_ != b) {
+      if (block_cache_.rows() != kBlock || block_cache_.cols() != m) {
+        block_cache_ = linalg::Matrix(kBlock, m);
+      }
+      sampler_.SampleBlockSlice(base_, b, 0, kBlock, block_cache_.data());
+      cached_block_ = b;
+    }
+    std::memcpy(buffer->row_data(static_cast<size_t>(lo - r0)),
+                block_cache_.row_data(static_cast<size_t>(lo - b * kBlock)),
+                static_cast<size_t>(hi - lo) * m * sizeof(double));
+  }
+  served_ += rows;
+  return rows;
+}
+
 PerturbingRecordSource::PerturbingRecordSource(
     std::unique_ptr<RecordSource> inner,
-    const perturb::RandomizationScheme* scheme, uint64_t seed)
-    : inner_(std::move(inner)), scheme_(scheme), seed_(seed), rng_(seed) {
+    const perturb::RandomizationScheme* scheme, uint64_t seed,
+    GeneratorMode mode)
+    : inner_(std::move(inner)),
+      scheme_(scheme),
+      seed_(seed),
+      mode_(mode),
+      rng_(seed),
+      base_(seed, kNoiseStreamTag) {
   RR_CHECK(inner_ != nullptr) << "PerturbingRecordSource: null inner source";
   RR_CHECK(scheme_ != nullptr) << "PerturbingRecordSource: null scheme";
   RR_CHECK_EQ(inner_->num_attributes(), scheme_->num_attributes())
       << "PerturbingRecordSource: scheme/source width mismatch";
+  if (mode_ == GeneratorMode::kCounterBatch && !scheme_->SupportsBatchNoise()) {
+    mode_ = GeneratorMode::kSequentialRng;
+  }
 }
 
 Result<size_t> PerturbingRecordSource::NextChunk(linalg::Matrix* buffer) {
   RR_ASSIGN_OR_RETURN(const size_t rows, inner_->NextChunk(buffer));
   if (rows == 0) return rows;
+  if (mode_ == GeneratorMode::kCounterBatch) {
+    scheme_->AddNoiseAt(base_, served_, rows, buffer, parallel_);
+    served_ += rows;
+    return rows;
+  }
   // Noise draws are record-ordered inside GenerateNoise, so the disguised
   // stream is also chunk-size invariant.
   const linalg::Matrix noise = scheme_->GenerateNoise(rows, &rng_);
@@ -76,6 +133,7 @@ Result<size_t> PerturbingRecordSource::NextChunk(linalg::Matrix* buffer) {
     const double* noise_row = noise.row_data(i);
     for (size_t j = 0; j < noise.cols(); ++j) row[j] += noise_row[j];
   }
+  served_ += rows;
   return rows;
 }
 

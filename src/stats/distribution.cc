@@ -1,5 +1,6 @@
 #include "stats/distribution.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -33,6 +34,21 @@ double NormalDistribution::Cdf(double x) const {
   return StandardNormalCdf((x - mean_) / stddev_);
 }
 
+// Base-class batch hook: distributions without a counter-substrate
+// sampler must be routed through the scalar Sample path instead.
+void ScalarDistribution::SampleSliceAt(const Philox& /*stream*/,
+                                       uint64_t /*elem_begin*/,
+                                       double* /*out*/, size_t /*n*/) const {
+  RR_CHECK(false) << ToString()
+                  << " has no batch sampler (SupportsBatchSampling is false)";
+}
+
+void NormalDistribution::SampleSliceAt(const Philox& stream,
+                                       uint64_t elem_begin, double* out,
+                                       size_t n) const {
+  GaussianSliceAt(stream, mean_, stddev_, elem_begin, out, n);
+}
+
 double NormalDistribution::Sample(Rng* rng) const {
   return rng->Gaussian(mean_, stddev_);
 }
@@ -61,6 +77,12 @@ double UniformDistribution::Cdf(double x) const {
   return (x - lo_) / (hi_ - lo_);
 }
 
+void UniformDistribution::SampleSliceAt(const Philox& stream,
+                                        uint64_t elem_begin, double* out,
+                                        size_t n) const {
+  UniformSliceAt(stream, lo_, hi_, elem_begin, out, n);
+}
+
 double UniformDistribution::Sample(Rng* rng) const {
   return rng->Uniform(lo_, hi_);
 }
@@ -85,6 +107,22 @@ double LaplaceDistribution::Pdf(double x) const {
 double LaplaceDistribution::Cdf(double x) const {
   if (x < mean_) return 0.5 * std::exp((x - mean_) / scale_);
   return 1.0 - 0.5 * std::exp(-(x - mean_) / scale_);
+}
+
+void LaplaceDistribution::SampleSliceAt(const Philox& stream,
+                                        uint64_t elem_begin, double* out,
+                                        size_t n) const {
+  // Inverse-CDF on a uniform u in [0, 1): x = mean - b sign(t) ln(1 - 2|t|)
+  // with t = u - 1/2. The log goes through the substrate's Log01 so the
+  // sequence is machine-stable like the core fills; the argument is
+  // clamped away from 0 (u = 0 occurs with probability 2^-53).
+  UniformSliceAt(stream, elem_begin, out, n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = out[i] - 0.5;
+    const double arg = std::max(1.0 - 2.0 * std::fabs(t), 0x1.0p-53);
+    const double pull = -scale_ * Log01(arg);
+    out[i] = t < 0.0 ? mean_ - pull : mean_ + pull;
+  }
 }
 
 double LaplaceDistribution::Sample(Rng* rng) const {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "stats/philox.h"
 #include "stats/rng.h"
 
 namespace randrecon {
@@ -29,6 +30,18 @@ class ScalarDistribution {
   /// One random draw.
   virtual double Sample(Rng* rng) const = 0;
 
+  /// True when SampleSliceAt is implemented — the counter-substrate
+  /// batch path used by the parallel record generators.
+  virtual bool SupportsBatchSampling() const { return false; }
+
+  /// Fills out[0..n) with elements [elem_begin, elem_begin + n) of this
+  /// distribution's canonical draw sequence over `stream` (a pure
+  /// function of stream identity and element index, independent of the
+  /// stream cursor — see stats/philox.h). RR_CHECK-fails unless
+  /// SupportsBatchSampling().
+  virtual void SampleSliceAt(const Philox& stream, uint64_t elem_begin,
+                             double* out, size_t n) const;
+
   virtual double Mean() const = 0;
   virtual double Variance() const = 0;
 
@@ -47,6 +60,9 @@ class NormalDistribution final : public ScalarDistribution {
   double Pdf(double x) const override;
   double Cdf(double x) const override;
   double Sample(Rng* rng) const override;
+  bool SupportsBatchSampling() const override { return true; }
+  void SampleSliceAt(const Philox& stream, uint64_t elem_begin, double* out,
+                     size_t n) const override;
   double Mean() const override { return mean_; }
   double Variance() const override { return stddev_ * stddev_; }
   double stddev() const { return stddev_; }
@@ -66,6 +82,9 @@ class UniformDistribution final : public ScalarDistribution {
   double Pdf(double x) const override;
   double Cdf(double x) const override;
   double Sample(Rng* rng) const override;
+  bool SupportsBatchSampling() const override { return true; }
+  void SampleSliceAt(const Philox& stream, uint64_t elem_begin, double* out,
+                     size_t n) const override;
   double Mean() const override { return 0.5 * (lo_ + hi_); }
   double Variance() const override { return (hi_ - lo_) * (hi_ - lo_) / 12.0; }
   double lo() const { return lo_; }
@@ -89,6 +108,9 @@ class LaplaceDistribution final : public ScalarDistribution {
   double Pdf(double x) const override;
   double Cdf(double x) const override;
   double Sample(Rng* rng) const override;
+  bool SupportsBatchSampling() const override { return true; }
+  void SampleSliceAt(const Philox& stream, uint64_t elem_begin, double* out,
+                     size_t n) const override;
   double Mean() const override { return mean_; }
   double Variance() const override { return 2.0 * scale_ * scale_; }
   double scale() const { return scale_; }

@@ -27,14 +27,20 @@ class Rng {
     return mean + stddev * normal_(engine_);
   }
 
-  /// Uniform draw on [lo, hi).
+  /// Uniform draw on [lo, hi). The distribution object is a hoisted
+  /// member invoked with per-call params — libstdc++ evaluates the
+  /// param-call identically to a freshly constructed distribution, so
+  /// the draw sequence is unchanged (pinned by RngTest golden values)
+  /// while the per-call construction is gone.
   double Uniform(double lo, double hi) {
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    return uniform_(engine_,
+                    std::uniform_real_distribution<double>::param_type(lo, hi));
   }
 
-  /// Uniform integer on [lo, hi] inclusive.
+  /// Uniform integer on [lo, hi] inclusive (hoisted like Uniform).
   int64_t UniformInt(int64_t lo, int64_t hi) {
-    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    return uniform_int_(
+        engine_, std::uniform_int_distribution<int64_t>::param_type(lo, hi));
   }
 
   /// A fresh independent seed derived from this stream (for spawning
@@ -54,6 +60,8 @@ class Rng {
  private:
   std::mt19937_64 engine_;
   std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform_;
+  std::uniform_int_distribution<int64_t> uniform_int_;
 };
 
 }  // namespace stats

@@ -184,6 +184,50 @@ TEST(MaskSchemeTest, LowThetaStillRecoversSupportWithMoreSamples) {
   EXPECT_NEAR(support.value(), 0.25, 0.03);
 }
 
+TEST(WarnerSchemeTest, BatchDisguiseMatchesEstimatorContract) {
+  auto scheme = WarnerScheme::Create(0.8);
+  ASSERT_TRUE(scheme.ok());
+  const size_t n = 50000;
+  BitVector truth(n);
+  for (size_t i = 0; i < n; ++i) truth[i] = i % 4 == 0 ? 1 : 0;  // pi = 0.25
+  stats::Philox gen(11, 0);
+  const BitVector disguised = scheme.value().DisguiseAll(truth, &gen);
+  ASSERT_EQ(disguised.size(), n);
+  auto pi = scheme.value().EstimateProportion(disguised);
+  ASSERT_TRUE(pi.ok());
+  EXPECT_NEAR(pi.value(), 0.25, 0.02);
+  // Deterministic: same seed, same disguise.
+  stats::Philox gen2(11, 0);
+  EXPECT_EQ(scheme.value().DisguiseAll(truth, &gen2), disguised);
+  // Different seeds flip different coins.
+  stats::Philox gen3(12, 0);
+  EXPECT_NE(scheme.value().DisguiseAll(truth, &gen3), disguised);
+}
+
+TEST(MaskSchemeTest, BatchDisguiseSupportsEstimation) {
+  auto scheme = MaskScheme::Create(0.9);
+  ASSERT_TRUE(scheme.ok());
+  const size_t n = 40000;
+  linalg::Matrix transactions(n, 2, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    transactions(i, 0) = i % 4 == 0 ? 1.0 : 0.0;  // support 0.25
+    transactions(i, 1) = i % 2 == 0 ? 1.0 : 0.0;  // support 0.5
+  }
+  stats::Philox gen(19, 0);
+  auto disguised = scheme.value().Disguise(transactions, &gen);
+  ASSERT_TRUE(disguised.ok());
+  auto support0 = scheme.value().EstimateItemSupport(disguised.value(), 0);
+  auto support1 = scheme.value().EstimateItemSupport(disguised.value(), 1);
+  ASSERT_TRUE(support0.ok());
+  ASSERT_TRUE(support1.ok());
+  EXPECT_NEAR(support0.value(), 0.25, 0.03);
+  EXPECT_NEAR(support1.value(), 0.5, 0.03);
+  // Batch disguise validates input like the scalar path.
+  linalg::Matrix bad(1, 2, 0.5);
+  stats::Philox gen2(1, 0);
+  EXPECT_FALSE(scheme.value().Disguise(bad, &gen2).ok());
+}
+
 }  // namespace
 }  // namespace perturb
 }  // namespace randrecon

@@ -1,5 +1,6 @@
 #include "perturb/schemes.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -185,6 +186,58 @@ TEST(Theorem82Test, DisguisedCovarianceIsSumOfParts) {
   const Matrix expected = synthetic.value().covariance + sigma_r;
   EXPECT_LT(linalg::MaxAbsDifference(sigma_y, expected),
             0.05 * linalg::FrobeniusNorm(expected));
+}
+
+TEST(SchemesTest, AddNoiseAtMatchesIndependentNoiseStatistics) {
+  const auto scheme = IndependentNoiseScheme::Gaussian(3, 2.0);
+  ASSERT_TRUE(scheme.SupportsBatchNoise());
+  const size_t n = 60000;
+  Matrix chunk(n, 3, 0.0);
+  scheme.AddNoiseAt(stats::Philox(17, 0), 0, n, &chunk);
+  const Matrix cov = stats::SampleCovariance(chunk);
+  EXPECT_NEAR(cov(0, 0), 4.0, 0.15);
+  EXPECT_NEAR(cov(1, 1), 4.0, 0.15);
+  EXPECT_NEAR(cov(0, 1), 0.0, 0.1);
+  const linalg::Vector means = stats::ColumnMeans(chunk);
+  for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(means[j], 0.0, 0.05);
+}
+
+TEST(SchemesTest, AddNoiseAtIsSplitInvariant) {
+  // Adding noise for [0, n) in one call equals any sequence of
+  // consecutive-range calls — the chunk-size invariance the perturbing
+  // record source builds on.
+  const auto scheme = IndependentNoiseScheme::Uniform(2, 1.5);
+  ASSERT_TRUE(scheme.SupportsBatchNoise());
+  const stats::Philox base(3, 2);
+  const size_t n = 700;
+  Matrix whole(n, 2, 0.0);
+  scheme.AddNoiseAt(base, 0, n, &whole);
+  for (size_t chunk_rows : {size_t{1}, size_t{7}, size_t{64}, size_t{256}}) {
+    Matrix pieces(n, 2, 0.0);
+    for (size_t begin = 0; begin < n; begin += chunk_rows) {
+      const size_t rows = std::min(chunk_rows, n - begin);
+      Matrix piece(rows, 2, 0.0);
+      scheme.AddNoiseAt(base, begin, rows, &piece);
+      for (size_t i = 0; i < rows; ++i) {
+        for (size_t j = 0; j < 2; ++j) pieces(begin + i, j) = piece(i, j);
+      }
+    }
+    EXPECT_EQ(linalg::MaxAbsDifference(whole, pieces), 0.0)
+        << "chunk " << chunk_rows;
+  }
+}
+
+TEST(SchemesTest, CorrelatedAddNoiseAtReproducesCovariance) {
+  Matrix sigma_r{{4.0, 1.2}, {1.2, 2.0}};
+  auto scheme = CorrelatedGaussianScheme::Create(sigma_r);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_TRUE(scheme.value().SupportsBatchNoise());
+  const size_t n = 60000;
+  Matrix chunk(n, 2, 0.0);
+  scheme.value().AddNoiseAt(stats::Philox(23, 0), 0, n, &chunk);
+  const Matrix cov = stats::SampleCovariance(chunk);
+  EXPECT_LT(linalg::MaxAbsDifference(cov, sigma_r),
+            0.05 * linalg::FrobeniusNorm(sigma_r));
 }
 
 }  // namespace

@@ -118,6 +118,221 @@ TEST(PerturbingRecordSourceTest, DisguisedStreamIsChunkSizeInvariant) {
   EXPECT_EQ(linalg::MaxAbsDifference(one_by_one, all_at_once), 0.0);
 }
 
+/// Drains with an explicit worker budget on the batch sources.
+template <typename Source>
+Matrix DrainWithThreads(Source* source, size_t chunk_rows, int threads) {
+  ParallelOptions options;
+  options.num_threads = threads;
+  source->set_parallel_options(options);
+  return Drain(source, chunk_rows);
+}
+
+TEST(MvnRecordSourceTest, BatchModeIsChunkAndThreadInvariant) {
+  const Matrix covariance = Matrix{{2.0, 0.5, 0.1},
+                                   {0.5, 1.0, 0.0},
+                                   {0.1, 0.0, 3.0}};
+  const size_t n = 1000;  // straddles several generation blocks
+  auto make = [&] {
+    auto source = MvnRecordSource::Create({0.5, 0.0, -1.0}, covariance, n,
+                                          /*seed=*/42,
+                                          GeneratorMode::kCounterBatch);
+    EXPECT_TRUE(source.ok()) << source.status().ToString();
+    return std::move(source).value();
+  };
+  MvnRecordSource reference_source = make();
+  const Matrix reference = DrainWithThreads(&reference_source, 64, 1);
+  ASSERT_EQ(reference.rows(), n);
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{64}, n}) {
+    for (int threads : {1, 4}) {
+      MvnRecordSource source = make();
+      const Matrix streamed = DrainWithThreads(&source, chunk, threads);
+      EXPECT_EQ(linalg::MaxAbsDifference(streamed, reference), 0.0)
+          << "chunk " << chunk << " threads " << threads;
+    }
+  }
+}
+
+TEST(MvnRecordSourceTest, BatchModeResetReplaysIdentically) {
+  auto source = MvnRecordSource::Create({0.0, 0.0}, Matrix::Identity(2), 517,
+                                        /*seed=*/9,
+                                        GeneratorMode::kCounterBatch);
+  ASSERT_TRUE(source.ok());
+  MvnRecordSource s = std::move(source).value();
+  const Matrix first = Drain(&s, 33);
+  ASSERT_TRUE(s.Reset().ok());
+  const Matrix second = Drain(&s, 129);
+  EXPECT_EQ(linalg::MaxAbsDifference(first, second), 0.0);
+}
+
+TEST(MvnRecordSourceTest, SequentialModeStillStreamsRngDraws) {
+  // The legacy mt19937 path stays available (and distinct) for tests
+  // and small runs.
+  auto make = [](GeneratorMode mode) {
+    auto source = MvnRecordSource::Create({0.0, 0.0}, Matrix::Identity(2),
+                                          200, /*seed=*/4, mode);
+    EXPECT_TRUE(source.ok());
+    return std::move(source).value();
+  };
+  MvnRecordSource sequential = make(GeneratorMode::kSequentialRng);
+  const Matrix seq_a = Drain(&sequential, 13);
+  ASSERT_TRUE(sequential.Reset().ok());
+  const Matrix seq_b = Drain(&sequential, 200);
+  EXPECT_EQ(linalg::MaxAbsDifference(seq_a, seq_b), 0.0);
+  MvnRecordSource batch = make(GeneratorMode::kCounterBatch);
+  const Matrix batch_records = Drain(&batch, 200);
+  EXPECT_GT(linalg::MaxAbsDifference(seq_a, batch_records), 0.0);
+}
+
+TEST(PerturbingRecordSourceTest, BatchNoiseIsChunkAndThreadInvariant) {
+  stats::Rng rng(5);
+  const Matrix data = rng.GaussianMatrix(700, 3);
+  const auto scheme = perturb::IndependentNoiseScheme::Gaussian(3, 1.0);
+  auto make = [&] {
+    return PerturbingRecordSource(std::make_unique<MatrixRecordSource>(&data),
+                                  &scheme, /*seed=*/13,
+                                  GeneratorMode::kCounterBatch);
+  };
+  PerturbingRecordSource reference_source = make();
+  EXPECT_EQ(reference_source.mode(), GeneratorMode::kCounterBatch);
+  const Matrix reference = DrainWithThreads(&reference_source, 64, 1);
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{64}, size_t{700}}) {
+    for (int threads : {1, 4}) {
+      PerturbingRecordSource source = make();
+      const Matrix streamed = DrainWithThreads(&source, chunk, threads);
+      EXPECT_EQ(linalg::MaxAbsDifference(streamed, reference), 0.0)
+          << "chunk " << chunk << " threads " << threads;
+    }
+  }
+  // And the noise actually perturbed the records.
+  EXPECT_GT(linalg::MaxAbsDifference(reference, data), 0.0);
+}
+
+TEST(PerturbingRecordSourceTest, BatchUniformNoiseInvariance) {
+  stats::Rng rng(6);
+  const Matrix data = rng.GaussianMatrix(300, 2);
+  const auto scheme = perturb::IndependentNoiseScheme::Uniform(2, 2.0);
+  PerturbingRecordSource a(std::make_unique<MatrixRecordSource>(&data),
+                           &scheme, /*seed=*/3,
+                           GeneratorMode::kCounterBatch);
+  EXPECT_EQ(a.mode(), GeneratorMode::kCounterBatch);
+  const Matrix one_by_one = Drain(&a, 1);
+  PerturbingRecordSource b(std::make_unique<MatrixRecordSource>(&data),
+                           &scheme, /*seed=*/3,
+                           GeneratorMode::kCounterBatch);
+  const Matrix all_at_once = Drain(&b, 300);
+  EXPECT_EQ(linalg::MaxAbsDifference(one_by_one, all_at_once), 0.0);
+}
+
+TEST(PerturbingRecordSourceTest, BatchCorrelatedNoiseInvariance) {
+  stats::Rng rng(8);
+  const Matrix data = rng.GaussianMatrix(600, 2);
+  const Matrix noise_cov = Matrix{{1.0, 0.6}, {0.6, 1.0}};
+  auto scheme = perturb::CorrelatedGaussianScheme::Create(noise_cov);
+  ASSERT_TRUE(scheme.ok());
+  auto make = [&] {
+    return PerturbingRecordSource(std::make_unique<MatrixRecordSource>(&data),
+                                  &scheme.value(), /*seed=*/21,
+                                  GeneratorMode::kCounterBatch);
+  };
+  PerturbingRecordSource a = make();
+  EXPECT_EQ(a.mode(), GeneratorMode::kCounterBatch);
+  const Matrix by_17 = Drain(&a, 17);
+  PerturbingRecordSource b = make();
+  const Matrix by_256 = Drain(&b, 256);
+  EXPECT_EQ(linalg::MaxAbsDifference(by_17, by_256), 0.0);
+}
+
+TEST(PerturbingRecordSourceTest, SequentialCorrelatedNoiseCrossesGemmCutoff) {
+  // Regression: GenerateNoise must stay record-by-record in sequential
+  // mode. Routing it through the batched SampleMatrix would flip the
+  // blocked-vs-naive GEMM path with the chunk size (cutoff at
+  // rows*m*m ~ 2^20) and silently break bitwise chunk invariance —
+  // n=2048 x m=32 puts the one-big-chunk drain past that cutoff.
+  const size_t m = 32, n = 2048;
+  stats::Rng cov_rng(99);
+  const Matrix g = cov_rng.GaussianMatrix(m, m);
+  Matrix cov(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      double dot = 0.0;
+      for (size_t k = 0; k < m; ++k) dot += g(i, k) * g(j, k);
+      cov(i, j) = dot / m + (i == j ? 1.0 : 0.0);
+    }
+  }
+  auto scheme = perturb::CorrelatedGaussianScheme::Create(cov);
+  ASSERT_TRUE(scheme.ok());
+  stats::Rng data_rng(1);
+  const Matrix data = data_rng.GaussianMatrix(n, m);
+  auto make = [&] {
+    return PerturbingRecordSource(std::make_unique<MatrixRecordSource>(&data),
+                                  &scheme.value(), /*seed=*/5,
+                                  GeneratorMode::kSequentialRng);
+  };
+  PerturbingRecordSource small_chunks = make();
+  const Matrix by_64 = Drain(&small_chunks, 64);
+  PerturbingRecordSource one_chunk = make();
+  const Matrix at_once = Drain(&one_chunk, n);
+  EXPECT_EQ(linalg::MaxAbsDifference(by_64, at_once), 0.0);
+}
+
+TEST(PerturbingRecordSourceTest, FallsBackWhenSchemeLacksBatchNoise) {
+  // A scheme whose marginals cannot batch-sample silently downgrades to
+  // the sequential Rng mode and keeps all stream contracts.
+  class NoBatchScheme final : public perturb::RandomizationScheme {
+   public:
+    explicit NoBatchScheme(perturb::IndependentNoiseScheme inner)
+        : inner_(std::move(inner)) {}
+    size_t num_attributes() const override {
+      return inner_.num_attributes();
+    }
+    linalg::Matrix GenerateNoise(size_t num_records,
+                                 stats::Rng* rng) const override {
+      return inner_.GenerateNoise(num_records, rng);
+    }
+    bool SupportsBatchNoise() const override { return false; }
+    const perturb::NoiseModel& noise_model() const override {
+      return inner_.noise_model();
+    }
+
+   private:
+    perturb::IndependentNoiseScheme inner_;
+  };
+  stats::Rng rng(7);
+  const Matrix data = rng.GaussianMatrix(120, 2);
+  const NoBatchScheme scheme(perturb::IndependentNoiseScheme::Gaussian(2, 0.5));
+  PerturbingRecordSource source(std::make_unique<MatrixRecordSource>(&data),
+                                &scheme, /*seed=*/2,
+                                GeneratorMode::kCounterBatch);
+  EXPECT_EQ(source.mode(), GeneratorMode::kSequentialRng);
+  const Matrix first = Drain(&source, 11);
+  ASSERT_TRUE(source.Reset().ok());
+  const Matrix second = Drain(&source, 120);
+  EXPECT_EQ(linalg::MaxAbsDifference(first, second), 0.0);
+}
+
+TEST(PerturbingRecordSourceTest, MvnPlusNoiseEndToEndInvariance) {
+  // The full synthetic attack input — MVN population + independent noise,
+  // both on the counter substrate — re-chunks bitwise identically.
+  const Matrix covariance = Matrix{{2.0, 0.4}, {0.4, 1.0}};
+  const auto scheme = perturb::IndependentNoiseScheme::Gaussian(2, 0.5);
+  auto make = [&] {
+    auto inner = MvnRecordSource::Create({0.0, 0.0}, covariance, 555,
+                                         /*seed=*/31,
+                                         GeneratorMode::kCounterBatch);
+    EXPECT_TRUE(inner.ok());
+    return PerturbingRecordSource(
+        std::make_unique<MvnRecordSource>(std::move(inner).value()), &scheme,
+        /*seed=*/32, GeneratorMode::kCounterBatch);
+  };
+  PerturbingRecordSource a = make();
+  const Matrix ref = Drain(&a, 64);
+  for (size_t chunk : {size_t{1}, size_t{7}, size_t{555}}) {
+    PerturbingRecordSource s = make();
+    EXPECT_EQ(linalg::MaxAbsDifference(Drain(&s, chunk), ref), 0.0)
+        << "chunk " << chunk;
+  }
+}
+
 }  // namespace
 }  // namespace pipeline
 }  // namespace randrecon

@@ -1,6 +1,7 @@
 #include "stats/distribution.h"
 
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -218,6 +219,52 @@ TEST(MixtureDistributionTest, CloneIsDeep) {
   auto clone = mix->Clone();
   EXPECT_DOUBLE_EQ(clone->Pdf(1.2345), mix->Pdf(1.2345));
   EXPECT_NE(clone->ToString().find("Mixture"), std::string::npos);
+}
+
+TEST(DistributionBatchTest, SlicesMatchDistributionMoments) {
+  const size_t n = 120000;
+  std::vector<double> draws(n);
+
+  NormalDistribution normal(1.0, 2.0);
+  ASSERT_TRUE(normal.SupportsBatchSampling());
+  normal.SampleSliceAt(Philox(2, 0), 0, draws.data(), n);
+  double sum = 0.0, sq = 0.0;
+  for (double v : draws) { sum += v; sq += v * v; }
+  EXPECT_NEAR(sum / n, 1.0, 0.03);
+  EXPECT_NEAR(sq / n - (sum / n) * (sum / n), 4.0, 0.1);
+
+  UniformDistribution uniform(-3.0, 1.0);
+  ASSERT_TRUE(uniform.SupportsBatchSampling());
+  uniform.SampleSliceAt(Philox(3, 0), 0, draws.data(), n);
+  sum = sq = 0.0;
+  for (double v : draws) {
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 1.0);
+    sum += v; sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, -1.0, 0.03);
+  EXPECT_NEAR(sq / n - (sum / n) * (sum / n), 16.0 / 12.0, 0.05);
+
+  LaplaceDistribution laplace(0.5, 1.5);
+  ASSERT_TRUE(laplace.SupportsBatchSampling());
+  laplace.SampleSliceAt(Philox(4, 0), 0, draws.data(), n);
+  sum = sq = 0.0;
+  for (double v : draws) { sum += v; sq += v * v; }
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+  EXPECT_NEAR(sq / n - (sum / n) * (sum / n), 2.0 * 1.5 * 1.5, 0.15);
+}
+
+TEST(DistributionBatchTest, SlicesAreElementIndexed) {
+  // Slice [k, k+len) must be the window of slice [0, n) — the property
+  // the independent-noise batch path relies on for straddled blocks.
+  LaplaceDistribution laplace(0.0, 1.0);
+  std::vector<double> whole(500), window(100);
+  const Philox stream(9, 7);
+  laplace.SampleSliceAt(stream, 0, whole.data(), whole.size());
+  laplace.SampleSliceAt(stream, 123, window.data(), window.size());
+  for (size_t i = 0; i < window.size(); ++i) {
+    ASSERT_EQ(window[i], whole[123 + i]) << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,335 @@
+// Contract tests for the counter-based random substrate: Philox4x32-10
+// known-answer vectors, O(1) seek, substream derivation, bitwise
+// SIMD/scalar equality of the batch kernels on every tail length, and
+// statistical sanity (moments, tails) of the batch distributions.
+
+#include "stats/philox.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace stats {
+namespace {
+
+namespace pi = philox_internal;
+
+// ---------------------------------------------------------------------------
+// Known-answer vectors. "zeros"/"ones"/"pi" are the canonical Random123
+// philox4x32-10 kat_vectors test cases expressed through this class's
+// (block, stream, seed) counter layout; the seed-42 vectors pin the
+// repo's own layout (counter = block/stream words, key = seed words) so
+// any accidental re-arrangement fails loudly.
+// ---------------------------------------------------------------------------
+
+TEST(PhiloxTest, KnownAnswerVectors) {
+  uint32_t w[4];
+  pi::ReferenceBlock(0, 0, 0, w);
+  EXPECT_EQ(w[0], 0x6627e8d5u);
+  EXPECT_EQ(w[1], 0xe169c58du);
+  EXPECT_EQ(w[2], 0xbc57ac4cu);
+  EXPECT_EQ(w[3], 0x9b00dbd8u);
+
+  pi::ReferenceBlock(~uint64_t{0}, ~uint64_t{0}, ~uint64_t{0}, w);
+  EXPECT_EQ(w[0], 0x408f276du);
+  EXPECT_EQ(w[1], 0x41c83b0eu);
+  EXPECT_EQ(w[2], 0xa20bc7c6u);
+  EXPECT_EQ(w[3], 0x6d5451fdu);
+
+  // Counter = first 128 bits of pi, key = next 64 (Random123 "pi" case).
+  pi::ReferenceBlock(0x85a308d3243f6a88ull, 0x0370734413198a2eull,
+                     0x299f31d0a4093822ull, w);
+  EXPECT_EQ(w[0], 0xd16cfe09u);
+  EXPECT_EQ(w[1], 0x94fdccebu);
+  EXPECT_EQ(w[2], 0x5001e420u);
+  EXPECT_EQ(w[3], 0x24126ea1u);
+
+  pi::ReferenceBlock(0, 0, 42, w);
+  EXPECT_EQ(w[0], 0x9ceaf053u);
+  EXPECT_EQ(w[1], 0x77f5493bu);
+  EXPECT_EQ(w[2], 0x12bf50adu);
+  EXPECT_EQ(w[3], 0x5742b3d7u);
+
+  pi::ReferenceBlock(1, 0, 42, w);
+  EXPECT_EQ(w[0], 0xfcdb2127u);
+  EXPECT_EQ(w[1], 0x53ba6cfdu);
+  EXPECT_EQ(w[2], 0x838f5a6eu);
+  EXPECT_EQ(w[3], 0x744e06fbu);
+
+  pi::ReferenceBlock(uint64_t{1} << 32, 0, 42, w);  // block counter carry
+  EXPECT_EQ(w[0], 0x42e0b8b3u);
+  EXPECT_EQ(w[1], 0x7dbf5de8u);
+  EXPECT_EQ(w[2], 0x2fe739d4u);
+  EXPECT_EQ(w[3], 0x6aaf03ebu);
+
+  pi::ReferenceBlock(0, 7, 42, w);  // distinct stream word
+  EXPECT_EQ(w[0], 0x67ee6f2cu);
+  EXPECT_EQ(w[1], 0xe55410ccu);
+  EXPECT_EQ(w[2], 0x6c7eca35u);
+  EXPECT_EQ(w[3], 0x557398d3u);
+}
+
+TEST(PhiloxTest, WordStreamFollowsLaneMajorGroupLayout) {
+  // Word w of a stream = output word (w%64)/16 of block 16*(w/64) + w%16.
+  Philox gen(42, 7);
+  for (uint64_t w = 0; w < 200; ++w) {
+    uint32_t block[4];
+    const uint64_t group = w / Philox::kWordsPerGroup;
+    const size_t slot = (w % Philox::kWordsPerGroup) / Philox::kBlocksPerGroup;
+    const size_t lane = (w % Philox::kWordsPerGroup) % Philox::kBlocksPerGroup;
+    pi::ReferenceBlock(group * Philox::kBlocksPerGroup + lane, 7, 42, block);
+    EXPECT_EQ(gen.Next32(), block[slot]) << "word " << w;
+  }
+}
+
+TEST(PhiloxTest, SeekIsExactRandomAccess) {
+  Philox streamed(9, 1);
+  std::vector<uint32_t> words(500);
+  for (auto& v : words) v = streamed.Next32();
+  for (uint64_t target : {0ull, 1ull, 17ull, 63ull, 64ull, 65ull, 130ull,
+                          499ull}) {
+    Philox seeker(9, 1);
+    seeker.Seek(target);
+    EXPECT_EQ(seeker.position(), target);
+    EXPECT_EQ(seeker.Next32(), words[target]) << "seek " << target;
+  }
+}
+
+TEST(PhiloxTest, SameSeedSameStreamIdentical) {
+  Philox a(1234, 9), b(1234, 9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next32(), b.Next32());
+}
+
+TEST(PhiloxTest, SeedsAndStreamsDecorrelate) {
+  Philox a(1, 0), b(2, 0), c(1, 1);
+  int diff_seed = 0, diff_stream = 0;
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t va = a.Next32();
+    diff_seed += va != b.Next32();
+    diff_stream += va != c.Next32();
+  }
+  EXPECT_GT(diff_seed, 12);
+  EXPECT_GT(diff_stream, 12);
+}
+
+TEST(PhiloxTest, SubstreamsAreDeterministicAndDistinct) {
+  const Philox base(77, 3);
+  Philox s0 = base.Substream(0);
+  Philox s0b = base.Substream(0);
+  Philox s1 = base.Substream(1);
+  EXPECT_EQ(s0.stream(), s0b.stream());
+  EXPECT_EQ(s0.seed(), base.seed());
+  EXPECT_NE(s0.stream(), s1.stream());
+  EXPECT_NE(s0.stream(), base.stream());
+  // Nested derivation keeps producing fresh streams.
+  Philox s00 = base.Substream(0).Substream(0);
+  EXPECT_NE(s00.stream(), s0.stream());
+  int diff = 0;
+  for (int i = 0; i < 16; ++i) diff += s0.Next32() != s1.Next32();
+  EXPECT_GT(diff, 12);
+}
+
+TEST(PhiloxTest, Next64AndUniformMatchWordStream) {
+  Philox words(5, 6);
+  uint32_t lo = words.Next32();
+  uint32_t hi = words.Next32();
+  Philox gen(5, 6);
+  EXPECT_EQ(gen.Next64(), (uint64_t{hi} << 32) | lo);
+  const uint64_t v = (uint64_t{hi} << 32) | lo;
+  Philox gen2(5, 6);
+  EXPECT_DOUBLE_EQ(gen2.NextUniform(),
+                   static_cast<double>(v >> 11) * 0x1.0p-53);
+}
+
+// ---------------------------------------------------------------------------
+// SIMD vs scalar bitwise equality.
+// ---------------------------------------------------------------------------
+
+TEST(PhiloxTest, RawEnginesBitwiseEqualOnAllOffsetsAndLengths) {
+  uint32_t scalar[300], dispatched[300];
+  for (uint64_t begin : {0ull, 1ull, 15ull, 16ull, 63ull, 64ull, 65ull,
+                         127ull, 1000000007ull}) {
+    for (size_t n = 0; n <= 130; ++n) {
+      pi::FillRawScalar(42, 7, begin, scalar, n);
+      pi::FillRawDispatched(42, 7, begin, dispatched, n);
+      ASSERT_EQ(std::memcmp(scalar, dispatched, n * sizeof(uint32_t)), 0)
+          << "engine " << pi::ActiveEngine() << " begin " << begin << " n "
+          << n;
+    }
+  }
+}
+
+TEST(PhiloxTest, BoxMullerBitwiseEqualOnAllTailLengths) {
+  constexpr size_t kMaxPairs = 70;  // covers every SIMD-width remainder
+  uint32_t words[2 * kMaxPairs];
+  pi::FillRawScalar(11, 2, 0, words, 2 * kMaxPairs);
+  double scalar[2 * kMaxPairs], dispatched[2 * kMaxPairs];
+  for (size_t pairs = 0; pairs <= kMaxPairs; ++pairs) {
+    pi::BoxMullerScalar(words, scalar, pairs);
+    pi::BoxMullerDispatched(words, dispatched, pairs);
+    ASSERT_EQ(std::memcmp(scalar, dispatched, 2 * pairs * sizeof(double)), 0)
+        << "engine " << pi::ActiveEngine() << " pairs " << pairs;
+  }
+}
+
+TEST(PhiloxTest, GaussianSliceCoversEveryTailAlignment) {
+  // Slices must be exact windows of the canonical element sequence for
+  // any (offset, length) — including odd offsets that split a pair.
+  const Philox base(3, 14);
+  double full[257];
+  GaussianSliceAt(base, 0, full, 257);
+  double out[257];
+  for (uint64_t begin = 0; begin < 9; ++begin) {
+    for (size_t n : {0, 1, 2, 3, 7, 8, 16, 17, 64, 200}) {
+      GaussianSliceAt(base, begin, out, n);
+      ASSERT_EQ(std::memcmp(out, full + begin, n * sizeof(double)), 0)
+          << "begin " << begin << " n " << n;
+    }
+  }
+}
+
+TEST(PhiloxTest, FillsMatchSlicesFromFreshGenerator) {
+  const Philox base(21, 4);
+  double a[100], b[100];
+  Philox gen = base;
+  gen.FillGaussian(a, 75);
+  GaussianSliceAt(base, 0, b, 75);
+  EXPECT_EQ(std::memcmp(a, b, 75 * sizeof(double)), 0);
+
+  gen = base;
+  gen.FillUniform(a, 60);
+  UniformSliceAt(base, 0, b, 60);
+  EXPECT_EQ(std::memcmp(a, b, 60 * sizeof(double)), 0);
+
+  uint8_t ba[80], bb[80];
+  gen = base;
+  gen.FillBernoulli(0.25, ba, 80);
+  BernoulliSliceAt(base, 0.25, 0, bb, 80);
+  EXPECT_EQ(std::memcmp(ba, bb, 80), 0);
+}
+
+TEST(PhiloxTest, FillsAdvanceTheCursorConsistently) {
+  // Two gaussian fills back to back == one big fill (even lengths).
+  Philox split(8, 8), whole(8, 8);
+  double a[96], b[96];
+  split.FillGaussian(a, 40);
+  split.FillGaussian(a + 40, 56);
+  whole.FillGaussian(b, 96);
+  EXPECT_EQ(std::memcmp(a, b, sizeof(a)), 0);
+  EXPECT_EQ(split.position(), whole.position());
+}
+
+// ---------------------------------------------------------------------------
+// Statistical sanity.
+// ---------------------------------------------------------------------------
+
+TEST(PhiloxTest, BatchGaussianMomentsAndTails) {
+  constexpr size_t kN = 400000;
+  std::vector<double> z(kN);
+  Philox gen(123, 5);
+  gen.FillGaussian(z.data(), kN);
+  double sum = 0.0;
+  for (double v : z) sum += v;
+  const double mean = sum / kN;
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  size_t tail3 = 0;
+  for (double v : z) {
+    const double d = v - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+    if (std::fabs(v) > 3.0) ++tail3;
+  }
+  m2 /= kN;
+  m3 /= kN;
+  m4 /= kN;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(m2, 1.0, 0.01);
+  EXPECT_NEAR(m3 / std::pow(m2, 1.5), 0.0, 0.03);        // skewness
+  EXPECT_NEAR(m4 / (m2 * m2), 3.0, 0.08);                // kurtosis
+  EXPECT_NEAR(static_cast<double>(tail3) / kN, 0.0027, 0.0008);
+  for (double v : z) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_LT(std::fabs(v), 7.0);  // radius uniform is (0,1] at 2^-32
+  }
+}
+
+TEST(PhiloxTest, BatchGaussianAffineTransform) {
+  constexpr size_t kN = 100000;
+  std::vector<double> z(kN);
+  Philox gen(9, 0);
+  gen.FillGaussian(5.0, 2.0, z.data(), kN);
+  double sum = 0.0, sq = 0.0;
+  for (double v : z) {
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(sq / kN - mean * mean, 4.0, 0.1);
+}
+
+TEST(PhiloxTest, BatchUniformMomentsAndRange) {
+  constexpr size_t kN = 200000;
+  std::vector<double> u(kN);
+  Philox gen(55, 1);
+  gen.FillUniform(-2.0, 6.0, u.data(), kN);
+  double sum = 0.0, sq = 0.0;
+  for (double v : u) {
+    ASSERT_GE(v, -2.0);
+    ASSERT_LT(v, 6.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 2.0, 0.02);
+  EXPECT_NEAR(sq / kN - mean * mean, 64.0 / 12.0, 0.06);
+}
+
+TEST(PhiloxTest, BatchBernoulliProportion) {
+  constexpr size_t kN = 200000;
+  std::vector<uint8_t> bits(kN);
+  Philox gen(31, 2);
+  gen.FillBernoulli(0.3, bits.data(), kN);
+  size_t ones = 0;
+  for (uint8_t b : bits) {
+    ASSERT_LE(b, 1);
+    ones += b;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kN, 0.3, 0.005);
+}
+
+TEST(PhiloxTest, Log01MatchesLibm) {
+  for (double x : {1.0, 0.999999, 0.75, 0.5, 0.25, 1e-3, 1e-9, 0x1.0p-32,
+                   0x1.0p-53}) {
+    EXPECT_NEAR(Log01(x), std::log(x), 1e-9 * (1.0 + std::fabs(std::log(x))))
+        << "x = " << x;
+  }
+}
+
+TEST(PhiloxTest, BoxMullerMatchesLibmTransform) {
+  // The polynomial kernels should agree with a libm Box–Muller to ~1e-10.
+  constexpr size_t kPairs = 512;
+  uint32_t words[2 * kPairs];
+  pi::FillRawScalar(17, 0, 0, words, 2 * kPairs);
+  double z[2 * kPairs];
+  pi::BoxMullerDispatched(words, z, kPairs);
+  for (size_t p = 0; p < kPairs; ++p) {
+    const double u1 = (static_cast<double>(words[2 * p]) + 1.0) * 0x1.0p-32;
+    const uint32_t w1 = words[2 * p + 1];
+    const double theta =
+        (static_cast<double>(w1 >> 30) +
+         static_cast<double>(w1 & 0x3FFFFFFFu) * 0x1.0p-30 - 0.5) *
+        (M_PI / 2.0);
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    ASSERT_NEAR(z[2 * p], r * std::cos(theta), 1e-10);
+    ASSERT_NEAR(z[2 * p + 1], r * std::sin(theta), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace randrecon
