@@ -1,0 +1,351 @@
+// Micro-benchmark for the storage backends (PR 4): CSV parsing vs the
+// memory-mapped binary column store, over the exact ingest path the
+// streaming attacks use (RecordSource chunks). Writes BENCH_io.json so
+// the ingest trajectory is checked in.
+//
+// Methodology: a synthetic disguised population is exported to CSV
+// (precision 10, a realistic report log), then converted to a column
+// store — so BOTH files hold bitwise-identical f64 records (the CSV's
+// rounding happened before the store was built) and any reader
+// divergence is a bug, not precision. The benchmark then times:
+//   * write_csv / write_store  — streaming each file out;
+//   * ingest_csv / ingest_store — a full chunked drain of each source
+//     (the store pays its lazy per-block checksum verification here);
+//   * e2e_sf_csv / e2e_sf_store — the two-pass streaming SF attack,
+//     whose wall clock at n >= 1e6 was dominated by CSV parsing.
+//
+// Exit gates (CI runs --smoke=true):
+//   * the two sources must stream bitwise-identical records;
+//   * the SF attack over the store must report bitwise-identical
+//     eigenvalues/mean/RMSE to the CSV path;
+//   * ingest_store must beat ingest_csv by >= 10x at n = 1e6
+//     (>= 4x in smoke, where fixed overheads weigh more).
+//
+// Flags: --smoke=true     small sizes / fewer reps (CI)
+//        --seed=N         RNG seed (default 7)
+//        --chunk_rows=N   streamed chunk size (default 4096)
+//        --json=PATH      output path (default BENCH_io.json)
+//        --keep_files=true  leave the generated files on disk
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "data/column_store.h"
+#include "data/synthetic.h"
+#include "linalg/eigen.h"
+#include "perturb/schemes.h"
+#include "pipeline/chunk_sink.h"
+#include "pipeline/record_source.h"
+#include "pipeline/source_factory.h"
+#include "pipeline/streaming_attack.h"
+#include "stats/random_orthogonal.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace bench {
+namespace {
+
+using linalg::Matrix;
+
+double MedianOf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+template <typename Fn>
+double TimeMedian(int reps, const Fn& fn) {
+  std::vector<double> samples;
+  for (int rep = 0; rep < reps; ++rep) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(std::max(watch.ElapsedSeconds(), 1e-9));
+  }
+  return MedianOf(std::move(samples));
+}
+
+void Record(std::vector<BenchResult>* results, const std::string& name,
+            double seconds, double records,
+            std::vector<std::pair<std::string, double>> metrics = {}) {
+  BenchResult result;
+  result.name = name;
+  result.elapsed_seconds = seconds;
+  result.records_per_second = records / seconds;
+  result.metrics = std::move(metrics);
+  results->push_back(result);
+  std::printf("%-24s %10.4fs  %12.0f rec/s", name.c_str(), seconds,
+              result.records_per_second);
+  for (const auto& metric : result.metrics) {
+    std::printf("  %s=%.4g", metric.first.c_str(), metric.second);
+  }
+  std::printf("\n");
+}
+
+double FileBytes(const std::string& path) {
+  struct stat file_stat;
+  return ::stat(path.c_str(), &file_stat) == 0
+             ? static_cast<double>(file_stat.st_size)
+             : 0.0;
+}
+
+[[noreturn]] void Die(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+/// Opens `path` through the sniffing factory (so the bench exercises the
+/// CLI ingest path) and drains it in `chunk`-row reads.
+size_t DrainFile(const std::string& path, size_t chunk, size_t m) {
+  auto opened = pipeline::OpenRecordSource(path);
+  if (!opened.ok()) Die(opened.status());
+  Matrix buffer(chunk, m);
+  size_t total = 0;
+  for (;;) {
+    auto rows = opened.value().source->NextChunk(&buffer);
+    if (!rows.ok()) Die(rows.status());
+    if (rows.value() == 0) break;
+    total += rows.value();
+  }
+  return total;
+}
+
+pipeline::StreamingAttackReport RunSfAttack(const std::string& path,
+                                            const perturb::NoiseModel& noise,
+                                            size_t chunk) {
+  auto opened = pipeline::OpenRecordSource(path);
+  if (!opened.ok()) Die(opened.status());
+  pipeline::StreamingAttackOptions options;
+  options.attack = pipeline::StreamingAttack::kSpectralFiltering;
+  options.chunk_rows = chunk;
+  pipeline::NullChunkSink sink;
+  auto report = pipeline::StreamingAttackPipeline(options).Run(
+      opened.value().source.get(), noise, &sink);
+  if (!report.ok()) Die(report.status());
+  return std::move(report).value();
+}
+
+/// Bitwise equality of everything the SF attack derives from the stream.
+bool ReportsIdentical(const pipeline::StreamingAttackReport& a,
+                      const pipeline::StreamingAttackReport& b) {
+  return a.num_records == b.num_records && a.num_components == b.num_components &&
+         a.eigenvalues == b.eigenvalues && a.mean == b.mean &&
+         std::memcmp(&a.rmse_vs_disguised, &b.rmse_vs_disguised,
+                     sizeof(double)) == 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace randrecon
+
+int main(int argc, char** argv) {
+  using namespace randrecon;
+  using bench::BenchResult;
+  using linalg::Matrix;
+
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = parsed.value();
+  const auto smoke = flags.GetBool("smoke", false);
+  const auto seed = flags.GetInt("seed", 7);
+  const auto chunk_rows = flags.GetInt("chunk_rows", 4096);
+  const auto keep_files = flags.GetBool("keep_files", false);
+  const std::string json_path = flags.GetString("json", "BENCH_io.json");
+  if (!smoke.ok() || !seed.ok() || !chunk_rows.ok() || chunk_rows.value() < 1 ||
+      !keep_files.ok()) {
+    std::fprintf(stderr, "bad flag value\n");
+    return 2;
+  }
+
+  const size_t m = smoke.value() ? 8 : 16;
+  const std::vector<size_t> sizes = smoke.value()
+                                        ? std::vector<size_t>{50000}
+                                        : std::vector<size_t>{100000, 1000000};
+  const size_t chunk = static_cast<size_t>(chunk_rows.value());
+  const double sigma = 0.5;
+  const double min_speedup = smoke.value() ? 4.0 : 10.0;
+
+  std::vector<BenchResult> results;
+  double worst_speedup = 1e300;
+  bool all_bitwise = true;
+
+  for (size_t n : sizes) {
+    const int reps = n <= 100000 ? 5 : 3;
+    const double records = static_cast<double>(n);
+    const std::string csv_path = "micro_io_" + std::to_string(n) + ".csv";
+    const std::string store_path =
+        "micro_io_" + std::to_string(n) + pipeline::kColumnStoreExtension;
+    std::printf("-- n=%zu m=%zu chunk=%zu\n", n, m, chunk);
+
+    // §7.1-style correlated population, disguised — streamed, never held.
+    stats::Rng rng(static_cast<uint64_t>(seed.value()) + n);
+    data::SyntheticDatasetSpec spec;
+    spec.eigenvalues = data::TwoLevelSpectrum(m, m / 4, 6.0, 0.2);
+    const Matrix basis = stats::RandomOrthogonalMatrix(m, &rng);
+    const Matrix covariance = linalg::ComposeFromEigen(spec.eigenvalues, basis);
+    const auto scheme = perturb::IndependentNoiseScheme::Gaussian(m, sigma);
+    const perturb::NoiseModel& noise = scheme.noise_model();
+    std::vector<std::string> names;
+    for (size_t j = 0; j < m; ++j) names.push_back("a" + std::to_string(j));
+
+    auto make_stream = [&](uint64_t stream_seed) {
+      auto mvn = pipeline::MvnRecordSource::Create(linalg::Vector(m, 0.0),
+                                                   covariance, n, stream_seed);
+      if (!mvn.ok()) bench::Die(mvn.status());
+      return pipeline::PerturbingRecordSource(
+          std::make_unique<pipeline::MvnRecordSource>(std::move(mvn).value()),
+          &scheme, stream_seed + 1);
+    };
+
+    // ---- Write side: the same generated stream to each backend.
+    const double csv_write_seconds = bench::TimeMedian(1, [&] {
+      auto source = make_stream(static_cast<uint64_t>(seed.value()));
+      auto created = pipeline::CsvChunkSink::Create(csv_path, names);
+      if (!created.ok()) bench::Die(created.status());
+      pipeline::CsvChunkSink sink = std::move(created).value();
+      Matrix buffer(chunk, m);
+      size_t offset = 0;
+      for (;;) {
+        auto rows = source.NextChunk(&buffer);
+        if (!rows.ok()) bench::Die(rows.status());
+        if (rows.value() == 0) break;
+        Status consumed = sink.Consume(offset, buffer, rows.value());
+        if (!consumed.ok()) bench::Die(consumed);
+        offset += rows.value();
+      }
+      Status closed = sink.Close();
+      if (!closed.ok()) bench::Die(closed);
+    });
+    // The store is built FROM the CSV, so both files hold the same
+    // (precision-rounded) doubles and every later comparison is bitwise.
+    const double store_write_seconds = bench::TimeMedian(1, [&] {
+      auto opened = pipeline::CsvRecordSource::Open(csv_path);
+      if (!opened.ok()) bench::Die(opened.status());
+      pipeline::CsvRecordSource source = std::move(opened).value();
+      auto created = pipeline::ColumnStoreChunkSink::Create(store_path, names);
+      if (!created.ok()) bench::Die(created.status());
+      pipeline::ColumnStoreChunkSink sink = std::move(created).value();
+      Matrix buffer(chunk, m);
+      size_t offset = 0;
+      for (;;) {
+        auto rows = source.NextChunk(&buffer);
+        if (!rows.ok()) bench::Die(rows.status());
+        if (rows.value() == 0) break;
+        Status consumed = sink.Consume(offset, buffer, rows.value());
+        if (!consumed.ok()) bench::Die(consumed);
+        offset += rows.value();
+      }
+      Status closed = sink.Close();
+      if (!closed.ok()) bench::Die(closed);
+    });
+    const double csv_bytes = bench::FileBytes(csv_path);
+    const double store_bytes = bench::FileBytes(store_path);
+    const std::string write_stem = "write/" + std::to_string(n);
+    bench::Record(&results, write_stem + "/csv", csv_write_seconds, records,
+                  {{"file_bytes", csv_bytes}});
+    bench::Record(&results, write_stem + "/store_from_csv", store_write_seconds,
+                  records, {{"file_bytes", store_bytes}});
+
+    // ---- Ingest: full chunked drain, the attacks' pass-1 access pattern.
+    auto drain_exactly = [&](const std::string& path) {
+      const size_t drained = bench::DrainFile(path, chunk, m);
+      if (drained != n) {
+        std::fprintf(stderr, "FAIL: '%s' served %zu records, expected %zu\n",
+                     path.c_str(), drained, n);
+        std::exit(1);
+      }
+    };
+    const double csv_ingest_seconds =
+        bench::TimeMedian(reps, [&] { drain_exactly(csv_path); });
+    const double store_ingest_seconds =
+        bench::TimeMedian(reps, [&] { drain_exactly(store_path); });
+    const double speedup = csv_ingest_seconds / store_ingest_seconds;
+    worst_speedup = std::min(worst_speedup, speedup);
+    const std::string ingest_stem = "ingest/" + std::to_string(n);
+    bench::Record(&results, ingest_stem + "/csv", csv_ingest_seconds, records,
+                  {{"bytes_per_second", csv_bytes / csv_ingest_seconds}});
+    bench::Record(&results, ingest_stem + "/store", store_ingest_seconds,
+                  records,
+                  {{"bytes_per_second", store_bytes / store_ingest_seconds},
+                   {"speedup", speedup}});
+
+    // ---- Fidelity: both sources must serve bitwise-identical records.
+    const Status bitwise =
+        pipeline::VerifyStreamsBitwiseEqual(csv_path, store_path, chunk);
+    all_bitwise = all_bitwise && bitwise.ok();
+    BenchResult fidelity;
+    fidelity.name = "bitwise/" + std::to_string(n);
+    fidelity.metrics.emplace_back("streams_bitwise_equal",
+                                  bitwise.ok() ? 1.0 : 0.0);
+    results.push_back(fidelity);
+    std::printf("%-24s %s\n", fidelity.name.c_str(),
+                bitwise.ok() ? "csv and store streams bitwise identical"
+                             : bitwise.ToString().c_str());
+
+    // ---- End-to-end: the two-pass streaming SF attack over each backend.
+    pipeline::StreamingAttackReport csv_report, store_report;
+    const double e2e_csv_seconds = bench::TimeMedian(reps, [&] {
+      csv_report = bench::RunSfAttack(csv_path, noise, chunk);
+    });
+    const double e2e_store_seconds = bench::TimeMedian(reps, [&] {
+      store_report = bench::RunSfAttack(store_path, noise, chunk);
+    });
+    const bool reports_equal =
+        bench::ReportsIdentical(csv_report, store_report);
+    all_bitwise = all_bitwise && reports_equal;
+    const std::string e2e_stem = "e2e_sf/" + std::to_string(n);
+    bench::Record(&results, e2e_stem + "/csv", e2e_csv_seconds, records);
+    bench::Record(&results, e2e_stem + "/store", e2e_store_seconds, records,
+                  {{"speedup", e2e_csv_seconds / e2e_store_seconds},
+                   {"attack_bitwise_equal", reports_equal ? 1.0 : 0.0}});
+    if (!reports_equal) {
+      std::printf("%-24s ATTACK REPORTS DIVERGED\n", e2e_stem.c_str());
+    }
+
+    if (!keep_files.value()) {
+      std::remove(csv_path.c_str());
+      std::remove(store_path.c_str());
+    }
+  }
+
+  if (!all_bitwise) {
+    std::fprintf(stderr,
+                 "FAIL: column-store stream or attack output diverged from "
+                 "the CSV path\n");
+    return 1;
+  }
+  if (worst_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: store ingest speedup %.2fx below the %.0fx gate\n",
+                 worst_speedup, min_speedup);
+    return 1;
+  }
+
+  const bench::BenchConfig config = {
+      {"smoke", smoke.value() ? "true" : "false"},
+      {"seed", std::to_string(seed.value())},
+      {"m", std::to_string(m)},
+      {"sigma", FormatDouble(sigma, 2)},
+      {"chunk_rows", std::to_string(chunk)},
+      {"block_rows", std::to_string(data::kDefaultColumnStoreBlockRows)},
+      {"min_speedup_gate", FormatDouble(min_speedup, 1)},
+  };
+  const Status json_status =
+      bench::WriteBenchJson(json_path, "micro_io", config, results);
+  if (!json_status.ok()) {
+    std::fprintf(stderr, "%s\n", json_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("bench json written to %s\n", json_path.c_str());
+  return 0;
+}

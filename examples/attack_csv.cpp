@@ -1,8 +1,12 @@
 // Command-line attack tool: run the paper's reconstruction suite against
-// YOUR disguised CSV.
+// YOUR disguised records.
 //
 // Usage:
 //   attack_csv --sigma=<noise stddev> disguised.csv [original.csv]
+//
+// Both files may be CSV exports or binary column stores (docs/FORMAT.md,
+// written by convert_csv / ColumnStoreChunkSink) — the format is sniffed
+// from the leading bytes, not the extension.
 //
 // The disguised file must be the output of an additive randomization
 // Y = X + R with i.i.d. N(0, sigma²) noise (sigma is public in
@@ -18,6 +22,7 @@
 
 #include "common/flags.h"
 #include "core/attack_suite.h"
+#include "data/column_store.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
 #include "perturb/schemes.h"
@@ -69,7 +74,7 @@ int main(int argc, char** argv) {
   const auto& files = flags.value().positional();
   if (files.empty()) return RunDemo(sigma.value());
 
-  auto disguised = data::ReadCsv(files[0]);
+  auto disguised = data::ReadRecords(files[0]);
   if (!disguised.ok()) {
     std::fprintf(stderr, "cannot read '%s': %s\n", files[0].c_str(),
                  disguised.status().ToString().c_str());
@@ -84,7 +89,7 @@ int main(int argc, char** argv) {
 
   if (files.size() >= 2) {
     // Scored mode: the true original is available.
-    auto original = data::ReadCsv(files[1]);
+    auto original = data::ReadRecords(files[1]);
     if (!original.ok()) {
       std::fprintf(stderr, "cannot read '%s': %s\n", files[1].c_str(),
                    original.status().ToString().c_str());

@@ -1,10 +1,16 @@
-// Streaming pipeline CLI: attack a CSV of disguised records out-of-core
-// and write the reconstructed records to another CSV — bounded memory end
-// to end (no n x m matrix is ever held).
+// Streaming pipeline CLI: attack a file of disguised records out-of-core
+// and write the reconstructed records to another file — bounded memory
+// end to end (no n x m matrix is ever held).
 //
 //   ./example_streaming_pipeline                       # self-contained demo
 //   ./example_streaming_pipeline --csv=reports.csv --sigma=0.5 \
 //       --attack=sf --out=recon.csv --chunk_rows=4096
+//   ./example_streaming_pipeline --csv=reports.rrcs --out=recon.rrcs
+//
+// The input may be a CSV export or a binary column store (docs/FORMAT.md)
+// — the format is sniffed from the file's leading bytes; the mmap'd
+// store skips parsing entirely (see bench/micro_io.cc). The output
+// format follows the --out extension: ".rrcs" writes a column store.
 //
 // Without --csv the program first *streams out* a demo table
 // (streaming_demo.csv): a §7.1 correlated population disguised with
@@ -24,6 +30,7 @@
 #include "stats/random_orthogonal.h"
 #include "pipeline/chunk_sink.h"
 #include "pipeline/record_source.h"
+#include "pipeline/source_factory.h"
 #include "pipeline/streaming_attack.h"
 
 using namespace randrecon;
@@ -95,14 +102,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  Result<pipeline::CsvRecordSource> source =
-      pipeline::CsvRecordSource::Open(csv_path);
+  Result<pipeline::OpenedRecordSource> source =
+      pipeline::OpenRecordSource(csv_path);
   if (!source.ok()) {
     std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
     return 1;
   }
-  pipeline::CsvRecordSource csv_source = std::move(source).value();
-  const size_t m = csv_source.num_attributes();
+  pipeline::OpenedRecordSource opened = std::move(source).value();
+  const size_t m = opened.attribute_names.size();
+  std::printf("input %s detected as %s\n", csv_path.c_str(),
+              opened.format == data::RecordFileFormat::kColumnStore
+                  ? "column store (mmap)"
+                  : "csv");
 
   pipeline::StreamingAttackOptions options;
   options.attack = attack_name == "sf"
@@ -112,23 +123,23 @@ int main(int argc, char** argv) {
   const perturb::NoiseModel noise =
       perturb::NoiseModel::IndependentGaussian(m, sigma.value());
 
-  Result<pipeline::CsvChunkSink> sink = pipeline::CsvChunkSink::Create(
-      out_path, csv_source.attribute_names());
+  Result<std::unique_ptr<pipeline::ChunkSink>> sink =
+      pipeline::CreateRecordSink(out_path, opened.attribute_names);
   if (!sink.ok()) {
     std::fprintf(stderr, "%s\n", sink.status().ToString().c_str());
     return 1;
   }
-  pipeline::CsvChunkSink csv_sink = std::move(sink).value();
+  std::unique_ptr<pipeline::ChunkSink> out_sink = std::move(sink).value();
 
   Stopwatch stopwatch;
   Result<pipeline::StreamingAttackReport> report =
-      pipeline::StreamingAttackPipeline(options).Run(&csv_source, noise,
-                                                     &csv_sink);
+      pipeline::StreamingAttackPipeline(options).Run(opened.source.get(),
+                                                     noise, out_sink.get());
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
-  const Status closed = csv_sink.Close();
+  const Status closed = out_sink->Close();
   if (!closed.ok()) {
     std::fprintf(stderr, "%s\n", closed.ToString().c_str());
     return 1;

@@ -1,0 +1,564 @@
+#include "data/column_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "data/csv.h"
+
+// The format is little-endian on disk and the reader/writer serialize
+// integers and doubles with memcpy, so a little-endian host is required
+// (every target this library builds for). A big-endian port would add
+// byte swaps at the (de)serialization points below.
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "column store I/O assumes a little-endian host");
+
+namespace randrecon {
+namespace data {
+
+const char kColumnStoreMagic[8] = {'R', 'R', 'C', 'O', 'L', 'S', 'T', 'R'};
+
+namespace {
+
+// Fixed header offsets (docs/FORMAT.md §2).
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kHeaderBytesOffset = 12;
+constexpr size_t kNumRecordsOffset = 16;
+constexpr size_t kNumAttributesOffset = 24;
+constexpr size_t kBlockRowsOffset = 32;
+constexpr size_t kNamesOffset = 40;
+constexpr size_t kHeaderAlignment = 64;
+
+// RRH64 constants (docs/FORMAT.md §4).
+constexpr uint64_t kHashP1 = 0x9E3779B185EBCA87ull;
+constexpr uint64_t kHashP2 = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kHashP3 = 0x165667B19E3779F9ull;
+
+inline uint64_t Rotl64(uint64_t v, int s) { return (v << s) | (v >> (64 - s)); }
+
+void AppendU32(std::string* out, uint32_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void PatchU32(std::string* buffer, size_t offset, uint32_t value) {
+  std::memcpy(&(*buffer)[offset], &value, sizeof(value));
+}
+
+void PatchU64(std::string* buffer, size_t offset, uint64_t value) {
+  std::memcpy(&(*buffer)[offset], &value, sizeof(value));
+}
+
+uint32_t LoadU32(const uint8_t* bytes) {
+  uint32_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+uint64_t LoadU64(const uint8_t* bytes) {
+  uint64_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+std::string HexU64(uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string StorePrefix(const std::string& path) {
+  return "column store '" + path + "': ";
+}
+
+}  // namespace
+
+uint64_t ColumnStoreHash(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t acc[4] = {kHashP1 * 1, kHashP1 * 2, kHashP1 * 3, kHashP1 * 4};
+  auto mix_stripe = [&acc](const uint8_t* stripe) {
+    for (int lane = 0; lane < 4; ++lane) {
+      uint64_t word;
+      std::memcpy(&word, stripe + 8 * lane, sizeof(word));
+      acc[lane] = Rotl64(acc[lane] ^ (word * kHashP2), 27) * kHashP1;
+    }
+  };
+  size_t offset = 0;
+  for (; offset + 32 <= size; offset += 32) mix_stripe(bytes + offset);
+  if (offset < size) {
+    uint8_t tail[32] = {0};  // Short input is zero-padded to one stripe.
+    std::memcpy(tail, bytes + offset, size - offset);
+    mix_stripe(tail);
+  }
+  uint64_t h = Rotl64(acc[0], 1) + Rotl64(acc[1], 7) + Rotl64(acc[2], 12) +
+               Rotl64(acc[3], 18);
+  h ^= static_cast<uint64_t>(size);
+  h ^= h >> 29;
+  h *= kHashP3;
+  h ^= h >> 32;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+Result<ColumnStoreWriter> ColumnStoreWriter::Create(
+    const std::string& path, std::vector<std::string> column_names,
+    ColumnStoreOptions options) {
+  if (column_names.empty()) {
+    return Status::InvalidArgument(StorePrefix(path) +
+                                   "at least one column is required");
+  }
+  if (options.block_rows == 0) {
+    return Status::InvalidArgument(StorePrefix(path) +
+                                   "block_rows must be >= 1");
+  }
+  for (size_t i = 0; i < column_names.size(); ++i) {
+    for (size_t j = i + 1; j < column_names.size(); ++j) {
+      if (column_names[i] == column_names[j]) {
+        return Status::InvalidArgument(StorePrefix(path) +
+                                       "duplicate column name '" +
+                                       column_names[i] + "'");
+      }
+    }
+  }
+
+  std::string prefix;
+  prefix.append(kColumnStoreMagic, sizeof(kColumnStoreMagic));
+  AppendU32(&prefix, kColumnStoreVersion);
+  AppendU32(&prefix, 0);  // header_bytes, patched below.
+  AppendU64(&prefix, 0);  // num_records, patched by Close().
+  AppendU64(&prefix, column_names.size());
+  AppendU64(&prefix, options.block_rows);
+  for (const std::string& name : column_names) {
+    if (name.size() > UINT32_MAX) {
+      return Status::InvalidArgument(StorePrefix(path) + "column name too long");
+    }
+    AppendU32(&prefix, static_cast<uint32_t>(name.size()));
+    prefix.append(name);
+  }
+  const size_t unpadded = prefix.size() + sizeof(uint64_t);
+  const size_t header_bytes =
+      (unpadded + kHeaderAlignment - 1) / kHeaderAlignment * kHeaderAlignment;
+  if (header_bytes > UINT32_MAX) {
+    return Status::InvalidArgument(StorePrefix(path) +
+                                   "column names exceed the 4 GiB header limit");
+  }
+  PatchU32(&prefix, kHeaderBytesOffset, static_cast<uint32_t>(header_bytes));
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError(StorePrefix(path) + "cannot open for writing");
+  }
+  // Deliberately write a MISMATCHED header hash (bitwise NOT of the real
+  // one): a file from a writer that crashed before Close() must fail the
+  // reader's header-checksum validation instead of passing as a sealed
+  // empty store. Close() patches in the real hash (docs/FORMAT.md §2.2).
+  const uint64_t unsealed_hash =
+      ~ColumnStoreHash(prefix.data(), prefix.size());
+  file.write(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  file.write(reinterpret_cast<const char*>(&unsealed_hash),
+             sizeof(unsealed_hash));
+  const std::string padding(header_bytes - unpadded, '\0');
+  file.write(padding.data(), static_cast<std::streamsize>(padding.size()));
+  if (!file) {
+    return Status::IoError(StorePrefix(path) + "header write failed");
+  }
+  return ColumnStoreWriter(std::move(file), path, std::move(column_names),
+                           options.block_rows, header_bytes, std::move(prefix));
+}
+
+ColumnStoreWriter::ColumnStoreWriter(std::ofstream file, std::string path,
+                                     std::vector<std::string> names,
+                                     size_t block_rows, size_t header_bytes,
+                                     std::string header_prefix)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      names_(std::move(names)),
+      block_rows_(block_rows),
+      header_bytes_(header_bytes),
+      header_prefix_(std::move(header_prefix)),
+      block_(names_.size() * block_rows, 0.0) {}
+
+ColumnStoreWriter::~ColumnStoreWriter() {
+  if (!closed_) Close();  // Best-effort; errors surface via explicit Close().
+}
+
+Status ColumnStoreWriter::Append(const linalg::Matrix& chunk, size_t num_rows) {
+  if (closed_) {
+    return Status::FailedPrecondition(StorePrefix(path_) +
+                                      "Append after Close");
+  }
+  if (chunk.cols() != names_.size()) {
+    return Status::InvalidArgument(
+        StorePrefix(path_) + "chunk has " + std::to_string(chunk.cols()) +
+        " columns, store has " + std::to_string(names_.size()));
+  }
+  RR_CHECK(num_rows <= chunk.rows())
+      << "ColumnStoreWriter::Append: num_rows exceeds chunk";
+  const size_t m = names_.size();
+  size_t consumed = 0;
+  while (consumed < num_rows) {
+    const size_t take =
+        std::min(block_rows_ - rows_in_block_, num_rows - consumed);
+    // Row-major rows scatter into block-local columns (FORMAT.md §3).
+    for (size_t j = 0; j < m; ++j) {
+      double* column = block_.data() + j * block_rows_ + rows_in_block_;
+      const double* source = chunk.data() + consumed * m + j;
+      for (size_t r = 0; r < take; ++r) column[r] = source[r * m];
+    }
+    rows_in_block_ += take;
+    consumed += take;
+    if (rows_in_block_ == block_rows_) RR_RETURN_NOT_OK(FlushBlock());
+  }
+  rows_written_ += num_rows;
+  return Status::OK();
+}
+
+Status ColumnStoreWriter::FlushBlock() {
+  if (rows_in_block_ == 0) return Status::OK();
+  if (rows_in_block_ < block_rows_) {
+    // Final partial block: each column's tail rows still hold the
+    // previous block's data and must go out as zeros (FORMAT.md §3).
+    // Full blocks are overwritten whole, so only this flush pays.
+    for (size_t j = 0; j < names_.size(); ++j) {
+      double* column = block_.data() + j * block_rows_;
+      std::fill(column + rows_in_block_, column + block_rows_, 0.0);
+    }
+  }
+  const size_t payload_bytes = block_.size() * sizeof(double);
+  const uint64_t block_hash = ColumnStoreHash(block_.data(), payload_bytes);
+  file_.write(reinterpret_cast<const char*>(block_.data()),
+              static_cast<std::streamsize>(payload_bytes));
+  file_.write(reinterpret_cast<const char*>(&block_hash), sizeof(block_hash));
+  if (!file_) {
+    return Status::IoError(StorePrefix(path_) + "block write failed after " +
+                           std::to_string(rows_written_) + " records");
+  }
+  rows_in_block_ = 0;
+  return Status::OK();
+}
+
+Status ColumnStoreWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (!file_.is_open()) {
+    return Status::IoError(StorePrefix(path_) + "file is not open");
+  }
+  RR_RETURN_NOT_OK(FlushBlock());
+  // Patch the record count and re-seal the header (docs/FORMAT.md §2).
+  PatchU64(&header_prefix_, kNumRecordsOffset, rows_written_);
+  const uint64_t header_hash =
+      ColumnStoreHash(header_prefix_.data(), header_prefix_.size());
+  file_.seekp(0);
+  file_.write(header_prefix_.data(),
+              static_cast<std::streamsize>(header_prefix_.size()));
+  file_.write(reinterpret_cast<const char*>(&header_hash), sizeof(header_hash));
+  file_.close();
+  if (file_.fail()) {
+    return Status::IoError(StorePrefix(path_) + "closing write failed");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+Result<ColumnStoreReader> ColumnStoreReader::Open(const std::string& path) {
+  const std::string prefix = StorePrefix(path);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(prefix + "cannot open: " + std::strerror(errno));
+  }
+  struct stat file_stat;
+  if (::fstat(fd, &file_stat) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError(prefix + "cannot stat: " + detail);
+  }
+  const size_t file_size = static_cast<size_t>(file_stat.st_size);
+  if (file_size < kHeaderAlignment) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        prefix + "file is " + std::to_string(file_size) +
+        " bytes, smaller than the minimum " +
+        std::to_string(kHeaderAlignment) + "-byte header");
+  }
+  void* raw_mapping = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (raw_mapping == MAP_FAILED) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError(prefix + "mmap failed: " + detail);
+  }
+
+  ColumnStoreReader reader;
+  reader.path_ = path;
+  reader.fd_ = fd;
+  reader.mapping_ = static_cast<const uint8_t*>(raw_mapping);
+  reader.file_size_ = file_size;
+  const uint8_t* bytes = reader.mapping_;
+
+  // From here every failure path destroys `reader`, which unmaps/closes.
+  if (std::memcmp(bytes, kColumnStoreMagic, sizeof(kColumnStoreMagic)) != 0) {
+    return Status::InvalidArgument(
+        prefix + "bad magic at offset 0 — not a column-store file");
+  }
+  const uint32_t version = LoadU32(bytes + kVersionOffset);
+  if (version == 0 || version > kColumnStoreVersion) {
+    return Status::InvalidArgument(
+        prefix + "unsupported format version " + std::to_string(version) +
+        " (this build reads versions 1.." +
+        std::to_string(kColumnStoreVersion) + ")");
+  }
+  reader.header_bytes_ = LoadU32(bytes + kHeaderBytesOffset);
+  reader.num_records_ = LoadU64(bytes + kNumRecordsOffset);
+  const uint64_t num_attributes = LoadU64(bytes + kNumAttributesOffset);
+  reader.block_rows_ = LoadU64(bytes + kBlockRowsOffset);
+  if (num_attributes == 0 || reader.block_rows_ == 0) {
+    return Status::InvalidArgument(
+        prefix + "header declares num_attributes " +
+        std::to_string(num_attributes) + ", block_rows " +
+        std::to_string(reader.block_rows_) + " (both must be >= 1)");
+  }
+  if (reader.header_bytes_ < kNamesOffset + sizeof(uint64_t) ||
+      reader.header_bytes_ > file_size) {
+    return Status::InvalidArgument(
+        prefix + "header_bytes " + std::to_string(reader.header_bytes_) +
+        " outside the valid range [" +
+        std::to_string(kNamesOffset + sizeof(uint64_t)) + ", " +
+        std::to_string(file_size) + "]");
+  }
+
+  // Column names: u32 length + bytes each, all inside the header region
+  // and leaving room for the trailing header checksum. Bound the count
+  // BEFORE reserving: num_attributes is still unverified here (the
+  // header hash sits after the names), and a corrupt count must fail as
+  // a Status, not as a length_error/bad_alloc from reserve().
+  if (num_attributes > (reader.header_bytes_ - kNamesOffset) / sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        prefix + "header declares " + std::to_string(num_attributes) +
+        " columns, more than its " + std::to_string(reader.header_bytes_) +
+        "-byte header could possibly name");
+  }
+  size_t offset = kNamesOffset;
+  reader.names_.reserve(num_attributes);
+  for (uint64_t j = 0; j < num_attributes; ++j) {
+    if (offset + sizeof(uint32_t) + sizeof(uint64_t) > reader.header_bytes_) {
+      return Status::InvalidArgument(
+          prefix + "column name " + std::to_string(j) +
+          " overruns the header at offset " + std::to_string(offset));
+    }
+    const uint32_t length = LoadU32(bytes + offset);
+    offset += sizeof(uint32_t);
+    if (offset + length + sizeof(uint64_t) > reader.header_bytes_) {
+      return Status::InvalidArgument(
+          prefix + "column name " + std::to_string(j) + " (length " +
+          std::to_string(length) + ") overruns the header at offset " +
+          std::to_string(offset));
+    }
+    reader.names_.emplace_back(reinterpret_cast<const char*>(bytes + offset),
+                               length);
+    offset += length;
+  }
+  const uint64_t stored_header_hash = LoadU64(bytes + offset);
+  const uint64_t computed_header_hash = ColumnStoreHash(bytes, offset);
+  if (stored_header_hash != computed_header_hash) {
+    return Status::InvalidArgument(
+        prefix + "header checksum mismatch over bytes [0, " +
+        std::to_string(offset) + ") — stored " + HexU64(stored_header_hash) +
+        ", computed " + HexU64(computed_header_hash));
+  }
+
+  // Geometry, overflow-checked: a hostile header must fail cleanly.
+  uint64_t payload_values = 0;
+  uint64_t payload_bytes = 0;
+  if (__builtin_mul_overflow(num_attributes, reader.block_rows_,
+                             &payload_values) ||
+      __builtin_mul_overflow(payload_values, sizeof(double), &payload_bytes)) {
+    return Status::InvalidArgument(
+        prefix + "block geometry overflows (" +
+        std::to_string(num_attributes) + " columns x " +
+        std::to_string(reader.block_rows_) + " rows)");
+  }
+  reader.block_stride_ = payload_bytes + sizeof(uint64_t);
+  reader.num_blocks_ =
+      (reader.num_records_ + reader.block_rows_ - 1) / reader.block_rows_;
+  uint64_t blocks_bytes = 0;
+  uint64_t expected_size = 0;
+  if (__builtin_mul_overflow(reader.num_blocks_, reader.block_stride_,
+                             &blocks_bytes) ||
+      __builtin_add_overflow(blocks_bytes, reader.header_bytes_,
+                             &expected_size) ||
+      expected_size != file_size) {
+    return Status::InvalidArgument(
+        prefix + "header declares " + std::to_string(reader.num_records_) +
+        " records in " + std::to_string(reader.num_blocks_) + " blocks of " +
+        std::to_string(reader.block_rows_) + " rows = " +
+        std::to_string(expected_size) + " bytes, but the file is " +
+        std::to_string(file_size) +
+        " bytes — truncated file or record-count disagreement");
+  }
+  reader.block_verified_.assign(reader.num_blocks_, 0);
+  return reader;
+}
+
+ColumnStoreReader::ColumnStoreReader(ColumnStoreReader&& other) noexcept {
+  *this = std::move(other);
+}
+
+ColumnStoreReader& ColumnStoreReader::operator=(
+    ColumnStoreReader&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseMapping();
+  path_ = std::move(other.path_);
+  fd_ = other.fd_;
+  mapping_ = other.mapping_;
+  file_size_ = other.file_size_;
+  header_bytes_ = other.header_bytes_;
+  num_records_ = other.num_records_;
+  block_rows_ = other.block_rows_;
+  num_blocks_ = other.num_blocks_;
+  block_stride_ = other.block_stride_;
+  names_ = std::move(other.names_);
+  block_verified_ = std::move(other.block_verified_);
+  other.fd_ = -1;
+  other.mapping_ = nullptr;
+  return *this;
+}
+
+ColumnStoreReader::~ColumnStoreReader() { ReleaseMapping(); }
+
+void ColumnStoreReader::ReleaseMapping() {
+  if (mapping_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(mapping_), file_size_);
+    mapping_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+size_t ColumnStoreReader::rows_in_block(size_t block) const {
+  RR_CHECK(block < num_blocks_) << "rows_in_block: block out of range";
+  const size_t begin = block * block_rows_;
+  return std::min(block_rows_, num_records_ - begin);
+}
+
+Status ColumnStoreReader::VerifyBlock(size_t block) {
+  if (block_verified_[block]) return Status::OK();
+  const uint8_t* payload = block_payload(block);
+  const size_t payload_bytes = block_stride_ - sizeof(uint64_t);
+  const uint64_t stored = LoadU64(payload + payload_bytes);
+  const uint64_t computed = ColumnStoreHash(payload, payload_bytes);
+  if (stored != computed) {
+    return Status::InvalidArgument(
+        StorePrefix(path_) + "block " + std::to_string(block) +
+        " checksum mismatch at offset " +
+        std::to_string(header_bytes_ + block * block_stride_) + " — stored " +
+        HexU64(stored) + ", computed " + HexU64(computed) +
+        " (see docs/FORMAT.md)");
+  }
+  block_verified_[block] = 1;
+  return Status::OK();
+}
+
+Status ColumnStoreReader::ReadRows(size_t row_begin, size_t num_rows,
+                                   linalg::Matrix* buffer) {
+  const size_t m = names_.size();
+  RR_CHECK_EQ(buffer->cols(), m) << "ColumnStoreReader: buffer width mismatch";
+  RR_CHECK(num_rows <= buffer->rows())
+      << "ColumnStoreReader: num_rows exceeds buffer";
+  if (row_begin + num_rows > num_records_ || row_begin + num_rows < row_begin) {
+    return Status::InvalidArgument(
+        StorePrefix(path_) + "row range [" + std::to_string(row_begin) + ", " +
+        std::to_string(row_begin + num_rows) + ") exceeds the " +
+        std::to_string(num_records_) + "-record store");
+  }
+  size_t out_row = 0;
+  while (out_row < num_rows) {
+    const size_t row = row_begin + out_row;
+    const size_t block = row / block_rows_;
+    const size_t local = row % block_rows_;
+    const size_t take = std::min(block_rows_ - local, num_rows - out_row);
+    RR_RETURN_NOT_OK(VerifyBlock(block));
+    const double* payload =
+        reinterpret_cast<const double*>(block_payload(block));
+    // Mapped block-local columns gather into the caller's row-major rows:
+    // contiguous reads, m-strided writes.
+    for (size_t j = 0; j < m; ++j) {
+      const double* column = payload + j * block_rows_ + local;
+      double* destination = buffer->data() + out_row * m + j;
+      for (size_t r = 0; r < take; ++r) destination[r * m] = column[r];
+    }
+    out_row += take;
+  }
+  return Status::OK();
+}
+
+Result<const double*> ColumnStoreReader::BlockColumn(size_t block,
+                                                     size_t column) {
+  RR_CHECK(block < num_blocks_ && column < names_.size())
+      << "BlockColumn: index out of range";
+  RR_RETURN_NOT_OK(VerifyBlock(block));
+  return reinterpret_cast<const double*>(block_payload(block)) +
+         column * block_rows_;
+}
+
+// ---------------------------------------------------------------------------
+// Dataset convenience + format detection.
+// ---------------------------------------------------------------------------
+
+Status WriteColumnStore(const Dataset& dataset, const std::string& path,
+                        ColumnStoreOptions options) {
+  RR_ASSIGN_OR_RETURN(
+      ColumnStoreWriter writer,
+      ColumnStoreWriter::Create(path, dataset.attribute_names(), options));
+  RR_RETURN_NOT_OK(writer.Append(dataset.records(), dataset.num_records()));
+  return writer.Close();
+}
+
+Result<Dataset> ReadColumnStoreDataset(const std::string& path) {
+  RR_ASSIGN_OR_RETURN(ColumnStoreReader reader, ColumnStoreReader::Open(path));
+  linalg::Matrix records(reader.num_records(), reader.num_attributes());
+  RR_RETURN_NOT_OK(reader.ReadRows(0, reader.num_records(), &records));
+  return Dataset::Create(std::move(records), reader.attribute_names());
+}
+
+Result<RecordFileFormat> DetectRecordFileFormat(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  char magic[sizeof(kColumnStoreMagic)];
+  file.read(magic, sizeof(magic));
+  if (file.gcount() == sizeof(magic) &&
+      std::memcmp(magic, kColumnStoreMagic, sizeof(magic)) == 0) {
+    return RecordFileFormat::kColumnStore;
+  }
+  return RecordFileFormat::kCsv;  // CSV has no magic; it is the fallback.
+}
+
+Result<Dataset> ReadRecords(const std::string& path) {
+  RR_ASSIGN_OR_RETURN(const RecordFileFormat format,
+                      DetectRecordFileFormat(path));
+  return format == RecordFileFormat::kColumnStore
+             ? ReadColumnStoreDataset(path)
+             : ReadCsv(path);
+}
+
+}  // namespace data
+}  // namespace randrecon

@@ -1,0 +1,230 @@
+// Binary columnar record store: the native storage backend for
+// out-of-core attacks.
+//
+// CSV ingest parses every field through strtod at ~10^2 ns/value, which
+// dominates wall clock once the covariance pass and record generation run
+// at memory bandwidth (PR 1-3). The column store replaces parsing with a
+// versioned little-endian binary format (magic, checksummed header,
+// fixed-size row blocks of f64 columns with per-block checksums) read
+// through a zero-copy memory mapping: ingest becomes a strided gather out
+// of the page cache instead of a parse.
+//
+// The on-disk layout is specified byte-by-byte in docs/FORMAT.md — the
+// format is implementable from that document alone, and the reader/writer
+// tests cite it. Fixed-size blocks make every record's byte offset a
+// closed-form function of its index, so readers are O(1)-seekable and
+// trivially chunk-size invariant; within a block each column is
+// contiguous, so columnar consumers (moments, quantizers) can run
+// straight over mapped memory via BlockColumn().
+//
+//   * ColumnStoreWriter  — streams row-major chunks in, buffers one
+//     block, writes the header placeholder eagerly and patches the
+//     record count + header checksum on Close(). Wrapped by
+//     pipeline::ColumnStoreChunkSink so any pipeline can emit a store.
+//   * ColumnStoreReader  — memory-maps the file (POSIX mmap, read-only),
+//     validates the header eagerly and each block's checksum lazily on
+//     first touch. Wrapped by pipeline::ColumnStoreRecordSource as a
+//     rewindable RecordSource.
+//
+// Every corruption path (truncation, bad magic/version, checksum
+// mismatch, header/row-count disagreement) fails with a Status naming
+// the offending block or byte offset — never a crash; see
+// tests/data/column_store_test.cc.
+
+#ifndef RANDRECON_DATA_COLUMN_STORE_H_
+#define RANDRECON_DATA_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace data {
+
+/// The 8 magic bytes at offset 0 of every column-store file ("RRCOLSTR").
+extern const char kColumnStoreMagic[8];
+
+/// The format version this library writes and the newest it reads.
+constexpr uint32_t kColumnStoreVersion = 1;
+
+/// Default rows per block. 4096 rows x 8 bytes keeps one column slab at
+/// 32 KiB (L1-resident for the gather) and matches the pipeline's default
+/// chunk and the moment accumulator's staging block.
+constexpr size_t kDefaultColumnStoreBlockRows = 4096;
+
+/// RRH64: the checksum function of the v1 format (docs/FORMAT.md §4) —
+/// a 4-lane 64-bit mixing hash over little-endian words, chosen over
+/// table-driven CRC32 so checksum verification runs near memory
+/// bandwidth without per-arch intrinsics. Public so tests and external
+/// tools can re-seal files after editing header fields.
+uint64_t ColumnStoreHash(const void* data, size_t size);
+
+/// Writer options.
+struct ColumnStoreOptions {
+  /// Rows per fixed-size block (must be >= 1). Every block occupies
+  /// num_attributes * block_rows * 8 + 8 bytes on disk; the final block
+  /// is zero-padded.
+  size_t block_rows = kDefaultColumnStoreBlockRows;
+};
+
+/// Streams row-major record chunks into a column-store file.
+///
+/// The header is written eagerly with a zero record count and an
+/// intentionally mismatched checksum; Close() (or the destructor,
+/// best-effort) flushes the final partial block and patches the count +
+/// the real header checksum. A crash mid-write therefore leaves a file
+/// that readers reject (header checksum, or count/size disagreement)
+/// instead of one that silently truncates the stream.
+class ColumnStoreWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Fails with
+  /// InvalidArgument on empty/duplicate names or block_rows == 0, and
+  /// IoError if the file can't be created.
+  static Result<ColumnStoreWriter> Create(const std::string& path,
+                                          std::vector<std::string> column_names,
+                                          ColumnStoreOptions options = {});
+
+  ColumnStoreWriter(ColumnStoreWriter&&) = default;
+  ColumnStoreWriter& operator=(ColumnStoreWriter&&) = default;
+  ColumnStoreWriter(const ColumnStoreWriter&) = delete;
+  ColumnStoreWriter& operator=(const ColumnStoreWriter&) = delete;
+  ~ColumnStoreWriter();
+
+  /// Appends the leading `num_rows` rows of row-major `chunk` (whose
+  /// column count must equal the name count) to the stream.
+  Status Append(const linalg::Matrix& chunk, size_t num_rows);
+
+  /// Flushes the final partial block, patches the header record count and
+  /// checksum, and closes the file. Idempotent; IoError on write failure.
+  Status Close();
+
+  /// Records appended so far.
+  size_t rows_written() const { return rows_written_; }
+
+  size_t num_attributes() const { return names_.size(); }
+
+ private:
+  ColumnStoreWriter(std::ofstream file, std::string path,
+                    std::vector<std::string> names, size_t block_rows,
+                    size_t header_bytes, std::string header_prefix);
+
+  /// Writes the buffered block (zero-padded to full size) + checksum.
+  Status FlushBlock();
+
+  std::ofstream file_;
+  std::string path_;
+  std::vector<std::string> names_;
+  size_t block_rows_;
+  size_t header_bytes_;
+  /// Header bytes before the checksum field, with the record count still
+  /// zeroed — Close() patches the count in this image and re-hashes it.
+  std::string header_prefix_;
+  /// One block in columnar layout: column j at [j * block_rows, ...).
+  std::vector<double> block_;
+  size_t rows_in_block_ = 0;
+  size_t rows_written_ = 0;
+  bool closed_ = false;
+};
+
+/// Memory-mapped column-store reader: zero-copy in the sense that file
+/// bytes are consumed straight from the page cache — no read() buffering,
+/// no parsing; ReadRows() is a strided gather from mapped columns into
+/// the caller's row-major buffer.
+///
+/// Open() validates magic, version, header checksum and the exact file
+/// size implied by the header (which catches both truncation and a
+/// header/row-count disagreement); block checksums are verified lazily,
+/// once, on first touch. Instances are move-only and single-threaded
+/// (the lazy verification bitmap is unsynchronized); concurrent readers
+/// should each Open() the file — the kernel shares the pages.
+class ColumnStoreReader {
+ public:
+  /// Maps `path` and validates its header. IoError if the file can't be
+  /// opened or mapped, InvalidArgument naming the offending field/offset
+  /// on any structural corruption.
+  static Result<ColumnStoreReader> Open(const std::string& path);
+
+  ColumnStoreReader(ColumnStoreReader&& other) noexcept;
+  ColumnStoreReader& operator=(ColumnStoreReader&& other) noexcept;
+  ColumnStoreReader(const ColumnStoreReader&) = delete;
+  ColumnStoreReader& operator=(const ColumnStoreReader&) = delete;
+  ~ColumnStoreReader();
+
+  size_t num_records() const { return num_records_; }
+  size_t num_attributes() const { return names_.size(); }
+  size_t block_rows() const { return block_rows_; }
+  size_t num_blocks() const { return num_blocks_; }
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+  /// Fills the leading rows of `buffer` (whose column count must equal
+  /// num_attributes()) with records [row_begin, row_begin + num_rows).
+  /// The range must lie within the store and num_rows within the buffer.
+  /// InvalidArgument (naming block and offset) on a checksum mismatch.
+  Status ReadRows(size_t row_begin, size_t num_rows, linalg::Matrix* buffer);
+
+  /// Zero-copy pointer to column `column` of block `block` — block-local
+  /// row r of that column is ptr[r], valid for rows_in_block(block) rows.
+  /// Verifies the block's checksum on first touch.
+  Result<const double*> BlockColumn(size_t block, size_t column);
+
+  /// Valid records in `block` (block_rows() except for a final partial).
+  size_t rows_in_block(size_t block) const;
+
+ private:
+  ColumnStoreReader() = default;
+
+  /// Lazily verifies block `block`'s checksum (docs/FORMAT.md §3).
+  Status VerifyBlock(size_t block);
+
+  /// Unmaps and closes, leaving the reader empty (moves, destructor).
+  void ReleaseMapping();
+
+  const uint8_t* block_payload(size_t block) const {
+    return mapping_ + header_bytes_ + block * block_stride_;
+  }
+
+  std::string path_;
+  int fd_ = -1;
+  const uint8_t* mapping_ = nullptr;
+  size_t file_size_ = 0;
+  size_t header_bytes_ = 0;
+  size_t num_records_ = 0;
+  size_t block_rows_ = 0;
+  size_t num_blocks_ = 0;
+  size_t block_stride_ = 0;  ///< Payload + trailing checksum, in bytes.
+  std::vector<std::string> names_;
+  std::vector<uint8_t> block_verified_;
+};
+
+/// Writes a whole Dataset as a column store (bitwise-exact f64 values,
+/// unlike CSV at finite precision).
+Status WriteColumnStore(const Dataset& dataset, const std::string& path,
+                        ColumnStoreOptions options = {});
+
+/// Reads a whole column store into memory as a Dataset.
+Result<Dataset> ReadColumnStoreDataset(const std::string& path);
+
+/// Record-file formats the auto-detecting loaders understand.
+enum class RecordFileFormat {
+  kCsv,
+  kColumnStore,
+};
+
+/// Sniffs the leading magic bytes of `path`: kColumnStore iff they equal
+/// kColumnStoreMagic, else kCsv (CSV has no magic). IoError if the file
+/// can't be opened.
+Result<RecordFileFormat> DetectRecordFileFormat(const std::string& path);
+
+/// Loads `path` as a Dataset whatever its format (sniffed, not by
+/// extension) — the in-memory counterpart of pipeline::OpenRecordSource.
+Result<Dataset> ReadRecords(const std::string& path);
+
+}  // namespace data
+}  // namespace randrecon
+
+#endif  // RANDRECON_DATA_COLUMN_STORE_H_

@@ -64,5 +64,14 @@ Status CsvChunkSink::Close() {
   return Status::OK();
 }
 
+Result<ColumnStoreChunkSink> ColumnStoreChunkSink::Create(
+    const std::string& path, const std::vector<std::string>& attribute_names,
+    data::ColumnStoreOptions options) {
+  RR_ASSIGN_OR_RETURN(
+      data::ColumnStoreWriter writer,
+      data::ColumnStoreWriter::Create(path, attribute_names, options));
+  return ColumnStoreChunkSink(std::move(writer));
+}
+
 }  // namespace pipeline
 }  // namespace randrecon

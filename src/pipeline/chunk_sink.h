@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "data/column_store.h"
 #include "linalg/matrix.h"
 
 namespace randrecon {
@@ -27,6 +28,11 @@ class ChunkSink {
   /// at global record index `row_offset`.
   virtual Status Consume(size_t row_offset, const linalg::Matrix& chunk,
                          size_t num_rows) = 0;
+
+  /// Flushes and seals whatever the sink is backed by; call once after
+  /// the last Consume. The default is a no-op for sinks with nothing to
+  /// flush (null, collect).
+  virtual Status Close() { return Status::OK(); }
 };
 
 /// Discards every chunk (the caller only wants the report's metrics).
@@ -73,7 +79,7 @@ class CsvChunkSink final : public ChunkSink {
 
   /// Flushes and closes; IoError on a failed write. Called by the
   /// destructor if omitted (ignoring the status).
-  Status Close();
+  Status Close() override;
 
  private:
   CsvChunkSink(std::ofstream file, std::string path, int precision)
@@ -82,6 +88,36 @@ class CsvChunkSink final : public ChunkSink {
   std::ofstream file_;
   std::string path_;
   int precision_;
+};
+
+/// Appends reconstructed records to a binary column store
+/// (data::ColumnStoreWriter) — the native-format counterpart of
+/// CsvChunkSink: bitwise-exact f64 values (CSV rounds at `precision`),
+/// and the output is itself attackable through ColumnStoreRecordSource
+/// without a parse.
+class ColumnStoreChunkSink final : public ChunkSink {
+ public:
+  /// Fails like data::ColumnStoreWriter::Create (unwritable path, empty
+  /// or duplicate names, block_rows == 0).
+  static Result<ColumnStoreChunkSink> Create(
+      const std::string& path, const std::vector<std::string>& attribute_names,
+      data::ColumnStoreOptions options = {});
+
+  Status Consume(size_t /*row_offset*/, const linalg::Matrix& chunk,
+                 size_t num_rows) override {
+    return writer_.Append(chunk, num_rows);
+  }
+
+  /// Seals the store (record count + header checksum) and closes it.
+  /// Called by the destructor if omitted (ignoring the status), but an
+  /// unclosed store from a crashed process is rejected by readers.
+  Status Close() override { return writer_.Close(); }
+
+ private:
+  explicit ColumnStoreChunkSink(data::ColumnStoreWriter writer)
+      : writer_(std::move(writer)) {}
+
+  data::ColumnStoreWriter writer_;
 };
 
 }  // namespace pipeline

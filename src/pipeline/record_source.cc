@@ -33,6 +33,25 @@ Result<CsvRecordSource> CsvRecordSource::FromString(std::string text) {
   return CsvRecordSource(std::move(reader));
 }
 
+Result<ColumnStoreRecordSource> ColumnStoreRecordSource::Open(
+    const std::string& path) {
+  RR_ASSIGN_OR_RETURN(data::ColumnStoreReader reader,
+                      data::ColumnStoreReader::Open(path));
+  return ColumnStoreRecordSource(std::move(reader));
+}
+
+Result<size_t> ColumnStoreRecordSource::NextChunk(linalg::Matrix* buffer) {
+  RR_CHECK_EQ(buffer->cols(), reader_.num_attributes())
+      << "ColumnStoreRecordSource: chunk buffer width mismatch";
+  const size_t rows =
+      std::min(buffer->rows(), reader_.num_records() - next_row_);
+  if (rows > 0) {
+    RR_RETURN_NOT_OK(reader_.ReadRows(next_row_, rows, buffer));
+    next_row_ += rows;
+  }
+  return rows;
+}
+
 Result<MvnRecordSource> MvnRecordSource::Create(
     const linalg::Vector& mean, const linalg::Matrix& covariance,
     size_t num_records, uint64_t seed, GeneratorMode mode) {

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown files.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+Checks every inline markdown link/image `[text](target)` whose target is
+a relative path: the referenced file or directory must exist relative to
+the directory of the markdown file containing the link. External
+schemes (http/https/mailto) and pure in-page anchors (#...) are skipped;
+a `path#fragment` target is checked for the path part only.
+
+Exit status: 0 if every link resolves, 1 otherwise (each dead link is
+printed as `file:line: dead link -> target`). Run from anywhere; paths
+resolve against each markdown file's own location. CI runs this over
+README.md and docs/*.md.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links and images: [text](target) / ![alt](target). Targets with
+# spaces or an optional "title" part are cut at the first whitespace.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def dead_links(markdown_path: Path):
+    base = markdown_path.parent
+    for line_number, line in enumerate(
+            markdown_path.read_text(encoding="utf-8").splitlines(), start=1):
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if not (base / path_part).exists():
+                yield line_number, target
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for name in argv[1:]:
+        markdown_path = Path(name)
+        if not markdown_path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for line_number, target in dead_links(markdown_path):
+            print(f"{name}:{line_number}: dead link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"doc-link check FAILED: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print(f"doc-link check OK ({checked} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
