@@ -132,11 +132,20 @@ pipeline::StreamingAttackReport RunSfAttack(const std::string& path,
   return std::move(report).value();
 }
 
+/// memcmp-equality of two double vectors: IEEE operator== would wave
+/// through a +0.0 vs -0.0 divergence and spuriously fail on NaNs.
+bool BitwiseEqual(const linalg::Vector& a, const linalg::Vector& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
 /// Bitwise equality of everything the SF attack derives from the stream.
 bool ReportsIdentical(const pipeline::StreamingAttackReport& a,
                       const pipeline::StreamingAttackReport& b) {
   return a.num_records == b.num_records && a.num_components == b.num_components &&
-         a.eigenvalues == b.eigenvalues && a.mean == b.mean &&
+         BitwiseEqual(a.eigenvalues, b.eigenvalues) &&
+         BitwiseEqual(a.mean, b.mean) &&
          std::memcmp(&a.rmse_vs_disguised, &b.rmse_vs_disguised,
                      sizeof(double)) == 0;
 }

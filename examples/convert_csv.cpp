@@ -88,15 +88,18 @@ bool FileExists(const std::string& path) {
 }
 
 /// Streams `input_path` into `output_path`; the converted record count
-/// comes back on success.
+/// comes back on success. `*output_touched` turns true the moment the
+/// output may have been created/truncated, so a failure before that
+/// point (e.g. an unreadable input) must not delete a pre-existing file.
 Result<size_t> Convert(const std::string& input_path,
                        const std::string& output_path, size_t block_rows,
-                       size_t chunk_rows) {
+                       size_t chunk_rows, bool* output_touched) {
   RR_ASSIGN_OR_RETURN(pipeline::OpenedRecordSource input,
                       pipeline::OpenRecordSource(input_path));
   pipeline::RecordSinkOptions sink_options;
   sink_options.block_rows = block_rows;
   sink_options.csv_precision = kLosslessPrecision;
+  *output_touched = true;  // CreateRecordSink truncates even when it fails.
   RR_ASSIGN_OR_RETURN(std::unique_ptr<pipeline::ChunkSink> sink,
                       pipeline::CreateRecordSink(
                           output_path, input.attribute_names, sink_options));
@@ -141,9 +144,16 @@ int RunConversion(const std::string& input, std::string output,
     return 1;
   }
   Stopwatch stopwatch;
-  auto converted = Convert(input, output, block_rows, chunk_rows);
+  bool output_touched = false;
+  auto converted =
+      Convert(input, output, block_rows, chunk_rows, &output_touched);
   if (!converted.ok()) {
     std::fprintf(stderr, "%s\n", converted.status().ToString().c_str());
+    // The sink's destructor sealed whatever prefix reached disk, so the
+    // output now looks like a complete, valid file holding a silent
+    // truncation of the input. Remove it: a failed convert must not
+    // leave an attackable-looking store behind.
+    if (output_touched) std::remove(output.c_str());
     return 1;
   }
   const double elapsed = stopwatch.ElapsedSeconds();
@@ -160,6 +170,7 @@ int RunConversion(const std::string& input, std::string output,
         pipeline::VerifyStreamsBitwiseEqual(input, output, chunk_rows);
     if (!verified.ok()) {
       std::fprintf(stderr, "%s\n", verified.ToString().c_str());
+      std::remove(output.c_str());  // A file that failed --verify is junk.
       return 1;
     }
     std::printf("verified: both files stream bitwise-identical records\n");

@@ -192,6 +192,41 @@ ColumnStoreWriter::ColumnStoreWriter(std::ofstream file, std::string path,
       header_prefix_(std::move(header_prefix)),
       block_(names_.size() * block_rows, 0.0) {}
 
+ColumnStoreWriter::ColumnStoreWriter(ColumnStoreWriter&& other) noexcept
+    : file_(std::move(other.file_)),
+      path_(std::move(other.path_)),
+      names_(std::move(other.names_)),
+      block_rows_(other.block_rows_),
+      header_bytes_(other.header_bytes_),
+      header_prefix_(std::move(other.header_prefix_)),
+      block_(std::move(other.block_)),
+      rows_in_block_(other.rows_in_block_),
+      rows_written_(other.rows_written_),
+      closed_(other.closed_) {
+  other.closed_ = true;  // The hollowed-out source must not try to seal.
+}
+
+ColumnStoreWriter& ColumnStoreWriter::operator=(
+    ColumnStoreWriter&& other) noexcept {
+  if (this == &other) return *this;
+  // Seal the store this writer was building before abandoning it: a
+  // member-wise move would close the old ofstream without flushing the
+  // partial block or patching the header, silently losing the file.
+  if (!closed_) Close();  // Best-effort; errors surface via explicit Close().
+  file_ = std::move(other.file_);
+  path_ = std::move(other.path_);
+  names_ = std::move(other.names_);
+  block_rows_ = other.block_rows_;
+  header_bytes_ = other.header_bytes_;
+  header_prefix_ = std::move(other.header_prefix_);
+  block_ = std::move(other.block_);
+  rows_in_block_ = other.rows_in_block_;
+  rows_written_ = other.rows_written_;
+  closed_ = other.closed_;
+  other.closed_ = true;
+  return *this;
+}
+
 ColumnStoreWriter::~ColumnStoreWriter() {
   if (!closed_) Close();  // Best-effort; errors surface via explicit Close().
 }
@@ -394,8 +429,13 @@ Result<ColumnStoreReader> ColumnStoreReader::Open(const std::string& path) {
         std::to_string(reader.block_rows_) + " rows)");
   }
   reader.block_stride_ = payload_bytes + sizeof(uint64_t);
-  reader.num_blocks_ =
-      (reader.num_records_ + reader.block_rows_ - 1) / reader.block_rows_;
+  // Ceil-div spelled without `num_records + block_rows - 1`, which wraps
+  // for a hostile num_records near UINT64_MAX: a wrapped num_blocks_ of 0
+  // would let a resealed header-only file pass the size cross-check below
+  // and send ReadRows past the mapping. This form cannot overflow, so the
+  // lie is caught as a size disagreement like any other.
+  reader.num_blocks_ = reader.num_records_ / reader.block_rows_ +
+                       (reader.num_records_ % reader.block_rows_ != 0 ? 1 : 0);
   uint64_t blocks_bytes = 0;
   uint64_t expected_size = 0;
   if (__builtin_mul_overflow(reader.num_blocks_, reader.block_stride_,

@@ -89,8 +89,12 @@ class ColumnStoreWriter {
                                           std::vector<std::string> column_names,
                                           ColumnStoreOptions options = {});
 
-  ColumnStoreWriter(ColumnStoreWriter&&) = default;
-  ColumnStoreWriter& operator=(ColumnStoreWriter&&) = default;
+  ColumnStoreWriter(ColumnStoreWriter&& other) noexcept;
+  /// Best-effort Close() of the store this writer was building (mirroring
+  /// the destructor — a half-written file must be sealed, not silently
+  /// abandoned unsealed) before adopting `other`'s state. Call Close()
+  /// explicitly first to observe that store's write errors.
+  ColumnStoreWriter& operator=(ColumnStoreWriter&& other) noexcept;
   ColumnStoreWriter(const ColumnStoreWriter&) = delete;
   ColumnStoreWriter& operator=(const ColumnStoreWriter&) = delete;
   ~ColumnStoreWriter();

@@ -38,9 +38,11 @@ Result<CsvChunkSink> CsvChunkSink::Create(
   return CsvChunkSink(std::move(file), path, precision);
 }
 
-Status CsvChunkSink::Consume(size_t, const linalg::Matrix& chunk,
+Status CsvChunkSink::Consume(size_t row_offset, const linalg::Matrix& chunk,
                              size_t num_rows) {
   RR_CHECK_LE(num_rows, chunk.rows()) << "CsvChunkSink: overrun";
+  RR_CHECK_EQ(row_offset, rows_written_)
+      << "CsvChunkSink: chunks arrived out of order";
   for (size_t i = 0; i < num_rows; ++i) {
     const double* row = chunk.row_data(i);
     for (size_t j = 0; j < chunk.cols(); ++j) {
@@ -52,6 +54,7 @@ Status CsvChunkSink::Consume(size_t, const linalg::Matrix& chunk,
   if (file_.fail()) {
     return Status::IoError("CsvChunkSink: write to '" + path_ + "' failed");
   }
+  rows_written_ += num_rows;
   return Status::OK();
 }
 
@@ -71,6 +74,17 @@ Result<ColumnStoreChunkSink> ColumnStoreChunkSink::Create(
       data::ColumnStoreWriter writer,
       data::ColumnStoreWriter::Create(path, attribute_names, options));
   return ColumnStoreChunkSink(std::move(writer));
+}
+
+Status ColumnStoreChunkSink::Consume(size_t row_offset,
+                                     const linalg::Matrix& chunk,
+                                     size_t num_rows) {
+  // An out-of-order chunk would be appended at the wrong record index and
+  // the store would still seal as valid — permuted records with no
+  // diagnostic. Same contract as CollectChunkSink.
+  RR_CHECK_EQ(row_offset, writer_.rows_written())
+      << "ColumnStoreChunkSink: chunks arrived out of order";
+  return writer_.Append(chunk, num_rows);
 }
 
 }  // namespace pipeline

@@ -88,6 +88,7 @@ class CsvChunkSink final : public ChunkSink {
   std::ofstream file_;
   std::string path_;
   int precision_;
+  size_t rows_written_ = 0;
 };
 
 /// Appends reconstructed records to a binary column store
@@ -103,10 +104,8 @@ class ColumnStoreChunkSink final : public ChunkSink {
       const std::string& path, const std::vector<std::string>& attribute_names,
       data::ColumnStoreOptions options = {});
 
-  Status Consume(size_t /*row_offset*/, const linalg::Matrix& chunk,
-                 size_t num_rows) override {
-    return writer_.Append(chunk, num_rows);
-  }
+  Status Consume(size_t row_offset, const linalg::Matrix& chunk,
+                 size_t num_rows) override;
 
   /// Seals the store (record count + header checksum) and closes it.
   /// Called by the destructor if omitted (ignoring the status), but an

@@ -60,6 +60,11 @@ Result<std::unique_ptr<ChunkSink>> CreateRecordSink(
 Status VerifyStreamsBitwiseEqual(const std::string& a_path,
                                  const std::string& b_path,
                                  size_t chunk_rows) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument(
+        "VerifyStreamsBitwiseEqual: chunk_rows must be >= 1 — zero-row "
+        "chunks would compare no records and vacuously report equality");
+  }
   RR_ASSIGN_OR_RETURN(OpenedRecordSource a, OpenRecordSource(a_path));
   RR_ASSIGN_OR_RETURN(OpenedRecordSource b, OpenRecordSource(b_path));
   if (a.attribute_names != b.attribute_names) {

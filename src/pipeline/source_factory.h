@@ -64,7 +64,8 @@ bool HasColumnStoreExtension(const std::string& path);
 /// Opens both paths (formats sniffed independently) and streams them in
 /// lockstep: OK iff they carry identical attribute names and
 /// bitwise-identical f64 records in the same order. InvalidArgument
-/// naming the diverging rows otherwise; open/read errors propagate.
+/// naming the diverging rows otherwise; open/read errors propagate, and
+/// chunk_rows == 0 is InvalidArgument (it would compare nothing).
 /// convert_csv --verify and the micro_io fidelity gate both run this.
 Status VerifyStreamsBitwiseEqual(const std::string& a_path,
                                  const std::string& b_path,

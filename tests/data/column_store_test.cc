@@ -351,6 +351,29 @@ TEST_F(ColumnStoreCorruptionTest, RowCountDisagreementIsDetected) {
       << status.ToString();
 }
 
+TEST_F(ColumnStoreCorruptionTest, RecordCountNearUint64MaxIsRejected) {
+  // The ceil-div wrap attack: with the naive (n + block_rows - 1) /
+  // block_rows, num_records = 2^64-1 wraps num_blocks to 0, so a
+  // header-only file resealed with the public hash passes the
+  // expected-size cross-check and ReadRows runs past the mapping. Both
+  // the fixture's 3-block file and a header-only file must be rejected.
+  const uint64_t hostile_count = UINT64_MAX;
+  std::string bytes = bytes_;
+  std::memcpy(&bytes[16], &hostile_count, sizeof(hostile_count));
+  ResealHeader(&bytes, Names(3));
+  Status status = OpenWith(bytes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+
+  // Header-only variant: exactly the file the wrap would wave through.
+  std::string header_only = bytes_;
+  const size_t block_stride = 3 * 64 * 8 + 8;
+  header_only.resize(header_only.size() - 3 * block_stride);
+  std::memcpy(&header_only[16], &hostile_count, sizeof(hostile_count));
+  ResealHeader(&header_only, Names(3));
+  status = OpenWith(header_only);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+}
+
 TEST_F(ColumnStoreCorruptionTest, AbsurdColumnCountIsRejectedNotAllocated) {
   std::string bytes = bytes_;
   // A hostile num_attributes (offset 24) must fail as a Status before
@@ -446,6 +469,35 @@ TEST(ColumnStoreWriterTest, UnsealedStoreIsRejectedByReaders) {
   EXPECT_NE(status.message().find("header checksum mismatch"),
             std::string::npos)
       << status.ToString();
+}
+
+TEST(ColumnStoreWriterTest, MoveAssignmentSealsTheAbandonedStore) {
+  // Assigning onto an active writer must Close() the store it was
+  // building (as the destructor would), not drop the half-written file
+  // unsealed; the adopted writer keeps serving its own store.
+  ScratchFile first("move_assign_a.rrcs");
+  ScratchFile second("move_assign_b.rrcs");
+  stats::Rng rng(20);
+  const Matrix chunk = rng.GaussianMatrix(3, 2);
+
+  auto a = ColumnStoreWriter::Create(first.path(), Names(2));
+  ASSERT_TRUE(a.ok());
+  ColumnStoreWriter writer = std::move(a).value();
+  ASSERT_TRUE(writer.Append(chunk, 3).ok());
+
+  auto b = ColumnStoreWriter::Create(second.path(), Names(2));
+  ASSERT_TRUE(b.ok());
+  writer = std::move(b).value();
+
+  auto first_back = ReadColumnStoreDataset(first.path());
+  ASSERT_TRUE(first_back.ok()) << first_back.status().ToString();
+  EXPECT_TRUE(first_back.value().records() == chunk);
+
+  ASSERT_TRUE(writer.Append(chunk, 3).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto second_back = ReadColumnStoreDataset(second.path());
+  ASSERT_TRUE(second_back.ok()) << second_back.status().ToString();
+  EXPECT_TRUE(second_back.value().records() == chunk);
 }
 
 TEST(ColumnStoreReaderTest, MoveAssignmentReleasesTheOldMapping) {

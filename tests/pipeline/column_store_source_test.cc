@@ -248,6 +248,15 @@ TEST_F(ColumnStoreSourceTest, FactorySniffsContentAndPicksSinkByExtension) {
   EXPECT_EQ(store_format.value(), data::RecordFileFormat::kColumnStore);
 }
 
+TEST_F(ColumnStoreSourceTest, VerifyStreamsComparesRecordsNotVacuously) {
+  // The CSV and the store hold the same round-tripped doubles.
+  EXPECT_TRUE(VerifyStreamsBitwiseEqual(csv_.path(), store_.path()).ok());
+  // chunk_rows == 0 must be an error, not a 0-record "equal" verdict.
+  const Status status =
+      VerifyStreamsBitwiseEqual(csv_.path(), store_.path(), /*chunk_rows=*/0);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+}
+
 TEST(ColumnStoreRecordSourceTest, OpenFailsCleanlyOnCsvInput) {
   ScratchFile csv{"not_a_store.csv"};
   std::ofstream file(csv.path());

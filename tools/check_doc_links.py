@@ -22,14 +22,26 @@ from pathlib import Path
 # Inline links and images: [text](target) / ![alt](target). Targets with
 # spaces or an optional "title" part are cut at the first whitespace.
 LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Inline code spans are blanked before link matching: `[&](int x)` in a
+# code span is C++, not a markdown link.
+INLINE_CODE_PATTERN = re.compile(r"`[^`]*`")
+FENCE_PATTERN = re.compile(r"^(```|~~~)")
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 
 
 def dead_links(markdown_path: Path):
     base = markdown_path.parent
+    in_fence = False
     for line_number, line in enumerate(
             markdown_path.read_text(encoding="utf-8").splitlines(), start=1):
-        for match in LINK_PATTERN.finditer(line):
+        # Fenced code blocks hold code, not links: a snippet containing a
+        # lambda like `[&](int)` must not read as a dead link.
+        if FENCE_PATTERN.match(line.lstrip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_PATTERN.finditer(INLINE_CODE_PATTERN.sub("``", line)):
             target = match.group(1)
             if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
                 continue
