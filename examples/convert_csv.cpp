@@ -1,26 +1,33 @@
 // CSV <-> column-store converter: the on-ramp to the native storage
-// backend (docs/FORMAT.md).
+// backends (docs/FORMAT.md).
 //
 //   convert_csv reports.csv                  # -> reports.rrcs
 //   convert_csv reports.rrcs                 # -> reports.csv
 //   convert_csv in.csv out.rrcs --block_rows=4096 --verify=true
+//   convert_csv reports.csv --shards=8       # -> reports.rrcm + 8 shards
+//   convert_csv reports.csv out.rrcm --shard_rows=100000
 //
 // Direction is chosen by sniffing the INPUT's leading bytes (not its
-// extension): a column-store file converts to CSV, anything else parses
-// as CSV and converts to a store; the OUTPUT format follows its
-// extension (".rrcs" -> store, else CSV). Store -> CSV writes precision
-// 17, so every f64 round-trips bitwise. --verify (default true)
-// re-streams both files after converting and fails unless they are
-// bitwise identical record for record. A *derived* output path that
-// already exists is not overwritten unless --force=true (an explicitly
-// named output always is).
+// extension): a column-store file or sharded-store manifest converts to
+// CSV, anything else parses as CSV and converts to a store; the OUTPUT
+// format follows its extension (".rrcs" -> store, ".rrcm" -> sharded
+// store, else CSV). --shards=N splits the output into N shards
+// (counting the input first when its length isn't known up front);
+// --shard_rows=R rolls shards at R records — either flag makes the
+// derived output a ".rrcm" manifest. Store -> CSV writes precision 17,
+// so every f64 round-trips bitwise. --verify (default true) re-streams
+// both files after converting and fails unless they are bitwise
+// identical record for record — the sharded path included. A *derived*
+// output path that already exists is not overwritten unless --force=true
+// (an explicitly named output always is).
 //
 // With no arguments the tool demonstrates itself: it generates a small
 // disguised CSV, converts CSV -> store -> CSV, and verifies both hops
-// (the CI round-trip gate runs exactly this).
+// (the CI round-trip gate runs exactly this, plus a sharded hop).
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -30,6 +37,7 @@
 #include "common/stopwatch.h"
 #include "data/column_store.h"
 #include "data/csv.h"
+#include "data/shard_store.h"
 #include "data/synthetic.h"
 #include "perturb/schemes.h"
 #include "pipeline/source_factory.h"
@@ -65,21 +73,48 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
          text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// reports.csv -> reports.rrcs and back, driven by the sniffed format.
+/// reports.csv -> reports.rrcs and back, driven by the sniffed format —
+/// except that a sharding request always derives a ".rrcm" manifest
+/// (so `convert_csv reports.rrcs --shards=8` re-shards the store).
 std::string DeriveOutputPath(const std::string& input,
-                             data::RecordFileFormat format) {
-  if (format == data::RecordFileFormat::kColumnStore) {
-    if (pipeline::HasColumnStoreExtension(input)) {
-      return input.substr(0, input.size() -
-                                 std::strlen(pipeline::kColumnStoreExtension)) +
-             ".csv";
+                             data::RecordFileFormat format, bool sharded) {
+  std::string stem = input;
+  for (const std::string extension :
+       {std::string(pipeline::kColumnStoreExtension),
+        std::string(data::kShardManifestExtension), std::string(".csv")}) {
+    if (EndsWith(input, extension) && input.size() > extension.size()) {
+      stem = input.substr(0, input.size() - extension.size());
+      break;
     }
-    return input + ".csv";
   }
-  if (EndsWith(input, ".csv")) {
-    return input.substr(0, input.size() - 4) + pipeline::kColumnStoreExtension;
+  if (sharded) return stem + data::kShardManifestExtension;
+  if (format == data::RecordFileFormat::kColumnStore ||
+      format == data::RecordFileFormat::kShardManifest) {
+    return stem + ".csv";
   }
-  return input + pipeline::kColumnStoreExtension;
+  return stem + pipeline::kColumnStoreExtension;
+}
+
+const char* FormatLabel(data::RecordFileFormat format) {
+  switch (format) {
+    case data::RecordFileFormat::kColumnStore:
+      return "column store";
+    case data::RecordFileFormat::kShardManifest:
+      return "sharded store";
+    case data::RecordFileFormat::kCsv:
+      break;
+  }
+  return "csv";
+}
+
+/// Removes whatever `output_path` names — the manifest plus every shard
+/// for a sharded output, the single file otherwise.
+void RemoveOutput(const std::string& output_path) {
+  if (pipeline::HasShardManifestExtension(output_path)) {
+    data::RemoveShardedStoreFiles(output_path);
+  } else {
+    std::remove(output_path.c_str());
+  }
 }
 
 bool FileExists(const std::string& path) {
@@ -93,12 +128,35 @@ bool FileExists(const std::string& path) {
 /// point (e.g. an unreadable input) must not delete a pre-existing file.
 Result<size_t> Convert(const std::string& input_path,
                        const std::string& output_path, size_t block_rows,
-                       size_t chunk_rows, bool* output_touched) {
+                       size_t chunk_rows, size_t shards, size_t shard_rows,
+                       bool* output_touched) {
   RR_ASSIGN_OR_RETURN(pipeline::OpenedRecordSource input,
                       pipeline::OpenRecordSource(input_path));
   pipeline::RecordSinkOptions sink_options;
   sink_options.block_rows = block_rows;
   sink_options.csv_precision = kLosslessPrecision;
+  if (pipeline::HasShardManifestExtension(output_path)) {
+    if (shard_rows > 0) {
+      sink_options.shard_rows = shard_rows;
+    } else if (shards > 0) {
+      // --shards=N needs the record count to size the shards evenly.
+      // Store and manifest inputs know it up front; a CSV's length is
+      // only discoverable by streaming, so count first, then rewind.
+      size_t count = input.num_records;
+      if (count == 0) {
+        linalg::Matrix buffer(chunk_rows, input.attribute_names.size());
+        for (;;) {
+          RR_ASSIGN_OR_RETURN(const size_t rows,
+                              input.source->NextChunk(&buffer));
+          if (rows == 0) break;
+          count += rows;
+        }
+        RR_RETURN_NOT_OK(input.source->Reset());
+      }
+      sink_options.shard_rows =
+          std::max<size_t>(1, (count + shards - 1) / shards);
+    }
+  }
   *output_touched = true;  // CreateRecordSink truncates even when it fails.
   RR_ASSIGN_OR_RETURN(std::unique_ptr<pipeline::ChunkSink> sink,
                       pipeline::CreateRecordSink(
@@ -116,15 +174,16 @@ Result<size_t> Convert(const std::string& input_path,
 }
 
 int RunConversion(const std::string& input, std::string output,
-                  size_t block_rows, size_t chunk_rows, bool verify,
-                  bool force) {
+                  size_t block_rows, size_t chunk_rows, size_t shards,
+                  size_t shard_rows, bool verify, bool force) {
   auto format = data::DetectRecordFileFormat(input);
   if (!format.ok()) {
     std::fprintf(stderr, "%s\n", format.status().ToString().c_str());
     return 1;
   }
+  const bool sharded_requested = shards > 0 || shard_rows > 0;
   if (output.empty()) {
-    output = DeriveOutputPath(input, format.value());
+    output = DeriveOutputPath(input, format.value(), sharded_requested);
     // The user never named this path: refuse to clobber an existing
     // file they may care about (an explicit output is overwritten, as
     // for any converter).
@@ -136,6 +195,13 @@ int RunConversion(const std::string& input, std::string output,
       return 1;
     }
   }
+  if (sharded_requested && !pipeline::HasShardManifestExtension(output)) {
+    std::fprintf(stderr,
+                 "--shards/--shard_rows need a '%s' manifest output, got "
+                 "'%s'\n",
+                 data::kShardManifestExtension, output.c_str());
+    return 1;
+  }
   if (SameFile(input, output)) {
     std::fprintf(stderr,
                  "refusing to convert '%s' onto itself — the output would "
@@ -145,24 +211,22 @@ int RunConversion(const std::string& input, std::string output,
   }
   Stopwatch stopwatch;
   bool output_touched = false;
-  auto converted =
-      Convert(input, output, block_rows, chunk_rows, &output_touched);
+  auto converted = Convert(input, output, block_rows, chunk_rows, shards,
+                           shard_rows, &output_touched);
   if (!converted.ok()) {
     std::fprintf(stderr, "%s\n", converted.status().ToString().c_str());
     // The sink's destructor sealed whatever prefix reached disk, so the
     // output now looks like a complete, valid file holding a silent
-    // truncation of the input. Remove it: a failed convert must not
-    // leave an attackable-looking store behind.
-    if (output_touched) std::remove(output.c_str());
+    // truncation of the input. Remove it (every shard of a sharded
+    // output): a failed convert must not leave an attackable-looking
+    // store behind.
+    if (output_touched) RemoveOutput(output);
     return 1;
   }
   const double elapsed = stopwatch.ElapsedSeconds();
   std::printf("%s (%.2f MB, %s) -> %s (%.2f MB): %zu records in %.3fs"
               " (%.0f rec/s)\n",
-              input.c_str(), FileSizeMb(input),
-              format.value() == data::RecordFileFormat::kColumnStore
-                  ? "column store"
-                  : "csv",
+              input.c_str(), FileSizeMb(input), FormatLabel(format.value()),
               output.c_str(), FileSizeMb(output), converted.value(), elapsed,
               static_cast<double>(converted.value()) / elapsed);
   if (verify) {
@@ -170,7 +234,7 @@ int RunConversion(const std::string& input, std::string output,
         pipeline::VerifyStreamsBitwiseEqual(input, output, chunk_rows);
     if (!verified.ok()) {
       std::fprintf(stderr, "%s\n", verified.ToString().c_str());
-      std::remove(output.c_str());  // A file that failed --verify is junk.
+      RemoveOutput(output);  // A file that failed --verify is junk.
       return 1;
     }
     std::printf("verified: both files stream bitwise-identical records\n");
@@ -178,11 +242,13 @@ int RunConversion(const std::string& input, std::string output,
   return 0;
 }
 
-/// Self-demo + self-test: CSV -> store -> CSV with both hops verified.
+/// Self-demo + self-test: CSV -> store -> CSV with both hops verified,
+/// plus a CSV -> sharded-store hop.
 int RunDemo(size_t block_rows, size_t chunk_rows) {
   std::printf("No input given — demonstrating a CSV -> store -> CSV "
               "round-trip.\nUsage: convert_csv input [output] "
-              "[--block_rows=N] [--verify=true|false] [--force=true]\n\n");
+              "[--block_rows=N] [--shards=N] [--shard_rows=R] "
+              "[--verify=true|false] [--force=true]\n\n");
   stats::Rng rng(20050607);
   data::SyntheticDatasetSpec spec;
   spec.eigenvalues = data::TwoLevelSpectrum(8, 2, 6.0, 0.2);
@@ -204,16 +270,25 @@ int RunDemo(size_t block_rows, size_t chunk_rows) {
     return 1;
   }
   if (int rc = RunConversion(csv_path, "convert_demo.rrcs", block_rows,
-                             chunk_rows, /*verify=*/true, /*force=*/false)) {
+                             chunk_rows, /*shards=*/0, /*shard_rows=*/0,
+                             /*verify=*/true, /*force=*/false)) {
     return rc;
   }
   if (int rc = RunConversion("convert_demo.rrcs", "convert_demo_roundtrip.csv",
-                             block_rows, chunk_rows, /*verify=*/true,
+                             block_rows, chunk_rows, /*shards=*/0,
+                             /*shard_rows=*/0, /*verify=*/true,
                              /*force=*/false)) {
     return rc;
   }
+  // Sharded hop: the same CSV split across 3 shards + a manifest, then
+  // bitwise re-verified through the manifest path.
+  if (int rc = RunConversion(csv_path, "convert_demo.rrcm", block_rows,
+                             chunk_rows, /*shards=*/3, /*shard_rows=*/0,
+                             /*verify=*/true, /*force=*/true)) {
+    return rc;
+  }
   std::printf("\nround-trip OK: convert_demo.csv == convert_demo.rrcs == "
-              "convert_demo_roundtrip.csv (bitwise)\n");
+              "convert_demo_roundtrip.csv == convert_demo.rrcm (bitwise)\n");
   return 0;
 }
 
@@ -229,10 +304,14 @@ int main(int argc, char** argv) {
   const auto block_rows =
       flags.GetInt("block_rows", data::kDefaultColumnStoreBlockRows);
   const auto chunk_rows = flags.GetInt("chunk_rows", 4096);
+  const auto shards = flags.GetInt("shards", 0);
+  const auto shard_rows = flags.GetInt("shard_rows", 0);
   const auto verify = flags.GetBool("verify", true);
   const auto force = flags.GetBool("force", false);
   if (!block_rows.ok() || block_rows.value() < 1 || !chunk_rows.ok() ||
-      chunk_rows.value() < 1 || !verify.ok() || !force.ok()) {
+      chunk_rows.value() < 1 || !shards.ok() || shards.value() < 0 ||
+      !shard_rows.ok() || shard_rows.value() < 0 || !verify.ok() ||
+      !force.ok()) {
     std::fprintf(stderr, "bad flag value\n");
     return 2;
   }
@@ -243,6 +322,8 @@ int main(int argc, char** argv) {
   }
   return RunConversion(files[0], files.size() > 1 ? files[1] : "",
                        static_cast<size_t>(block_rows.value()),
-                       static_cast<size_t>(chunk_rows.value()), verify.value(),
+                       static_cast<size_t>(chunk_rows.value()),
+                       static_cast<size_t>(shards.value()),
+                       static_cast<size_t>(shard_rows.value()), verify.value(),
                        force.value());
 }

@@ -113,7 +113,9 @@ int main(int argc, char** argv) {
   std::printf("input %s detected as %s\n", csv_path.c_str(),
               opened.format == data::RecordFileFormat::kColumnStore
                   ? "column store (mmap)"
-                  : "csv");
+                  : opened.format == data::RecordFileFormat::kShardManifest
+                        ? "sharded store (manifest + mmap'd shards)"
+                        : "csv");
 
   pipeline::StreamingAttackOptions options;
   options.attack = attack_name == "sf"

@@ -12,6 +12,7 @@
 
 #include "common/check.h"
 #include "data/csv.h"
+#include "data/shard_store.h"
 
 // The format is little-endian on disk and the reader/writer serialize
 // integers and doubles with memcpy, so a little-endian host is required
@@ -232,10 +233,6 @@ ColumnStoreWriter::~ColumnStoreWriter() {
 }
 
 Status ColumnStoreWriter::Append(const linalg::Matrix& chunk, size_t num_rows) {
-  if (closed_) {
-    return Status::FailedPrecondition(StorePrefix(path_) +
-                                      "Append after Close");
-  }
   if (chunk.cols() != names_.size()) {
     return Status::InvalidArgument(
         StorePrefix(path_) + "chunk has " + std::to_string(chunk.cols()) +
@@ -243,6 +240,14 @@ Status ColumnStoreWriter::Append(const linalg::Matrix& chunk, size_t num_rows) {
   }
   RR_CHECK(num_rows <= chunk.rows())
       << "ColumnStoreWriter::Append: num_rows exceeds chunk";
+  return Append(chunk.data(), num_rows);
+}
+
+Status ColumnStoreWriter::Append(const double* rows, size_t num_rows) {
+  if (closed_) {
+    return Status::FailedPrecondition(StorePrefix(path_) +
+                                      "Append after Close");
+  }
   const size_t m = names_.size();
   size_t consumed = 0;
   while (consumed < num_rows) {
@@ -251,7 +256,7 @@ Status ColumnStoreWriter::Append(const linalg::Matrix& chunk, size_t num_rows) {
     // Row-major rows scatter into block-local columns (FORMAT.md §3).
     for (size_t j = 0; j < m; ++j) {
       double* column = block_.data() + j * block_rows_ + rows_in_block_;
-      const double* source = chunk.data() + consumed * m + j;
+      const double* source = rows + consumed * m + j;
       for (size_t r = 0; r < take; ++r) column[r] = source[r * m];
     }
     rows_in_block_ += take;
@@ -312,7 +317,8 @@ Status ColumnStoreWriter::Close() {
 // Reader.
 // ---------------------------------------------------------------------------
 
-Result<ColumnStoreReader> ColumnStoreReader::Open(const std::string& path) {
+Result<ColumnStoreReader> ColumnStoreReader::Open(const std::string& path,
+                                                  ColumnStoreReadOptions options) {
   const std::string prefix = StorePrefix(path);
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
@@ -344,6 +350,7 @@ Result<ColumnStoreReader> ColumnStoreReader::Open(const std::string& path) {
   reader.fd_ = fd;
   reader.mapping_ = static_cast<const uint8_t*>(raw_mapping);
   reader.file_size_ = file_size;
+  reader.options_ = options;
   const uint8_t* bytes = reader.mapping_;
 
   // From here every failure path destroys `reader`, which unmaps/closes.
@@ -416,6 +423,7 @@ Result<ColumnStoreReader> ColumnStoreReader::Open(const std::string& path) {
         std::to_string(offset) + ") — stored " + HexU64(stored_header_hash) +
         ", computed " + HexU64(computed_header_hash));
   }
+  reader.header_hash_ = stored_header_hash;
 
   // Geometry, overflow-checked: a hostile header must fail cleanly.
   uint64_t payload_values = 0;
@@ -452,6 +460,13 @@ Result<ColumnStoreReader> ColumnStoreReader::Open(const std::string& path) {
         " bytes — truncated file or record-count disagreement");
   }
   reader.block_verified_.assign(reader.num_blocks_, 0);
+  if (options.eager_verify) {
+    // Archival mode: verify the whole data section up front (block-
+    // parallel; per-block work is disjoint) so later reads serve from an
+    // already-proven mapping and a corrupt tail fails at Open, not
+    // mid-stream.
+    RR_RETURN_NOT_OK(reader.VerifyBlocksInRange(0, reader.num_blocks_));
+  }
   return reader;
 }
 
@@ -472,6 +487,8 @@ ColumnStoreReader& ColumnStoreReader::operator=(
   block_rows_ = other.block_rows_;
   num_blocks_ = other.num_blocks_;
   block_stride_ = other.block_stride_;
+  header_hash_ = other.header_hash_;
+  options_ = other.options_;
   names_ = std::move(other.names_);
   block_verified_ = std::move(other.block_verified_);
   other.fd_ = -1;
@@ -516,37 +533,92 @@ Status ColumnStoreReader::VerifyBlock(size_t block) {
   return Status::OK();
 }
 
+Status ColumnStoreReader::VerifyBlocksInRange(size_t block_begin,
+                                              size_t block_end) {
+  if (block_begin >= block_end) return Status::OK();
+  // Hot-path short circuit: chunked streaming re-reads ranges whose
+  // blocks were all verified on an earlier pass — skip the status
+  // vector and the pool dispatch entirely then (a byte scan is ~free
+  // next to the gather that follows).
+  bool all_verified = true;
+  for (size_t block = block_begin; block < block_end && all_verified;
+       ++block) {
+    all_verified = block_verified_[block] != 0;
+  }
+  if (all_verified) return Status::OK();
+  // Each task verifies a distinct block and writes only its own bitmap
+  // byte and status slot, so the pass is thread-safe and the surviving
+  // diagnostic (lowest failing block) is thread-count independent.
+  std::vector<Status> statuses(block_end - block_begin);
+  ParallelFor(
+      block_begin, block_end,
+      [&](size_t begin, size_t end) {
+        for (size_t block = begin; block < end; ++block) {
+          statuses[block - block_begin] = VerifyBlock(block);
+        }
+      },
+      options_.parallel);
+  for (Status& status : statuses) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
 Status ColumnStoreReader::ReadRows(size_t row_begin, size_t num_rows,
                                    linalg::Matrix* buffer) {
-  const size_t m = names_.size();
-  RR_CHECK_EQ(buffer->cols(), m) << "ColumnStoreReader: buffer width mismatch";
+  RR_CHECK_EQ(buffer->cols(), names_.size())
+      << "ColumnStoreReader: buffer width mismatch";
   RR_CHECK(num_rows <= buffer->rows())
       << "ColumnStoreReader: num_rows exceeds buffer";
+  return ReadRowsInto(row_begin, num_rows, buffer->data());
+}
+
+Status ColumnStoreReader::ReadRowsInto(size_t row_begin, size_t num_rows,
+                                       double* rows) {
+  const size_t m = names_.size();
   if (row_begin + num_rows > num_records_ || row_begin + num_rows < row_begin) {
     return Status::InvalidArgument(
         StorePrefix(path_) + "row range [" + std::to_string(row_begin) + ", " +
         std::to_string(row_begin + num_rows) + ") exceeds the " +
         std::to_string(num_records_) + "-record store");
   }
-  size_t out_row = 0;
-  while (out_row < num_rows) {
-    const size_t row = row_begin + out_row;
-    const size_t block = row / block_rows_;
-    const size_t local = row % block_rows_;
-    const size_t take = std::min(block_rows_ - local, num_rows - out_row);
-    RR_RETURN_NOT_OK(VerifyBlock(block));
-    const double* payload =
-        reinterpret_cast<const double*>(block_payload(block));
-    // Mapped block-local columns gather into the caller's row-major rows:
-    // contiguous reads, m-strided writes.
-    for (size_t j = 0; j < m; ++j) {
-      const double* column = payload + j * block_rows_ + local;
-      double* destination = buffer->data() + out_row * m + j;
-      for (size_t r = 0; r < take; ++r) destination[r * m] = column[r];
-    }
-    out_row += take;
-  }
+  if (num_rows == 0) return Status::OK();
+  const size_t block_begin = row_begin / block_rows_;
+  const size_t block_end = (row_begin + num_rows - 1) / block_rows_ + 1;
+  // Verify first (the parallel sweep collects the lowest failing block),
+  // then gather. A multi-block read gathers block-parallel: every block's
+  // rows land in a disjoint slice of the caller's buffer and each copy is
+  // value-preserving, so the filled bytes are identical for any thread
+  // count (determinism contract 1's "self-contained index" case).
+  RR_RETURN_NOT_OK(VerifyBlocksInRange(block_begin, block_end));
+  ParallelFor(
+      block_begin, block_end,
+      [&](size_t begin, size_t end) {
+        for (size_t block = begin; block < end; ++block) {
+          const size_t first_row = std::max(row_begin, block * block_rows_);
+          const size_t local = first_row - block * block_rows_;
+          const size_t take = std::min((block + 1) * block_rows_,
+                                       row_begin + num_rows) -
+                              first_row;
+          const size_t out_row = first_row - row_begin;
+          const double* payload =
+              reinterpret_cast<const double*>(block_payload(block));
+          // Mapped block-local columns gather into the caller's row-major
+          // rows: contiguous reads, m-strided writes.
+          for (size_t j = 0; j < m; ++j) {
+            const double* column = payload + j * block_rows_ + local;
+            double* destination = rows + out_row * m + j;
+            for (size_t r = 0; r < take; ++r) destination[r * m] = column[r];
+          }
+        }
+      },
+      options_.parallel);
   return Status::OK();
+}
+
+uint64_t ColumnStoreReader::stored_block_hash(size_t block) const {
+  RR_CHECK(block < num_blocks_) << "stored_block_hash: block out of range";
+  return LoadU64(block_payload(block) + block_stride_ - sizeof(uint64_t));
 }
 
 Result<const double*> ColumnStoreReader::BlockColumn(size_t block,
@@ -585,9 +657,13 @@ Result<RecordFileFormat> DetectRecordFileFormat(const std::string& path) {
   }
   char magic[sizeof(kColumnStoreMagic)];
   file.read(magic, sizeof(magic));
-  if (file.gcount() == sizeof(magic) &&
-      std::memcmp(magic, kColumnStoreMagic, sizeof(magic)) == 0) {
-    return RecordFileFormat::kColumnStore;
+  if (file.gcount() == sizeof(magic)) {
+    if (std::memcmp(magic, kColumnStoreMagic, sizeof(magic)) == 0) {
+      return RecordFileFormat::kColumnStore;
+    }
+    if (std::memcmp(magic, kShardManifestMagic, sizeof(magic)) == 0) {
+      return RecordFileFormat::kShardManifest;
+    }
   }
   return RecordFileFormat::kCsv;  // CSV has no magic; it is the fallback.
 }
@@ -595,9 +671,15 @@ Result<RecordFileFormat> DetectRecordFileFormat(const std::string& path) {
 Result<Dataset> ReadRecords(const std::string& path) {
   RR_ASSIGN_OR_RETURN(const RecordFileFormat format,
                       DetectRecordFileFormat(path));
-  return format == RecordFileFormat::kColumnStore
-             ? ReadColumnStoreDataset(path)
-             : ReadCsv(path);
+  switch (format) {
+    case RecordFileFormat::kColumnStore:
+      return ReadColumnStoreDataset(path);
+    case RecordFileFormat::kShardManifest:
+      return ReadShardedStoreDataset(path);
+    case RecordFileFormat::kCsv:
+      break;
+  }
+  return ReadCsv(path);
 }
 
 }  // namespace data

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/result.h"
 #include "data/dataset.h"
 #include "linalg/matrix.h"
@@ -103,6 +104,10 @@ class ColumnStoreWriter {
   /// column count must equal the name count) to the stream.
   Status Append(const linalg::Matrix& chunk, size_t num_rows);
 
+  /// Appends `num_rows` row-major records at `rows` (num_attributes()
+  /// values each) — the pointer form sharded writers slice chunks with.
+  Status Append(const double* rows, size_t num_rows);
+
   /// Flushes the final partial block, patches the header record count and
   /// checksum, and closes the file. Idempotent; IoError on write failure.
   Status Close();
@@ -135,23 +140,41 @@ class ColumnStoreWriter {
   bool closed_ = false;
 };
 
+/// Reader knobs.
+struct ColumnStoreReadOptions {
+  /// Verify EVERY block checksum at Open (archival reads: pay the whole
+  /// scan up front, fail fast, and serve later reads without per-touch
+  /// verification). The default verifies lazily on first touch.
+  bool eager_verify = false;
+  /// Worker budget for block-parallel verification and gathers. Results
+  /// are bitwise identical for any setting (disjoint per-block work, no
+  /// cross-block floating-point accumulation).
+  ParallelOptions parallel;
+};
+
 /// Memory-mapped column-store reader: zero-copy in the sense that file
 /// bytes are consumed straight from the page cache — no read() buffering,
 /// no parsing; ReadRows() is a strided gather from mapped columns into
-/// the caller's row-major buffer.
+/// the caller's row-major buffer. A ReadRows spanning many blocks
+/// verifies and gathers them in parallel (per-block work is disjoint, so
+/// the filled buffer is bitwise identical for any thread count).
 ///
 /// Open() validates magic, version, header checksum and the exact file
 /// size implied by the header (which catches both truncation and a
 /// header/row-count disagreement); block checksums are verified lazily,
-/// once, on first touch. Instances are move-only and single-threaded
-/// (the lazy verification bitmap is unsynchronized); concurrent readers
-/// should each Open() the file — the kernel shares the pages.
+/// once, on first touch — or all up front with
+/// ColumnStoreReadOptions::eager_verify. Instances are move-only and
+/// single-threaded (the lazy verification bitmap is unsynchronized
+/// between calls; the block-parallel paths touch disjoint blocks);
+/// concurrent readers should each Open() the file — the kernel shares
+/// the pages.
 class ColumnStoreReader {
  public:
   /// Maps `path` and validates its header. IoError if the file can't be
   /// opened or mapped, InvalidArgument naming the offending field/offset
   /// on any structural corruption.
-  static Result<ColumnStoreReader> Open(const std::string& path);
+  static Result<ColumnStoreReader> Open(const std::string& path,
+                                        ColumnStoreReadOptions options = {});
 
   ColumnStoreReader(ColumnStoreReader&& other) noexcept;
   ColumnStoreReader& operator=(ColumnStoreReader&& other) noexcept;
@@ -171,6 +194,10 @@ class ColumnStoreReader {
   /// InvalidArgument (naming block and offset) on a checksum mismatch.
   Status ReadRows(size_t row_begin, size_t num_rows, linalg::Matrix* buffer);
 
+  /// ReadRows into a raw row-major buffer of num_attributes()-wide rows —
+  /// the pointer form sharded readers target mid-buffer with.
+  Status ReadRowsInto(size_t row_begin, size_t num_rows, double* rows);
+
   /// Zero-copy pointer to column `column` of block `block` — block-local
   /// row r of that column is ptr[r], valid for rows_in_block(block) rows.
   /// Verifies the block's checksum on first touch.
@@ -179,11 +206,26 @@ class ColumnStoreReader {
   /// Valid records in `block` (block_rows() except for a final partial).
   size_t rows_in_block(size_t block) const;
 
+  /// The sealed header checksum (docs/FORMAT.md §2.2) — together with the
+  /// per-block checksums this is the store's content identity, which the
+  /// sharded-store manifest binds into its per-shard seal digest.
+  uint64_t header_hash() const { return header_hash_; }
+
+  /// The STORED checksum of `block` (docs/FORMAT.md §3), read without
+  /// verifying it — manifest seal digests hash these, so a corrupt block
+  /// changes the digest whether or not anyone has touched its data.
+  uint64_t stored_block_hash(size_t block) const;
+
  private:
   ColumnStoreReader() = default;
 
   /// Lazily verifies block `block`'s checksum (docs/FORMAT.md §3).
   Status VerifyBlock(size_t block);
+
+  /// Verifies every unverified block in [block_begin, block_end) —
+  /// block-parallel; on failure returns the LOWEST failing block's error
+  /// so the diagnostic is deterministic across thread counts.
+  Status VerifyBlocksInRange(size_t block_begin, size_t block_end);
 
   /// Unmaps and closes, leaving the reader empty (moves, destructor).
   void ReleaseMapping();
@@ -201,6 +243,8 @@ class ColumnStoreReader {
   size_t block_rows_ = 0;
   size_t num_blocks_ = 0;
   size_t block_stride_ = 0;  ///< Payload + trailing checksum, in bytes.
+  uint64_t header_hash_ = 0;
+  ColumnStoreReadOptions options_;
   std::vector<std::string> names_;
   std::vector<uint8_t> block_verified_;
 };
@@ -217,11 +261,15 @@ Result<Dataset> ReadColumnStoreDataset(const std::string& path);
 enum class RecordFileFormat {
   kCsv,
   kColumnStore,
+  /// A sharded-store manifest (data/shard_store.h) naming N `.rrcs`
+  /// shards that together form one logical stream.
+  kShardManifest,
 };
 
 /// Sniffs the leading magic bytes of `path`: kColumnStore iff they equal
-/// kColumnStoreMagic, else kCsv (CSV has no magic). IoError if the file
-/// can't be opened.
+/// kColumnStoreMagic, kShardManifest iff they equal kShardManifestMagic
+/// (data/shard_store.h), else kCsv (CSV has no magic). IoError if the
+/// file can't be opened.
 Result<RecordFileFormat> DetectRecordFileFormat(const std::string& path);
 
 /// Loads `path` as a Dataset whatever its format (sniffed, not by

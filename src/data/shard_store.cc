@@ -1,0 +1,763 @@
+#include "data/shard_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace randrecon {
+namespace data {
+
+const char kShardManifestMagic[8] = {'R', 'R', 'S', 'H', 'M', 'A', 'N', 'F'};
+const char kShardManifestExtension[] = ".rrcm";
+
+namespace {
+
+// Fixed manifest offsets (docs/FORMAT.md §7.1) — deliberately parallel
+// to the column-store header: magic, version, then three u64 geometry
+// fields, then variable-length sections.
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kReservedOffset = 12;
+constexpr size_t kNumRecordsOffset = 16;
+constexpr size_t kNumAttributesOffset = 24;
+constexpr size_t kNumShardsOffset = 32;
+constexpr size_t kEntriesStartOffset = 40;
+/// u32 path length + (empty path) + row_begin + row_count + seal_digest.
+constexpr size_t kMinShardEntryBytes = 4 + 3 * sizeof(uint64_t);
+/// Manifests are O(shards) small; a header claiming more than this is
+/// hostile or corrupt and must fail as a Status, not a bad_alloc.
+constexpr size_t kMaxManifestBytes = 64u << 20;
+
+void AppendU32(std::string* out, uint32_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+uint32_t LoadU32(const uint8_t* bytes) {
+  uint32_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+uint64_t LoadU64(const uint8_t* bytes) {
+  uint64_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
+}
+
+std::string HexU64(uint64_t value) {
+  char buffer[19];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string ManifestPrefix(const std::string& path) {
+  return "shard manifest '" + path + "': ";
+}
+
+/// A shard path from a manifest may only address files under the
+/// manifest's directory: relative, with no "." / ".." / empty
+/// components (a hostile manifest must not reach ../../etc/passwd).
+bool IsSafeRelativePath(const std::string& path) {
+  if (path.empty() || path.front() == '/') return false;
+  size_t begin = 0;
+  while (begin <= path.size()) {
+    const size_t end = std::min(path.find('/', begin), path.size());
+    const std::string component = path.substr(begin, end - begin);
+    if (component.empty() || component == "." || component == "..") {
+      return false;
+    }
+    begin = end + 1;
+  }
+  return true;
+}
+
+/// Structural validation shared by the reader and the writer: spans must
+/// tile [0, num_records) contiguously in shard order, every path must be
+/// safe, and failures name the offending shard.
+Status ValidateManifestStructure(const ShardManifest& manifest,
+                                 const std::string& prefix) {
+  if (manifest.shards.empty()) {
+    return Status::InvalidArgument(prefix + "manifest names no shards");
+  }
+  if (manifest.column_names.empty()) {
+    return Status::InvalidArgument(prefix + "manifest names no columns");
+  }
+  uint64_t expected_begin = 0;
+  std::set<std::string> seen_paths;
+  for (size_t s = 0; s < manifest.shards.size(); ++s) {
+    const ShardManifestEntry& entry = manifest.shards[s];
+    const std::string shard_name =
+        "shard " + std::to_string(s) + " ('" + entry.relative_path + "')";
+    if (!IsSafeRelativePath(entry.relative_path)) {
+      return Status::InvalidArgument(
+          prefix + shard_name +
+          ": path must be relative with no '..' components");
+    }
+    if (!seen_paths.insert(entry.relative_path).second) {
+      // Two entries aliasing one file would pass every per-shard check
+      // (same schema, counts and digest) and silently serve duplicated
+      // records — exactly the "silently wrong stream" this layer exists
+      // to rule out.
+      return Status::InvalidArgument(
+          prefix + shard_name + ": duplicate shard path — an earlier entry "
+          "already names this file");
+    }
+    uint64_t entry_end = 0;
+    if (__builtin_add_overflow(entry.row_begin, entry.row_count,
+                               &entry_end)) {
+      return Status::InvalidArgument(prefix + shard_name + ": row span [" +
+                                     std::to_string(entry.row_begin) + ", +" +
+                                     std::to_string(entry.row_count) +
+                                     ") overflows");
+    }
+    if (entry.row_begin != expected_begin) {
+      const bool overlap = entry.row_begin < expected_begin;
+      return Status::InvalidArgument(
+          prefix + shard_name + ": row span [" +
+          std::to_string(entry.row_begin) + ", " + std::to_string(entry_end) +
+          ") " + (overlap ? "overlaps the previous shard, which ends at record "
+                          : "leaves a gap after the previous shard, which ends "
+                            "at record ") +
+          std::to_string(expected_begin));
+    }
+    expected_begin = entry_end;
+  }
+  if (expected_begin != manifest.num_records) {
+    return Status::InvalidArgument(
+        prefix + "shard row spans cover " + std::to_string(expected_begin) +
+        " records but the manifest declares " +
+        std::to_string(manifest.num_records));
+  }
+  return Status::OK();
+}
+
+/// The manifest's serialized image WITHOUT the trailing hash.
+std::string SerializeManifestPrefix(const ShardManifest& manifest) {
+  std::string out;
+  out.append(kShardManifestMagic, sizeof(kShardManifestMagic));
+  AppendU32(&out, manifest.version);
+  AppendU32(&out, 0);  // Reserved; zero in v1, bound by the hash.
+  AppendU64(&out, manifest.num_records);
+  AppendU64(&out, manifest.column_names.size());
+  AppendU64(&out, manifest.shards.size());
+  for (const std::string& name : manifest.column_names) {
+    AppendU32(&out, static_cast<uint32_t>(name.size()));
+    out.append(name);
+  }
+  for (const ShardManifestEntry& entry : manifest.shards) {
+    AppendU32(&out, static_cast<uint32_t>(entry.relative_path.size()));
+    out.append(entry.relative_path);
+    AppendU64(&out, entry.row_begin);
+    AppendU64(&out, entry.row_count);
+    AppendU64(&out, entry.seal_digest);
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t ComputeShardSealDigest(const ColumnStoreReader& reader) {
+  // Little-endian u64s hashed as raw bytes: stable across hosts per the
+  // little-endian requirement of the store format itself.
+  std::vector<uint64_t> words;
+  words.reserve(1 + reader.num_blocks());
+  words.push_back(reader.header_hash());
+  for (size_t block = 0; block < reader.num_blocks(); ++block) {
+    words.push_back(reader.stored_block_hash(block));
+  }
+  return ColumnStoreHash(words.data(), words.size() * sizeof(uint64_t));
+}
+
+std::string ShardFileName(const std::string& stem, size_t shard_index) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".shard-%05zu", shard_index);
+  return stem + suffix + ".rrcs";
+}
+
+std::string ShardStemForManifest(const std::string& manifest_path) {
+  const size_t slash = manifest_path.find_last_of('/');
+  std::string name =
+      slash == std::string::npos ? manifest_path : manifest_path.substr(slash + 1);
+  const std::string extension(kShardManifestExtension);
+  if (name.size() > extension.size() &&
+      name.compare(name.size() - extension.size(), extension.size(),
+                   extension) == 0) {
+    name.resize(name.size() - extension.size());
+  }
+  return name;
+}
+
+std::string ManifestDirectory(const std::string& manifest_path) {
+  const size_t slash = manifest_path.find_last_of('/');
+  return slash == std::string::npos ? std::string()
+                                    : manifest_path.substr(0, slash + 1);
+}
+
+Result<ShardManifest> ReadShardManifest(const std::string& manifest_path) {
+  const std::string prefix = ManifestPrefix(manifest_path);
+  std::ifstream file(manifest_path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IoError(prefix + "cannot open");
+  }
+  file.seekg(0, std::ios::end);
+  const std::streamoff signed_size = file.tellg();
+  if (signed_size < 0) {
+    return Status::IoError(prefix + "cannot determine file size");
+  }
+  const size_t size = static_cast<size_t>(signed_size);
+  if (size > kMaxManifestBytes) {
+    return Status::InvalidArgument(
+        prefix + "file is " + std::to_string(size) +
+        " bytes, larger than the " + std::to_string(kMaxManifestBytes) +
+        "-byte manifest limit — not a manifest");
+  }
+  if (size < kEntriesStartOffset + sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        prefix + "file is " + std::to_string(size) +
+        " bytes, smaller than the minimum manifest");
+  }
+  std::string buffer(size, '\0');
+  file.seekg(0);
+  file.read(&buffer[0], static_cast<std::streamsize>(size));
+  if (file.gcount() != signed_size) {
+    return Status::IoError(prefix + "short read");
+  }
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(buffer.data());
+
+  if (std::memcmp(bytes, kShardManifestMagic, sizeof(kShardManifestMagic)) !=
+      0) {
+    return Status::InvalidArgument(
+        prefix + "bad magic at offset 0 — not a shard manifest");
+  }
+  ShardManifest manifest;
+  manifest.version = LoadU32(bytes + kVersionOffset);
+  if (manifest.version == 0 || manifest.version > kShardManifestVersion) {
+    return Status::InvalidArgument(
+        prefix + "unsupported manifest version " +
+        std::to_string(manifest.version) + " (this build reads versions 1.." +
+        std::to_string(kShardManifestVersion) + ")");
+  }
+  (void)kReservedOffset;  // Reserved field: ignored in v1, hash-bound.
+  manifest.num_records = LoadU64(bytes + kNumRecordsOffset);
+  const uint64_t num_attributes = LoadU64(bytes + kNumAttributesOffset);
+  const uint64_t num_shards = LoadU64(bytes + kNumShardsOffset);
+  if (num_attributes == 0 || num_shards == 0) {
+    return Status::InvalidArgument(
+        prefix + "manifest declares num_attributes " +
+        std::to_string(num_attributes) + ", num_shards " +
+        std::to_string(num_shards) + " (both must be >= 1)");
+  }
+  // Bound counts against the file BEFORE reserving: both are unverified
+  // until the trailing hash is checked, and a hostile count must fail as
+  // a Status, not a bad_alloc.
+  if (num_attributes > (size - kEntriesStartOffset) / sizeof(uint32_t)) {
+    return Status::InvalidArgument(
+        prefix + "manifest declares " + std::to_string(num_attributes) +
+        " columns, more than its " + std::to_string(size) +
+        " bytes could possibly name");
+  }
+  if (num_shards > size / kMinShardEntryBytes) {
+    return Status::InvalidArgument(
+        prefix + "manifest declares " + std::to_string(num_shards) +
+        " shards, more than its " + std::to_string(size) +
+        " bytes could possibly describe");
+  }
+
+  size_t offset = kEntriesStartOffset;
+  auto need = [&](size_t bytes_needed, const std::string& what) -> Status {
+    // The trailing 8-byte manifest hash must still fit after `what`.
+    if (offset + bytes_needed + sizeof(uint64_t) > size) {
+      return Status::InvalidArgument(prefix + what +
+                                     " overruns the manifest at offset " +
+                                     std::to_string(offset));
+    }
+    return Status::OK();
+  };
+  manifest.column_names.reserve(num_attributes);
+  for (uint64_t j = 0; j < num_attributes; ++j) {
+    const std::string what = "column name " + std::to_string(j);
+    RR_RETURN_NOT_OK(need(sizeof(uint32_t), what));
+    const uint32_t length = LoadU32(bytes + offset);
+    offset += sizeof(uint32_t);
+    RR_RETURN_NOT_OK(need(length, what));
+    manifest.column_names.emplace_back(
+        reinterpret_cast<const char*>(bytes + offset), length);
+    offset += length;
+  }
+  manifest.shards.reserve(num_shards);
+  for (uint64_t s = 0; s < num_shards; ++s) {
+    const std::string what = "shard entry " + std::to_string(s);
+    RR_RETURN_NOT_OK(need(sizeof(uint32_t), what));
+    const uint32_t path_length = LoadU32(bytes + offset);
+    offset += sizeof(uint32_t);
+    RR_RETURN_NOT_OK(need(path_length + 3 * sizeof(uint64_t), what));
+    ShardManifestEntry entry;
+    entry.relative_path.assign(reinterpret_cast<const char*>(bytes + offset),
+                               path_length);
+    offset += path_length;
+    entry.row_begin = LoadU64(bytes + offset);
+    entry.row_count = LoadU64(bytes + offset + 8);
+    entry.seal_digest = LoadU64(bytes + offset + 16);
+    offset += 3 * sizeof(uint64_t);
+    manifest.shards.push_back(std::move(entry));
+  }
+
+  const uint64_t stored_hash = LoadU64(bytes + offset);
+  const uint64_t computed_hash = ColumnStoreHash(bytes, offset);
+  if (stored_hash != computed_hash) {
+    return Status::InvalidArgument(
+        prefix + "manifest checksum mismatch over bytes [0, " +
+        std::to_string(offset) + ") — stored " + HexU64(stored_hash) +
+        ", computed " + HexU64(computed_hash));
+  }
+  if (offset + sizeof(uint64_t) != size) {
+    return Status::InvalidArgument(
+        prefix + "manifest is " + std::to_string(size) + " bytes but its " +
+        std::to_string(num_shards) + " entries end at " +
+        std::to_string(offset + sizeof(uint64_t)) +
+        " — trailing bytes or truncated entry table");
+  }
+  RR_RETURN_NOT_OK(ValidateManifestStructure(manifest, prefix));
+  return manifest;
+}
+
+Status WriteShardManifest(const ShardManifest& manifest,
+                          const std::string& manifest_path) {
+  const std::string prefix = ManifestPrefix(manifest_path);
+  RR_RETURN_NOT_OK(ValidateManifestStructure(manifest, prefix));
+  for (const std::string& name : manifest.column_names) {
+    if (name.size() > UINT32_MAX) {
+      return Status::InvalidArgument(prefix + "column name too long");
+    }
+  }
+  for (const ShardManifestEntry& entry : manifest.shards) {
+    if (entry.relative_path.size() > UINT32_MAX) {
+      return Status::InvalidArgument(prefix + "shard path too long");
+    }
+  }
+  std::string image = SerializeManifestPrefix(manifest);
+  AppendU64(&image, ColumnStoreHash(image.data(), image.size()));
+  std::ofstream file(manifest_path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError(prefix + "cannot open for writing");
+  }
+  file.write(image.data(), static_cast<std::streamsize>(image.size()));
+  file.close();
+  if (file.fail()) {
+    return Status::IoError(prefix + "write failed");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+ShardedStoreWriter::ShardedStoreWriter(std::string manifest_path,
+                                       std::string directory, std::string stem,
+                                       std::vector<std::string> names,
+                                       ShardedStoreOptions options)
+    : manifest_path_(std::move(manifest_path)),
+      directory_(std::move(directory)),
+      stem_(std::move(stem)),
+      names_(std::move(names)),
+      options_(options) {}
+
+ShardedStoreWriter::ShardedStoreWriter(ShardedStoreWriter&& other) noexcept
+    : manifest_path_(std::move(other.manifest_path_)),
+      directory_(std::move(other.directory_)),
+      stem_(std::move(other.stem_)),
+      names_(std::move(other.names_)),
+      options_(other.options_),
+      entries_(std::move(other.entries_)),
+      current_(std::move(other.current_)),
+      current_rows_(other.current_rows_),
+      pending_(std::move(other.pending_)),
+      rows_written_(other.rows_written_),
+      deferred_error_(std::move(other.deferred_error_)),
+      closed_(other.closed_),
+      manifest_written_(other.manifest_written_) {
+  other.closed_ = true;  // The hollowed-out source must not try to close.
+}
+
+Result<ShardedStoreWriter> ShardedStoreWriter::Create(
+    const std::string& manifest_path, std::vector<std::string> column_names,
+    ShardedStoreOptions options) {
+  const std::string prefix = ManifestPrefix(manifest_path);
+  if (options.shard_rows == 0) {
+    return Status::InvalidArgument(prefix + "shard_rows must be >= 1");
+  }
+  if (options.seal_batch_shards == 0) {
+    return Status::InvalidArgument(prefix + "seal_batch_shards must be >= 1");
+  }
+  ShardedStoreWriter writer(manifest_path, ManifestDirectory(manifest_path),
+                            ShardStemForManifest(manifest_path),
+                            std::move(column_names), options);
+  // Shard 0 is created eagerly so an unwritable directory or a bad
+  // column-name set fails here, not on the first Append.
+  RR_RETURN_NOT_OK(writer.StartShard());
+  return writer;
+}
+
+ShardedStoreWriter::~ShardedStoreWriter() {
+  if (!closed_) Close();  // Best-effort; errors surface via explicit Close().
+}
+
+Status ShardedStoreWriter::StartShard() {
+  const size_t index = entries_.size();
+  ShardManifestEntry entry;
+  entry.relative_path = ShardFileName(stem_, index);
+  entry.row_begin = rows_written_;
+  ColumnStoreOptions store_options;
+  store_options.block_rows = options_.block_rows;
+  Result<ColumnStoreWriter> created = ColumnStoreWriter::Create(
+      directory_ + entry.relative_path, names_, store_options);
+  if (!created.ok()) {
+    return Status(created.status().code(),
+                  ManifestPrefix(manifest_path_) + "shard " +
+                      std::to_string(index) + " ('" + entry.relative_path +
+                      "'): " + created.status().message());
+  }
+  current_ =
+      std::make_unique<ColumnStoreWriter>(std::move(created).value());
+  current_rows_ = 0;
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+void ShardedStoreWriter::RollCurrentShard() {
+  if (current_ == nullptr) return;
+  pending_.emplace_back(entries_.size() - 1, std::move(current_));
+  current_rows_ = 0;
+}
+
+Status ShardedStoreWriter::SealPendingShards() {
+  if (pending_.empty()) return Status::OK();
+  // Each task seals its own shard (final-block flush + header patch) and
+  // computes its seal digest — independent files, disjoint entry slots,
+  // and the surviving error (lowest shard) is thread-count independent.
+  std::vector<Status> statuses(pending_.size());
+  ParallelForEach(
+      0, pending_.size(),
+      [&](size_t i) {
+        const size_t index = pending_[i].first;
+        ColumnStoreWriter* writer = pending_[i].second.get();
+        const std::string shard_prefix =
+            ManifestPrefix(manifest_path_) + "shard " + std::to_string(index) +
+            " ('" + entries_[index].relative_path + "'): ";
+        Status sealed = writer->Close();
+        if (!sealed.ok()) {
+          statuses[i] = Status(sealed.code(), shard_prefix + sealed.message());
+          return;
+        }
+        // Re-open the sealed shard to digest its header + block hashes;
+        // this also proves the file on disk parses as a valid store.
+        Result<ColumnStoreReader> reader =
+            ColumnStoreReader::Open(directory_ + entries_[index].relative_path);
+        if (!reader.ok()) {
+          statuses[i] = Status(reader.status().code(),
+                               shard_prefix + reader.status().message());
+          return;
+        }
+        entries_[index].seal_digest = ComputeShardSealDigest(reader.value());
+      },
+      options_.parallel);
+  pending_.clear();
+  for (Status& status : statuses) {
+    if (!status.ok()) {
+      // Sticky: the store now contains a shard that never sealed, so
+      // every later call (and Close, even from the destructor) must
+      // keep failing instead of writing a manifest over the damage.
+      deferred_error_ = status;
+      return std::move(status);
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedStoreWriter::Append(const linalg::Matrix& chunk,
+                                  size_t num_rows) {
+  if (closed_) {
+    return Status::FailedPrecondition(ManifestPrefix(manifest_path_) +
+                                      "Append after Close");
+  }
+  if (!deferred_error_.ok()) return deferred_error_;
+  const size_t m = names_.size();
+  if (chunk.cols() != m) {
+    return Status::InvalidArgument(
+        ManifestPrefix(manifest_path_) + "chunk has " +
+        std::to_string(chunk.cols()) + " columns, store has " +
+        std::to_string(m));
+  }
+  RR_CHECK(num_rows <= chunk.rows())
+      << "ShardedStoreWriter::Append: num_rows exceeds chunk";
+  size_t consumed = 0;
+  while (consumed < num_rows) {
+    if (current_ == nullptr) RR_RETURN_NOT_OK(StartShard());
+    const size_t take =
+        std::min(options_.shard_rows - current_rows_, num_rows - consumed);
+    RR_RETURN_NOT_OK(current_->Append(chunk.data() + consumed * m, take));
+    current_rows_ += take;
+    rows_written_ += take;
+    entries_.back().row_count += take;
+    consumed += take;
+    if (current_rows_ == options_.shard_rows) {
+      RollCurrentShard();
+      if (pending_.size() >= options_.seal_batch_shards) {
+        RR_RETURN_NOT_OK(SealPendingShards());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ShardedStoreWriter::Close() {
+  if (closed_) return deferred_error_;
+  closed_ = true;
+  if (!deferred_error_.ok()) return deferred_error_;
+  RollCurrentShard();
+  RR_RETURN_NOT_OK(SealPendingShards());
+  ShardManifest manifest;
+  manifest.num_records = rows_written_;
+  manifest.column_names = names_;
+  manifest.shards = entries_;
+  // The manifest goes out LAST: until this write succeeds there is no
+  // file claiming the shards form a complete store.
+  RR_RETURN_NOT_OK(WriteShardManifest(manifest, manifest_path_));
+  manifest_written_ = true;
+  // Best-effort removal of stale conventionally-named shards from a
+  // previous, wider layout at the same stem: a leftover
+  // "<stem>.shard-00007.rrcs" next to a 2-shard manifest would read as
+  // a plausible standalone store.
+  for (size_t index = entries_.size();; ++index) {
+    if (std::remove((directory_ + ShardFileName(stem_, index)).c_str()) != 0) {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ShardedStoreWriter::output_paths() const {
+  std::vector<std::string> paths;
+  paths.reserve(entries_.size() + 1);
+  for (const ShardManifestEntry& entry : entries_) {
+    paths.push_back(directory_ + entry.relative_path);
+  }
+  paths.push_back(manifest_path_);
+  return paths;
+}
+
+// ---------------------------------------------------------------------------
+// Reader.
+// ---------------------------------------------------------------------------
+
+ShardedStoreReader::ShardedStoreReader(ShardManifest manifest,
+                                       std::string directory,
+                                       ColumnStoreReadOptions store_options)
+    : manifest_(std::move(manifest)),
+      directory_(std::move(directory)),
+      store_options_(store_options),
+      shards_(manifest_.shards.size()) {}
+
+Result<ShardedStoreReader> ShardedStoreReader::Open(
+    const std::string& manifest_path, ColumnStoreReadOptions store_options) {
+  RR_ASSIGN_OR_RETURN(ShardManifest manifest,
+                      ReadShardManifest(manifest_path));
+  ShardedStoreReader reader(std::move(manifest),
+                            ManifestDirectory(manifest_path), store_options);
+  reader.manifest_path_ = manifest_path;
+  return reader;
+}
+
+std::string ShardedStoreReader::shard_path(size_t shard) const {
+  RR_CHECK(shard < manifest_.shards.size())
+      << "ShardedStoreReader: shard out of range";
+  return directory_ + manifest_.shards[shard].relative_path;
+}
+
+std::string ShardedStoreReader::ShardPrefix(size_t shard) const {
+  return "sharded store '" + manifest_path_ + "': shard " +
+         std::to_string(shard) + " ('" +
+         manifest_.shards[shard].relative_path + "'): ";
+}
+
+Result<ColumnStoreReader*> ShardedStoreReader::shard(size_t shard) {
+  RR_CHECK(shard < shards_.size()) << "ShardedStoreReader: shard out of range";
+  if (shards_[shard] != nullptr) return shards_[shard].get();
+  const ShardManifestEntry& entry = manifest_.shards[shard];
+  Result<ColumnStoreReader> opened =
+      ColumnStoreReader::Open(shard_path(shard), store_options_);
+  if (!opened.ok()) {
+    // Missing file (IoError) and structural corruption (InvalidArgument,
+    // e.g. truncation) keep their codes; the shard is named either way.
+    return Status(opened.status().code(),
+                  ShardPrefix(shard) + opened.status().message());
+  }
+  ColumnStoreReader reader = std::move(opened).value();
+  if (reader.attribute_names() != manifest_.column_names) {
+    return Status::InvalidArgument(
+        ShardPrefix(shard) +
+        "column schema mismatch between the manifest and the shard header (" +
+        std::to_string(manifest_.column_names.size()) + " vs " +
+        std::to_string(reader.num_attributes()) +
+        " columns, or differing names)");
+  }
+  if (reader.num_records() != entry.row_count) {
+    return Status::InvalidArgument(
+        ShardPrefix(shard) + "holds " + std::to_string(reader.num_records()) +
+        " records but the manifest assigns it rows [" +
+        std::to_string(entry.row_begin) + ", " +
+        std::to_string(entry.row_begin + entry.row_count) +
+        ") — stale manifest or wrong shard file");
+  }
+  const uint64_t digest = ComputeShardSealDigest(reader);
+  if (digest != entry.seal_digest) {
+    return Status::InvalidArgument(
+        ShardPrefix(shard) + "seal digest mismatch — manifest has " +
+        HexU64(entry.seal_digest) + ", shard content digests to " +
+        HexU64(digest) +
+        " (shard files swapped, or the shard was resealed after the manifest "
+        "was written)");
+  }
+  shards_[shard] = std::make_unique<ColumnStoreReader>(std::move(reader));
+  return shards_[shard].get();
+}
+
+Status ShardedStoreReader::ReadRows(size_t row_begin, size_t num_rows,
+                                    linalg::Matrix* buffer) {
+  const size_t m = manifest_.column_names.size();
+  RR_CHECK_EQ(buffer->cols(), m) << "ShardedStoreReader: buffer width mismatch";
+  RR_CHECK(num_rows <= buffer->rows())
+      << "ShardedStoreReader: num_rows exceeds buffer";
+  if (row_begin + num_rows > manifest_.num_records ||
+      row_begin + num_rows < row_begin) {
+    return Status::InvalidArgument(
+        "sharded store '" + manifest_path_ + "': row range [" +
+        std::to_string(row_begin) + ", " + std::to_string(row_begin + num_rows) +
+        ") exceeds the " + std::to_string(manifest_.num_records) +
+        "-record store");
+  }
+  if (num_rows == 0) return Status::OK();
+  // Locate the first spanned shard: the last entry starting at or before
+  // row_begin (spans are contiguous and sorted by construction).
+  size_t shard_index =
+      static_cast<size_t>(
+          std::upper_bound(manifest_.shards.begin(), manifest_.shards.end(),
+                           static_cast<uint64_t>(row_begin),
+                           [](uint64_t row, const ShardManifestEntry& entry) {
+                             return row < entry.row_begin;
+                           }) -
+          manifest_.shards.begin()) -
+      1;
+  // Pass 1 (serial): resolve the spanned shards, opening and
+  // manifest-validating each on first touch. Every spanned shard
+  // appears in exactly one span.
+  struct Span {
+    size_t shard;
+    size_t local;
+    size_t take;
+    size_t out_row;
+  };
+  std::vector<Span> spans;
+  size_t out_row = 0;
+  while (out_row < num_rows) {
+    const ShardManifestEntry& entry = manifest_.shards[shard_index];
+    const size_t local = row_begin + out_row - entry.row_begin;
+    const size_t take = std::min(static_cast<size_t>(entry.row_count) - local,
+                                 num_rows - out_row);
+    if (take == 0) {  // An empty shard contributes nothing; skip it.
+      ++shard_index;
+      continue;
+    }
+    RR_ASSIGN_OR_RETURN(ColumnStoreReader * reader, shard(shard_index));
+    (void)reader;
+    spans.push_back({shard_index, local, take, out_row});
+    out_row += take;
+    if (local + take == entry.row_count) ++shard_index;
+  }
+  // Pass 2 (shard-parallel): each span gathers into a disjoint slice of
+  // the caller's buffer from its own shard reader, so the filled bytes
+  // are bitwise identical for any thread count and the surviving error
+  // (lowest shard) is deterministic. Within a single span the shard's
+  // own block-parallel ReadRows takes over (nested calls run inline).
+  std::vector<Status> statuses(spans.size());
+  ParallelForEach(
+      0, spans.size(),
+      [&](size_t i) {
+        const Span& span = spans[i];
+        statuses[i] = shards_[span.shard]->ReadRowsInto(
+            span.local, span.take, buffer->data() + span.out_row * m);
+      },
+      store_options_.parallel);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(),
+                    ShardPrefix(spans[i].shard) + statuses[i].message());
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Dataset convenience + cleanup.
+// ---------------------------------------------------------------------------
+
+Status WriteShardedStore(const Dataset& dataset,
+                         const std::string& manifest_path,
+                         ShardedStoreOptions options) {
+  RR_ASSIGN_OR_RETURN(ShardedStoreWriter writer,
+                      ShardedStoreWriter::Create(
+                          manifest_path, dataset.attribute_names(), options));
+  RR_RETURN_NOT_OK(writer.Append(dataset.records(), dataset.num_records()));
+  return writer.Close();
+}
+
+Result<Dataset> ReadShardedStoreDataset(const std::string& manifest_path) {
+  RR_ASSIGN_OR_RETURN(ShardedStoreReader reader,
+                      ShardedStoreReader::Open(manifest_path));
+  // Validate every shard BEFORE sizing the n x m buffer: the manifest's
+  // record count is attacker-controlled until each shard's header (and
+  // its header-vs-file-size cross-check) confirms it, and materializing
+  // the table from a hostile count must fail as a Status, not OOM. The
+  // opens are not wasted — every shard is about to be read anyway.
+  for (size_t s = 0; s < reader.num_shards(); ++s) {
+    RR_ASSIGN_OR_RETURN(ColumnStoreReader * shard, reader.shard(s));
+    (void)shard;
+  }
+  linalg::Matrix records(reader.num_records(), reader.num_attributes());
+  RR_RETURN_NOT_OK(reader.ReadRows(0, reader.num_records(), &records));
+  return Dataset::Create(std::move(records), reader.attribute_names());
+}
+
+void RemoveShardedStoreFiles(const std::string& manifest_path) {
+  // Shards the manifest names (when it parses) ...
+  Result<ShardManifest> manifest = ReadShardManifest(manifest_path);
+  const std::string directory = ManifestDirectory(manifest_path);
+  if (manifest.ok()) {
+    for (const ShardManifestEntry& entry : manifest.value().shards) {
+      std::remove((directory + entry.relative_path).c_str());
+    }
+  }
+  // ... plus conventionally-named shards from a write that never reached
+  // its manifest (counting up until the first missing index) ...
+  const std::string stem = ShardStemForManifest(manifest_path);
+  for (size_t index = 0;; ++index) {
+    if (std::remove((directory + ShardFileName(stem, index)).c_str()) != 0) {
+      break;
+    }
+  }
+  // ... and the manifest itself.
+  std::remove(manifest_path.c_str());
+}
+
+}  // namespace data
+}  // namespace randrecon

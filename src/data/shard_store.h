@@ -1,0 +1,293 @@
+// Sharded multi-file column stores: one logical record stream spanning
+// N `.rrcs` shards, described by a small versioned, checksummed manifest.
+//
+// A single column-store file (data/column_store.h) caps a logical stream
+// at one file on one disk and gives batch schedulers nothing to
+// decompose. The sharded store lifts both limits without touching the
+// shard format: shards are ordinary sealed column stores, and the
+// manifest (conventional extension ".rrcm", byte-level spec in
+// docs/FORMAT.md §7) binds them into one stream by recording, per shard,
+// its relative path, row span, and a seal digest derived from the
+// shard's own header + block checksums. The column schema is recorded
+// once and cross-checked against every shard's header.
+//
+//   * ShardedStoreWriter — streams row-major chunks in, rolls to a new
+//     shard every `shard_rows` records, and seals shards (final-block
+//     flush, header patch, seal-digest computation) in parallel batches.
+//     The manifest is written last, on Close(): a crashed write leaves
+//     shards without a manifest (or sealed shards and none), never a
+//     manifest describing data that was not fully written.
+//   * ShardedStoreReader — presents the shards as one O(1)-seekable
+//     logical stream. Shards are opened lazily on first touch; opening a
+//     shard validates its schema, row count and seal digest against the
+//     manifest, so every corruption path (missing/truncated shard,
+//     swapped shards, a shard resealed after the manifest was written,
+//     row-span overlap/gap, schema mismatch) fails with a Status naming
+//     the offending shard — never a crash or a silently wrong stream.
+//
+// The wrapped pipeline adapters (ShardedRecordSource, ShardedChunkSink)
+// and the job-per-shard batch decomposition live in src/pipeline/ —
+// like the single-file store, `data` does not know the pipeline exists.
+
+#ifndef RANDRECON_DATA_SHARD_STORE_H_
+#define RANDRECON_DATA_SHARD_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/result.h"
+#include "data/column_store.h"
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace data {
+
+/// The 8 magic bytes at offset 0 of every shard manifest ("RRSHMANF").
+extern const char kShardManifestMagic[8];
+
+/// The conventional manifest file extension ("<name>.rrcm"). Readers
+/// sniff the magic, never the extension; writers and the sink factory
+/// dispatch on it.
+extern const char kShardManifestExtension[];
+
+/// The manifest format version this library writes and the newest it
+/// reads.
+constexpr uint32_t kShardManifestVersion = 1;
+
+/// One shard's manifest entry (docs/FORMAT.md §7.2).
+struct ShardManifestEntry {
+  /// Shard file path relative to the manifest's directory. Validated on
+  /// read: non-empty, not absolute, no ".." components (a hostile
+  /// manifest must not address files outside its directory tree).
+  std::string relative_path;
+  /// The shard holds logical records [row_begin, row_begin + row_count).
+  /// Spans must tile [0, num_records) contiguously in shard order.
+  uint64_t row_begin = 0;
+  uint64_t row_count = 0;
+  /// RRH64 over the shard's sealed header hash followed by its per-block
+  /// checksums (ComputeShardSealDigest) — the shard's content identity.
+  /// Binding it into the manifest catches swapped shard files (same
+  /// schema and row count, different data) and a shard resealed after
+  /// the manifest was written.
+  uint64_t seal_digest = 0;
+};
+
+/// A parsed, validated manifest.
+struct ShardManifest {
+  uint32_t version = kShardManifestVersion;
+  uint64_t num_records = 0;
+  std::vector<std::string> column_names;
+  std::vector<ShardManifestEntry> shards;
+};
+
+/// The per-shard seal digest of the manifest format: RRH64 over the
+/// little-endian u64 sequence [header_hash, block_hash 0, 1, ...] of a
+/// sealed shard. Reads only the header and the 8-byte block trailers —
+/// O(blocks), not O(bytes) — yet changes whenever the shard's schema,
+/// geometry, record count or any block's content changes.
+uint64_t ComputeShardSealDigest(const ColumnStoreReader& reader);
+
+/// "<stem>.shard-00042.rrcs" — the shard naming scheme the writer uses.
+std::string ShardFileName(const std::string& stem, size_t shard_index);
+
+/// The shard-name stem for a manifest path: its filename minus the
+/// ".rrcm" extension (the whole filename when the extension is absent).
+std::string ShardStemForManifest(const std::string& manifest_path);
+
+/// Directory prefix of `path` including the trailing '/' ("" when the
+/// path has no directory part) — what shard relative paths join onto.
+std::string ManifestDirectory(const std::string& manifest_path);
+
+/// Parses and validates the manifest at `manifest_path`: magic, version,
+/// manifest checksum, exact file size, path safety, and contiguous row
+/// spans (an overlap or gap is an InvalidArgument naming the shard).
+/// Does NOT open any shard — per-shard validation happens lazily in
+/// ShardedStoreReader.
+Result<ShardManifest> ReadShardManifest(const std::string& manifest_path);
+
+/// Serializes `manifest` (docs/FORMAT.md §7) to `manifest_path`.
+/// InvalidArgument on structural problems (no shards, bad spans, unsafe
+/// paths), IoError on write failure.
+Status WriteShardManifest(const ShardManifest& manifest,
+                          const std::string& manifest_path);
+
+/// Writer options.
+struct ShardedStoreOptions {
+  /// Records per shard before rolling to the next file (>= 1). The final
+  /// shard may hold fewer.
+  size_t shard_rows = 1u << 20;
+  /// Rows per block inside each shard (data::ColumnStoreOptions).
+  size_t block_rows = kDefaultColumnStoreBlockRows;
+  /// Rolled shards are kept unsealed and sealed in parallel batches of
+  /// this many (>= 1) — each seal flushes the shard's final partial
+  /// block, patches its header, and computes its seal digest.
+  size_t seal_batch_shards = 16;
+  /// Worker budget for the parallel seal batches. Seals are independent
+  /// per shard, so the manifest is bitwise identical for any setting.
+  ParallelOptions parallel;
+};
+
+/// Streams row-major record chunks into a manifest + N shard files.
+///
+/// Shard k is written to ShardFileName(stem, k) next to the manifest.
+/// The manifest itself is written only by Close(), after every shard is
+/// sealed and digested — so a crash mid-write never leaves a manifest
+/// describing missing or unsealed data.
+class ShardedStoreWriter {
+ public:
+  /// Creates shard 0 eagerly (so path/name problems surface here) and
+  /// fails like ColumnStoreWriter::Create, plus InvalidArgument on
+  /// shard_rows == 0 or seal_batch_shards == 0.
+  static Result<ShardedStoreWriter> Create(
+      const std::string& manifest_path,
+      std::vector<std::string> column_names, ShardedStoreOptions options = {});
+
+  /// The hollowed-out source is marked closed so its destructor will not
+  /// try to seal shards it no longer owns.
+  ShardedStoreWriter(ShardedStoreWriter&& other) noexcept;
+  ShardedStoreWriter& operator=(ShardedStoreWriter&&) = delete;
+  ShardedStoreWriter(const ShardedStoreWriter&) = delete;
+  ShardedStoreWriter& operator=(const ShardedStoreWriter&) = delete;
+  ~ShardedStoreWriter();
+
+  /// Appends the leading `num_rows` rows of row-major `chunk`, rolling
+  /// to new shards as the target fills.
+  Status Append(const linalg::Matrix& chunk, size_t num_rows);
+
+  /// Seals every remaining shard (in parallel), writes the manifest, and
+  /// closes. Idempotent. On failure the manifest is NOT written — the
+  /// partial output is unreadable as a sharded store by construction.
+  Status Close();
+
+  /// Records appended so far.
+  size_t rows_written() const { return rows_written_; }
+
+  /// Shards started so far (sealed + in progress).
+  size_t num_shards() const { return entries_.size(); }
+
+  size_t num_attributes() const { return names_.size(); }
+
+  /// Paths of every file this writer has created so far (shards, plus
+  /// the manifest after a successful Close) — what a caller must remove
+  /// to clean up a failed conversion.
+  std::vector<std::string> output_paths() const;
+
+ private:
+  ShardedStoreWriter(std::string manifest_path, std::string directory,
+                     std::string stem, std::vector<std::string> names,
+                     ShardedStoreOptions options);
+
+  /// Starts shard `entries_.size()` as the current writer.
+  Status StartShard();
+
+  /// Moves the current shard (if any) onto the pending-seal queue.
+  void RollCurrentShard();
+
+  /// Seals every pending shard in parallel and records its digest.
+  Status SealPendingShards();
+
+  std::string manifest_path_;
+  std::string directory_;  ///< Includes the trailing '/', or "".
+  std::string stem_;
+  std::vector<std::string> names_;
+  ShardedStoreOptions options_;
+  std::vector<ShardManifestEntry> entries_;
+  /// The shard currently being appended to (entry entries_.back()).
+  std::unique_ptr<ColumnStoreWriter> current_;
+  size_t current_rows_ = 0;
+  /// Rolled-but-unsealed shards: pair of (entry index, writer).
+  std::vector<std::pair<size_t, std::unique_ptr<ColumnStoreWriter>>> pending_;
+  size_t rows_written_ = 0;
+  /// First seal/write failure, sticky: once a shard failed to seal the
+  /// store is unrecoverable, so every later Append/Close (including the
+  /// destructor's) re-reports it and the manifest is NEVER written — a
+  /// failed write must not leave a file claiming the store is complete.
+  Status deferred_error_;
+  bool closed_ = false;
+  bool manifest_written_ = false;
+};
+
+/// Reads a manifest + shards as one logical O(1)-seekable record stream.
+///
+/// Shards are opened lazily: the manifest is parsed and span-validated
+/// up front, each shard file is mapped and checked (schema, row count,
+/// seal digest) on first touch. Move-only and single-threaded, like
+/// ColumnStoreReader; concurrent consumers should each Open() the
+/// manifest.
+class ShardedStoreReader {
+ public:
+  /// Fails like ReadShardManifest; `store_options` applies to every
+  /// shard open (eager whole-shard verification, block parallelism).
+  static Result<ShardedStoreReader> Open(
+      const std::string& manifest_path,
+      ColumnStoreReadOptions store_options = {});
+
+  ShardedStoreReader(ShardedStoreReader&&) = default;
+  ShardedStoreReader& operator=(ShardedStoreReader&&) = default;
+  ShardedStoreReader(const ShardedStoreReader&) = delete;
+  ShardedStoreReader& operator=(const ShardedStoreReader&) = delete;
+
+  size_t num_records() const {
+    return static_cast<size_t>(manifest_.num_records);
+  }
+  size_t num_attributes() const { return manifest_.column_names.size(); }
+  size_t num_shards() const { return manifest_.shards.size(); }
+  const std::vector<std::string>& attribute_names() const {
+    return manifest_.column_names;
+  }
+  const ShardManifest& manifest() const { return manifest_; }
+
+  /// Absolute-ish path of shard `shard` (manifest directory + relative
+  /// path) — what a per-shard batch job opens directly.
+  std::string shard_path(size_t shard) const;
+
+  /// Fills the leading rows of `buffer` with logical records
+  /// [row_begin, row_begin + num_rows), opening the spanned shards on
+  /// demand. Errors name the offending shard.
+  Status ReadRows(size_t row_begin, size_t num_rows, linalg::Matrix* buffer);
+
+  /// The lazily-opened, manifest-validated reader for shard `shard` —
+  /// columnar consumers iterate its blocks zero-copy. The pointer stays
+  /// valid for the life of this ShardedStoreReader.
+  Result<ColumnStoreReader*> shard(size_t shard);
+
+ private:
+  ShardedStoreReader(ShardManifest manifest, std::string directory,
+                     ColumnStoreReadOptions store_options);
+
+  /// "sharded store '<manifest>': shard K ('<path>'): " — every
+  /// shard-level failure is prefixed so the offending shard is named.
+  std::string ShardPrefix(size_t shard) const;
+
+  ShardManifest manifest_;
+  std::string manifest_path_;
+  std::string directory_;
+  ColumnStoreReadOptions store_options_;
+  /// Lazily opened shard readers (null until first touch). unique_ptr
+  /// keeps ColumnStoreReader pointers stable across vector growth.
+  std::vector<std::unique_ptr<ColumnStoreReader>> shards_;
+};
+
+/// Writes a whole Dataset as a sharded store (manifest + shards).
+Status WriteShardedStore(const Dataset& dataset,
+                         const std::string& manifest_path,
+                         ShardedStoreOptions options = {});
+
+/// Reads a whole sharded store into memory as a Dataset.
+Result<Dataset> ReadShardedStoreDataset(const std::string& manifest_path);
+
+/// Best-effort cleanup of a sharded-store output (after a failed write
+/// or verification): removes the manifest if present and every
+/// "<stem>.shard-NNNNN.rrcs" file, counting up from 0 until the first
+/// index with no file. Never fails; for tools like convert_csv that must
+/// not leave a plausible-looking partial store behind.
+void RemoveShardedStoreFiles(const std::string& manifest_path);
+
+}  // namespace data
+}  // namespace randrecon
+
+#endif  // RANDRECON_DATA_SHARD_STORE_H_

@@ -87,5 +87,24 @@ Status ColumnStoreChunkSink::Consume(size_t row_offset,
   return writer_.Append(chunk, num_rows);
 }
 
+Result<ShardedChunkSink> ShardedChunkSink::Create(
+    const std::string& manifest_path,
+    const std::vector<std::string>& attribute_names,
+    data::ShardedStoreOptions options) {
+  RR_ASSIGN_OR_RETURN(
+      data::ShardedStoreWriter writer,
+      data::ShardedStoreWriter::Create(manifest_path, attribute_names,
+                                       options));
+  return ShardedChunkSink(std::move(writer));
+}
+
+Status ShardedChunkSink::Consume(size_t row_offset,
+                                 const linalg::Matrix& chunk,
+                                 size_t num_rows) {
+  RR_CHECK_EQ(row_offset, writer_.rows_written())
+      << "ShardedChunkSink: chunks arrived out of order";
+  return writer_.Append(chunk, num_rows);
+}
+
 }  // namespace pipeline
 }  // namespace randrecon

@@ -14,6 +14,7 @@
 
 #include "common/result.h"
 #include "data/column_store.h"
+#include "data/shard_store.h"
 #include "linalg/matrix.h"
 
 namespace randrecon {
@@ -117,6 +118,42 @@ class ColumnStoreChunkSink final : public ChunkSink {
       : writer_(std::move(writer)) {}
 
   data::ColumnStoreWriter writer_;
+};
+
+/// Appends reconstructed records to a SHARDED column store
+/// (data::ShardedStoreWriter): a manifest + N `.rrcs` shards rolled at a
+/// target row count and sealed in parallel. The output of an unbounded
+/// streaming job is no longer capped at one file on one disk, and is
+/// immediately decomposable job-per-shard by PipelineRunner.
+class ShardedChunkSink final : public ChunkSink {
+ public:
+  /// Fails like data::ShardedStoreWriter::Create (unwritable directory,
+  /// bad names, zero shard_rows/block_rows).
+  static Result<ShardedChunkSink> Create(
+      const std::string& manifest_path,
+      const std::vector<std::string>& attribute_names,
+      data::ShardedStoreOptions options = {});
+
+  Status Consume(size_t row_offset, const linalg::Matrix& chunk,
+                 size_t num_rows) override;
+
+  /// Seals every shard and writes the manifest LAST — an unclosed or
+  /// failed write leaves no manifest, so readers never see a partial
+  /// store as complete. Called by the destructor if omitted (ignoring
+  /// the status).
+  Status Close() override { return writer_.Close(); }
+
+  /// Every file the writer has created (shards + manifest) — what a
+  /// failed conversion must remove.
+  std::vector<std::string> output_paths() const {
+    return writer_.output_paths();
+  }
+
+ private:
+  explicit ShardedChunkSink(data::ShardedStoreWriter writer)
+      : writer_(std::move(writer)) {}
+
+  data::ShardedStoreWriter writer_;
 };
 
 }  // namespace pipeline

@@ -34,9 +34,9 @@ Result<CsvRecordSource> CsvRecordSource::FromString(std::string text) {
 }
 
 Result<ColumnStoreRecordSource> ColumnStoreRecordSource::Open(
-    const std::string& path) {
+    const std::string& path, data::ColumnStoreReadOptions options) {
   RR_ASSIGN_OR_RETURN(data::ColumnStoreReader reader,
-                      data::ColumnStoreReader::Open(path));
+                      data::ColumnStoreReader::Open(path, options));
   return ColumnStoreRecordSource(std::move(reader));
 }
 
@@ -50,6 +50,69 @@ Result<size_t> ColumnStoreRecordSource::NextChunk(linalg::Matrix* buffer) {
     next_row_ += rows;
   }
   return rows;
+}
+
+Result<size_t> ColumnStoreRecordSource::NextBlockColumns(
+    std::vector<const double*>* columns) {
+  if (next_block_ == reader_.num_blocks()) return size_t{0};
+  const size_t m = reader_.num_attributes();
+  columns->resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    // The first column's fetch verifies the block checksum; the rest hit
+    // the verified bitmap.
+    RR_ASSIGN_OR_RETURN((*columns)[j], reader_.BlockColumn(next_block_, j));
+  }
+  const size_t rows = reader_.rows_in_block(next_block_);
+  ++next_block_;
+  return rows;
+}
+
+Result<ShardedRecordSource> ShardedRecordSource::Open(
+    const std::string& manifest_path,
+    data::ColumnStoreReadOptions store_options) {
+  RR_ASSIGN_OR_RETURN(data::ShardedStoreReader reader,
+                      data::ShardedStoreReader::Open(manifest_path,
+                                                     store_options));
+  return ShardedRecordSource(std::move(reader));
+}
+
+Result<size_t> ShardedRecordSource::NextChunk(linalg::Matrix* buffer) {
+  RR_CHECK_EQ(buffer->cols(), reader_.num_attributes())
+      << "ShardedRecordSource: chunk buffer width mismatch";
+  const size_t rows =
+      std::min(buffer->rows(), reader_.num_records() - next_row_);
+  if (rows > 0) {
+    RR_RETURN_NOT_OK(reader_.ReadRows(next_row_, rows, buffer));
+    next_row_ += rows;
+  }
+  return rows;
+}
+
+Result<size_t> ShardedRecordSource::NextBlockColumns(
+    std::vector<const double*>* columns) {
+  // Blocks are enumerated shard by shard, each shard's blocks in order —
+  // the same record order NextChunk serves. Shards' final blocks may be
+  // partial, so global blocks are ragged; consumers only see per-block
+  // row counts, which is all the moment accumulator needs.
+  for (;;) {
+    if (block_shard_ == reader_.num_shards()) return size_t{0};
+    RR_ASSIGN_OR_RETURN(data::ColumnStoreReader * shard,
+                        reader_.shard(block_shard_));
+    if (block_in_shard_ == shard->num_blocks()) {
+      ++block_shard_;
+      block_in_shard_ = 0;
+      continue;
+    }
+    const size_t m = shard->num_attributes();
+    columns->resize(m);
+    for (size_t j = 0; j < m; ++j) {
+      RR_ASSIGN_OR_RETURN((*columns)[j],
+                          shard->BlockColumn(block_in_shard_, j));
+    }
+    const size_t rows = shard->rows_in_block(block_in_shard_);
+    ++block_in_shard_;
+    return rows;
+  }
 }
 
 Result<MvnRecordSource> MvnRecordSource::Create(

@@ -31,10 +31,12 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "data/column_store.h"
 #include "data/csv.h"
+#include "data/shard_store.h"
 #include "linalg/matrix.h"
 #include "perturb/schemes.h"
 #include "stats/mvn.h"
@@ -58,6 +60,28 @@ enum class GeneratorMode {
   kCounterBatch,
 };
 
+/// Zero-copy columnar block access — the capability mmap'd store-backed
+/// sources expose so columnar consumers (pass-1 moment accumulation) can
+/// skip the columnar→row-major gather entirely. Blocks partition the
+/// stream in record order; NextBlockColumns serves every attribute of
+/// one block as a contiguous slice straight out of the mapping. The
+/// block cursor is independent of the row-major NextChunk cursor.
+class ColumnarBlockStream {
+ public:
+  virtual ~ColumnarBlockStream() = default;
+
+  /// Rewinds the block cursor to the first block.
+  virtual Status ResetBlocks() = 0;
+
+  /// Fills `columns` (resized to m) with one pointer per attribute into
+  /// the next block and returns its record count; 0 means exhausted.
+  /// Pointers stay valid until the owning source is destroyed. Fails
+  /// like the backing reader (e.g. a block checksum mismatch naming the
+  /// block).
+  virtual Result<size_t> NextBlockColumns(
+      std::vector<const double*>* columns) = 0;
+};
+
 /// An ordered, rewindable stream of records.
 class RecordSource {
  public:
@@ -74,6 +98,11 @@ class RecordSource {
   /// next records and returns how many were written; 0 means the stream
   /// is exhausted.
   virtual Result<size_t> NextChunk(linalg::Matrix* buffer) = 0;
+
+  /// The columnar fast-path capability, or null for sources that only
+  /// serve row-major chunks. The returned stream serves the SAME records
+  /// in the same order as NextChunk.
+  virtual ColumnarBlockStream* columnar_blocks() { return nullptr; }
 };
 
 /// Streams an in-memory record matrix. Owns its copy when constructed by
@@ -142,12 +171,16 @@ class CsvRecordSource final : public RecordSource {
 /// record n's bytes are at a closed-form offset, so chunking is a strided
 /// gather out of the page cache and Reset() is free. Block checksums are
 /// verified on first touch; a corrupt block surfaces as the reader's
-/// InvalidArgument naming the block, never a crash.
-class ColumnStoreRecordSource final : public RecordSource {
+/// InvalidArgument naming the block, never a crash. Also serves the
+/// columnar fast path (zero-copy BlockColumn slices).
+class ColumnStoreRecordSource final : public RecordSource,
+                                      public ColumnarBlockStream {
  public:
   /// Fails like data::ColumnStoreReader::Open (bad magic/version,
-  /// checksum or size mismatch, unreadable file).
-  static Result<ColumnStoreRecordSource> Open(const std::string& path);
+  /// checksum or size mismatch, unreadable file). `options` enables
+  /// eager whole-file verification and block-parallel reads.
+  static Result<ColumnStoreRecordSource> Open(
+      const std::string& path, data::ColumnStoreReadOptions options = {});
 
   const std::vector<std::string>& attribute_names() const {
     return reader_.attribute_names();
@@ -160,12 +193,69 @@ class ColumnStoreRecordSource final : public RecordSource {
   }
   Result<size_t> NextChunk(linalg::Matrix* buffer) override;
 
+  ColumnarBlockStream* columnar_blocks() override { return this; }
+  Status ResetBlocks() override {
+    next_block_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> NextBlockColumns(
+      std::vector<const double*>* columns) override;
+
  private:
   explicit ColumnStoreRecordSource(data::ColumnStoreReader reader)
       : reader_(std::move(reader)) {}
 
   data::ColumnStoreReader reader_;
   size_t next_row_ = 0;
+  size_t next_block_ = 0;
+};
+
+/// Streams a sharded store (manifest + N `.rrcs` shards,
+/// data::ShardedStoreReader) as ONE logical record stream — shard
+/// boundaries are invisible to consumers, so the attack over a manifest
+/// is bitwise identical to the attack over the equivalent single file.
+/// Shards open lazily; every shard-level failure (missing/truncated/
+/// swapped/resealed shard, schema mismatch) surfaces as a Status naming
+/// the shard. Serves the columnar fast path across shards (each shard's
+/// blocks in order).
+class ShardedRecordSource final : public RecordSource,
+                                  public ColumnarBlockStream {
+ public:
+  /// Fails like data::ReadShardManifest; shard files are not touched
+  /// until their rows are. `store_options` applies to every shard open.
+  static Result<ShardedRecordSource> Open(
+      const std::string& manifest_path,
+      data::ColumnStoreReadOptions store_options = {});
+
+  const std::vector<std::string>& attribute_names() const {
+    return reader_.attribute_names();
+  }
+  size_t num_records() const { return reader_.num_records(); }
+  size_t num_shards() const { return reader_.num_shards(); }
+  size_t num_attributes() const override { return reader_.num_attributes(); }
+  Status Reset() override {
+    next_row_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> NextChunk(linalg::Matrix* buffer) override;
+
+  ColumnarBlockStream* columnar_blocks() override { return this; }
+  Status ResetBlocks() override {
+    block_shard_ = 0;
+    block_in_shard_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> NextBlockColumns(
+      std::vector<const double*>* columns) override;
+
+ private:
+  explicit ShardedRecordSource(data::ShardedStoreReader reader)
+      : reader_(std::move(reader)) {}
+
+  data::ShardedStoreReader reader_;
+  size_t next_row_ = 0;
+  size_t block_shard_ = 0;
+  size_t block_in_shard_ = 0;
 };
 
 /// Streams `num_records` i.i.d. draws from N(mean, covariance) — the

@@ -2,6 +2,8 @@
 
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "data/shard_store.h"
+#include "pipeline/source_factory.h"
 
 namespace randrecon {
 namespace pipeline {
@@ -84,6 +86,38 @@ std::vector<PipelineJobResult> RunPipelineJobs(
       0, jobs.size(), [&](size_t i) { results[i] = RunOneJob(jobs[i]); },
       parallel);
   return results;
+}
+
+Result<std::vector<PipelineJob>> MakePerShardJobs(
+    const std::string& manifest_path, const PipelineJob& prototype) {
+  RR_ASSIGN_OR_RETURN(const data::ShardManifest manifest,
+                      data::ReadShardManifest(manifest_path));
+  return MakePerShardJobs(manifest, data::ManifestDirectory(manifest_path),
+                          prototype);
+}
+
+std::vector<PipelineJob> MakePerShardJobs(const data::ShardManifest& manifest,
+                                          const std::string& directory,
+                                          const PipelineJob& prototype) {
+  std::vector<PipelineJob> jobs;
+  jobs.reserve(manifest.shards.size());
+  for (size_t s = 0; s < manifest.shards.size(); ++s) {
+    PipelineJob job;
+    job.name = prototype.name + "/shard-" + std::to_string(s);
+    job.noise = prototype.noise;
+    job.attack = prototype.attack;
+    // Shards are ordinary sealed column stores, so each job opens its
+    // shard file directly — the store's own header and block checksums
+    // still guard it, and a missing/corrupt shard fails just this job.
+    const std::string shard_path = directory + manifest.shards[s].relative_path;
+    job.disguised = [shard_path]() -> Result<std::unique_ptr<RecordSource>> {
+      RR_ASSIGN_OR_RETURN(OpenedRecordSource opened,
+                          OpenRecordSource(shard_path));
+      return std::move(opened.source);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
 }
 
 }  // namespace pipeline

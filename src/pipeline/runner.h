@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "data/shard_store.h"
 #include "perturb/noise_model.h"
 #include "pipeline/streaming_attack.h"
 
@@ -67,6 +68,37 @@ struct PipelineRunnerOptions {
 std::vector<PipelineJobResult> RunPipelineJobs(
     const std::vector<PipelineJob>& jobs,
     const PipelineRunnerOptions& options = {});
+
+/// Job-per-shard decomposition of a sharded store: expands `prototype`
+/// into one job per shard of the manifest at `manifest_path`. Job k is
+/// named "<prototype.name>/shard-<k>" and attacks shard k's records as
+/// an independent stream (its own moments, eigenbasis, reconstruction) —
+/// the natural unit when shards are separate report logs, and the
+/// natural work item for RunPipelineJobs' dynamic scheduling. The
+/// prototype's noise and attack options are copied to every shard job;
+/// its disguised/reference factories and sink describe a whole-stream
+/// job and are deliberately NOT inherited (a per-shard reference or sink
+/// needs per-shard alignment the caller must wire explicitly).
+///
+/// Determinism: each shard job's numbers are a pure function of that
+/// shard's bytes (contract 6 — the scheduler never changes numbers), and
+/// attacking the WHOLE manifest as one stream remains bitwise identical
+/// to the equivalent single-file attack (contract 7) — decomposition is
+/// a scheduling choice, never a numerics choice.
+///
+/// Fails like data::ReadShardManifest (missing/corrupt manifest, bad
+/// spans); a missing or corrupt shard FILE fails only its own job, at
+/// run time, preserving batch isolation.
+Result<std::vector<PipelineJob>> MakePerShardJobs(
+    const std::string& manifest_path, const PipelineJob& prototype);
+
+/// As above over an already-parsed manifest — for callers (like the
+/// sweep driver) that have read it anyway; never re-reads the file.
+/// `directory` is the prefix shard relative paths join onto
+/// (data::ManifestDirectory of the manifest's path).
+std::vector<PipelineJob> MakePerShardJobs(const data::ShardManifest& manifest,
+                                          const std::string& directory,
+                                          const PipelineJob& prototype);
 
 }  // namespace pipeline
 }  // namespace randrecon

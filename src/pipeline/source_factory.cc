@@ -7,44 +7,84 @@ namespace pipeline {
 
 const char kColumnStoreExtension[] = ".rrcs";
 
-bool HasColumnStoreExtension(const std::string& path) {
-  const std::string extension(kColumnStoreExtension);
+namespace {
+
+bool HasExtension(const std::string& path, const std::string& extension) {
   return path.size() > extension.size() &&
          path.compare(path.size() - extension.size(), extension.size(),
                       extension) == 0;
 }
 
-Result<OpenedRecordSource> OpenRecordSource(const std::string& path) {
+}  // namespace
+
+bool HasColumnStoreExtension(const std::string& path) {
+  return HasExtension(path, kColumnStoreExtension);
+}
+
+bool HasShardManifestExtension(const std::string& path) {
+  return HasExtension(path, data::kShardManifestExtension);
+}
+
+Result<OpenedRecordSource> OpenRecordSource(
+    const std::string& path, const RecordSourceOptions& options) {
   RR_ASSIGN_OR_RETURN(const data::RecordFileFormat format,
                       data::DetectRecordFileFormat(path));
   OpenedRecordSource opened;
   opened.format = format;
-  if (format == data::RecordFileFormat::kColumnStore) {
-    RR_ASSIGN_OR_RETURN(ColumnStoreRecordSource source,
-                        ColumnStoreRecordSource::Open(path));
-    opened.attribute_names = source.attribute_names();
-    opened.num_records = source.num_records();
-    opened.source =
-        std::make_unique<ColumnStoreRecordSource>(std::move(source));
-  } else {
-    RR_ASSIGN_OR_RETURN(CsvRecordSource source, CsvRecordSource::Open(path));
-    opened.attribute_names = source.attribute_names();
-    opened.source = std::make_unique<CsvRecordSource>(std::move(source));
+  switch (format) {
+    case data::RecordFileFormat::kColumnStore: {
+      RR_ASSIGN_OR_RETURN(ColumnStoreRecordSource source,
+                          ColumnStoreRecordSource::Open(path, options.store));
+      opened.attribute_names = source.attribute_names();
+      opened.num_records = source.num_records();
+      opened.source =
+          std::make_unique<ColumnStoreRecordSource>(std::move(source));
+      break;
+    }
+    case data::RecordFileFormat::kShardManifest: {
+      RR_ASSIGN_OR_RETURN(ShardedRecordSource source,
+                          ShardedRecordSource::Open(path, options.store));
+      opened.attribute_names = source.attribute_names();
+      opened.num_records = source.num_records();
+      opened.source = std::make_unique<ShardedRecordSource>(std::move(source));
+      break;
+    }
+    case data::RecordFileFormat::kCsv: {
+      RR_ASSIGN_OR_RETURN(CsvRecordSource source, CsvRecordSource::Open(path));
+      opened.attribute_names = source.attribute_names();
+      opened.source = std::make_unique<CsvRecordSource>(std::move(source));
+      break;
+    }
   }
   return opened;
+}
+
+Result<OpenedRecordSource> OpenRecordSource(const std::string& path) {
+  return OpenRecordSource(path, RecordSourceOptions{});
 }
 
 Result<std::unique_ptr<ChunkSink>> CreateRecordSink(
     const std::string& path, const std::vector<std::string>& attribute_names,
     RecordSinkOptions options) {
+  if (HasShardManifestExtension(path)) {
+    data::ShardedStoreOptions sharded_options;
+    if (options.shard_rows > 0) sharded_options.shard_rows = options.shard_rows;
+    sharded_options.block_rows = options.block_rows;
+    RR_ASSIGN_OR_RETURN(
+        ShardedChunkSink sink,
+        ShardedChunkSink::Create(path, attribute_names, sharded_options));
+    // The unique_ptr upcast is spelled out: Result's converting
+    // constructor admits only one user-defined conversion.
+    std::unique_ptr<ChunkSink> erased =
+        std::make_unique<ShardedChunkSink>(std::move(sink));
+    return erased;
+  }
   if (HasColumnStoreExtension(path)) {
     data::ColumnStoreOptions store_options;
     store_options.block_rows = options.block_rows;
     RR_ASSIGN_OR_RETURN(
         ColumnStoreChunkSink sink,
         ColumnStoreChunkSink::Create(path, attribute_names, store_options));
-    // The unique_ptr upcast is spelled out: Result's converting
-    // constructor admits only one user-defined conversion.
     std::unique_ptr<ChunkSink> erased =
         std::make_unique<ColumnStoreChunkSink>(std::move(sink));
     return erased;

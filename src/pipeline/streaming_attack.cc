@@ -91,12 +91,29 @@ Result<StreamingAttackReport> StreamingAttackPipeline::Run(
   linalg::Matrix chunk(options_.chunk_rows, m);
 
   // ---- Pass 1: moments (two sweeps) + one eigendecomposition. ---------
+  // Store-backed sources expose zero-copy columnar block slices; the
+  // moment sweeps then run straight over the mapping, skipping the
+  // columnar→row-major gather entirely. The columnar accumulators are
+  // bitwise identical to the row-major ones (stats/streaming_moments.h),
+  // so which path runs never changes the covariance.
   stats::StreamingMoments moments(m, options_.parallel);
-  RR_RETURN_NOT_OK(disguised->Reset());
-  for (;;) {
-    RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
-    if (rows == 0) break;
-    moments.AccumulateMeans(chunk, rows);
+  ColumnarBlockStream* columnar = disguised->columnar_blocks();
+  std::vector<const double*> block_columns;
+  if (columnar != nullptr) {
+    RR_RETURN_NOT_OK(columnar->ResetBlocks());
+    for (;;) {
+      RR_ASSIGN_OR_RETURN(const size_t rows,
+                          columnar->NextBlockColumns(&block_columns));
+      if (rows == 0) break;
+      moments.AccumulateMeansColumns(block_columns.data(), rows);
+    }
+  } else {
+    RR_RETURN_NOT_OK(disguised->Reset());
+    for (;;) {
+      RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
+      if (rows == 0) break;
+      moments.AccumulateMeans(chunk, rows);
+    }
   }
   const size_t n = moments.num_records();
   if (n < 2) {
@@ -105,13 +122,24 @@ Result<StreamingAttackReport> StreamingAttackPipeline::Run(
         std::to_string(n));
   }
   moments.FinalizeMeans();
-  RR_RETURN_NOT_OK(disguised->Reset());
   size_t scatter_records = 0;
-  for (;;) {
-    RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
-    if (rows == 0) break;
-    moments.AccumulateScatter(chunk, rows);
-    scatter_records += rows;
+  if (columnar != nullptr) {
+    RR_RETURN_NOT_OK(columnar->ResetBlocks());
+    for (;;) {
+      RR_ASSIGN_OR_RETURN(const size_t rows,
+                          columnar->NextBlockColumns(&block_columns));
+      if (rows == 0) break;
+      moments.AccumulateScatterColumns(block_columns.data(), rows);
+      scatter_records += rows;
+    }
+  } else {
+    RR_RETURN_NOT_OK(disguised->Reset());
+    for (;;) {
+      RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
+      if (rows == 0) break;
+      moments.AccumulateScatter(chunk, rows);
+      scatter_records += rows;
+    }
   }
   // A drifting source (records appended/lost between sweeps) is a data
   // error, not a programming error: fail the job before the accumulator's

@@ -38,6 +38,24 @@ void StreamingMoments::AccumulateMeans(const linalg::Matrix& chunk,
   AccumulateMeans(chunk.data(), num_rows);
 }
 
+void StreamingMoments::AccumulateMeansColumns(const double* const* columns,
+                                              size_t num_rows) {
+  RR_CHECK(phase_ == Phase::kMeans)
+      << "StreamingMoments: AccumulateMeansColumns after FinalizeMeans";
+  // sums_[j] folds only column j's values, in record order — exactly the
+  // additions the row-major loop performs on it, so the two forms are
+  // bitwise interchangeable. Iterating per column turns the strided
+  // row-major reads into contiguous ones (the fast path for mmap'd
+  // BlockColumn slices).
+  for (size_t j = 0; j < num_attributes_; ++j) {
+    const double* column = columns[j];
+    double sum = sums_[j];
+    for (size_t i = 0; i < num_rows; ++i) sum += column[i];
+    sums_[j] = sum;
+  }
+  mean_count_ += num_rows;
+}
+
 void StreamingMoments::FinalizeMeans() {
   RR_CHECK(phase_ == Phase::kMeans) << "StreamingMoments: double FinalizeMeans";
   RR_CHECK_GT(mean_count_, 0u) << "StreamingMoments: no records accumulated";
@@ -52,7 +70,9 @@ const linalg::Vector& StreamingMoments::means() const {
   return means_;
 }
 
-void StreamingMoments::AccumulateScatter(const double* rows, size_t num_rows) {
+void StreamingMoments::AccumulateScatterSpans(
+    size_t num_rows,
+    const std::function<void(size_t, size_t, double*)>& stage) {
   RR_CHECK(phase_ == Phase::kScatter)
       << "StreamingMoments: AccumulateScatter outside the scatter phase";
   const size_t m = num_attributes_;
@@ -65,22 +85,30 @@ void StreamingMoments::AccumulateScatter(const double* rows, size_t num_rows) {
   while (consumed < num_rows) {
     const size_t span = std::min(num_rows - consumed,
                                  kGramChunkRows - staging_rows_);
-    double* staged = staging_.data() + staging_rows_ * m;
-    const double* source = rows + consumed * m;
-    for (size_t i = 0; i < span; ++i) {
-      for (size_t j = 0; j < m; ++j) {
-        // The same centering op CenterColumns applies element-wise.
-        staged[i * m + j] = source[i * m + j] - means_[j];
-      }
-    }
+    stage(consumed, span, staging_.data() + staging_rows_ * m);
     staging_rows_ += span;
     consumed += span;
     // Flushes happen exactly every kGramChunkRows records, so block
     // boundaries sit at global record indices that are multiples of the
-    // constant — invariant to the caller's chunk sizes.
+    // constant — invariant to the caller's chunk sizes AND to which
+    // entry point (row-major or columnar) staged each span.
     if (staging_rows_ == kGramChunkRows) FlushStagingBlock();
   }
   scatter_count_ += num_rows;
+}
+
+void StreamingMoments::AccumulateScatter(const double* rows, size_t num_rows) {
+  const size_t m = num_attributes_;
+  AccumulateScatterSpans(
+      num_rows, [&](size_t consumed, size_t span, double* staged) {
+        const double* source = rows + consumed * m;
+        for (size_t i = 0; i < span; ++i) {
+          for (size_t j = 0; j < m; ++j) {
+            // The same centering op CenterColumns applies element-wise.
+            staged[i * m + j] = source[i * m + j] - means_[j];
+          }
+        }
+      });
 }
 
 void StreamingMoments::AccumulateScatter(const linalg::Matrix& chunk,
@@ -88,6 +116,23 @@ void StreamingMoments::AccumulateScatter(const linalg::Matrix& chunk,
   RR_CHECK_EQ(chunk.cols(), num_attributes_) << "chunk width mismatch";
   RR_CHECK_LE(num_rows, chunk.rows()) << "more rows than the chunk holds";
   AccumulateScatter(chunk.data(), num_rows);
+}
+
+void StreamingMoments::AccumulateScatterColumns(const double* const* columns,
+                                                size_t num_rows) {
+  // Center straight from the contiguous column slices into the staging
+  // block: the same value lands at the same staging offset as in the
+  // row-major form, so the bits match.
+  const size_t m = num_attributes_;
+  AccumulateScatterSpans(
+      num_rows, [&](size_t consumed, size_t span, double* staged) {
+        for (size_t j = 0; j < m; ++j) {
+          const double* column = columns[j] + consumed;
+          const double mean = means_[j];
+          double* out = staged + j;
+          for (size_t i = 0; i < span; ++i) out[i * m] = column[i] - mean;
+        }
+      });
 }
 
 void StreamingMoments::FlushStagingBlock() {

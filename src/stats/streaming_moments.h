@@ -33,6 +33,7 @@
 #ifndef RANDRECON_STATS_STREAMING_MOMENTS_H_
 #define RANDRECON_STATS_STREAMING_MOMENTS_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/parallel.h"
@@ -58,6 +59,14 @@ class StreamingMoments {
   /// Phase 1 convenience over a chunk buffer's leading rows.
   void AccumulateMeans(const linalg::Matrix& chunk, size_t num_rows);
 
+  /// Phase 1, columnar form: `columns[j]` points at `num_rows` contiguous
+  /// values of attribute j (e.g. a ColumnStoreReader::BlockColumn slice),
+  /// so mmap'd stores feed the accumulator zero-copy. BITWISE identical
+  /// to the row-major form: sums_[j] folds only column j's values, in
+  /// record order, under either iteration — the forms are interchangeable
+  /// mid-stream.
+  void AccumulateMeansColumns(const double* const* columns, size_t num_rows);
+
   /// Ends phase 1 (requires at least one record) and fixes the means.
   void FinalizeMeans();
 
@@ -70,6 +79,12 @@ class StreamingMoments {
   /// Phase 2 convenience over a chunk buffer's leading rows.
   void AccumulateScatter(const linalg::Matrix& chunk, size_t num_rows);
 
+  /// Phase 2, columnar form. Centers straight from the column slices into
+  /// the same staging block (identical values at identical staging
+  /// offsets, flushed at the same global record indices), so the
+  /// covariance is bitwise identical to the row-major form.
+  void AccumulateScatterColumns(const double* const* columns, size_t num_rows);
+
   /// Ends phase 2 and returns the m x m sample covariance (ddof = 0:
   /// divide by n; ddof = 1: divide by n−1). Requires the phase-2 record
   /// count to equal the phase-1 count, and n > ddof.
@@ -81,6 +96,16 @@ class StreamingMoments {
   size_t num_attributes() const { return num_attributes_; }
 
  private:
+  /// The one copy of the scatter staging skeleton (lazy buffer init,
+  /// span loop, flush exactly at kGramChunkRows boundaries) that the
+  /// bitwise contract depends on. `stage(consumed, span, staged)`
+  /// centers records [consumed, consumed + span) of the caller's input
+  /// into the staging rows at `staged` — the only part that differs
+  /// between the row-major and columnar entry points.
+  void AccumulateScatterSpans(
+      size_t num_rows,
+      const std::function<void(size_t, size_t, double*)>& stage);
+
   void FlushStagingBlock();
 
   enum class Phase { kMeans, kScatter, kDone };

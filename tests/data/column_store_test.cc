@@ -416,6 +416,60 @@ TEST_F(ColumnStoreCorruptionTest, BlockChecksumMismatchNamesBlockAndOffset) {
       << status.ToString();
 }
 
+TEST_F(ColumnStoreCorruptionTest, EagerVerifyFailsAtOpenNamingTheBlock) {
+  std::string bytes = bytes_;
+  const size_t block_stride = 3 * 64 * 8 + 8;
+  const size_t header_bytes = bytes.size() - 3 * block_stride;
+  bytes[header_bytes + 2 * block_stride + 9] ^= 0xFF;  // Damage block 2.
+  WriteFileBytes(file_.path(), bytes);
+
+  // Lazy open still succeeds (the damage sits in an untouched block)...
+  ASSERT_TRUE(ColumnStoreReader::Open(file_.path()).ok());
+
+  // ...but the archival eager mode proves the whole file at Open and
+  // fails there, naming the block — at any thread count.
+  for (const int threads : {1, 4}) {
+    ColumnStoreReadOptions options;
+    options.eager_verify = true;
+    options.parallel.num_threads = threads;
+    const Status status =
+        ColumnStoreReader::Open(file_.path(), options).status();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("block 2 checksum mismatch"),
+              std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(ColumnStoreTest, ParallelReadRowsMatchesSerialBitwise) {
+  // A multi-block ReadRows verifies and gathers block-parallel; the
+  // filled buffer must be bitwise identical for every thread count, for
+  // aligned and misaligned ranges.
+  ScratchFile file("parallel_read.rrcs");
+  stats::Rng rng(19);
+  const Matrix records = rng.GaussianMatrix(1000, 4);
+  WriteStore(file.path(), records, /*block_rows=*/64);
+
+  for (const int threads : {1, 2, 8}) {
+    ColumnStoreReadOptions options;
+    options.parallel.num_threads = threads;
+    auto reader = ColumnStoreReader::Open(file.path(), options);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    ColumnStoreReader store = std::move(reader).value();
+    for (const auto range : {std::pair<size_t, size_t>{0, 1000},
+                             {3, 997},     // misaligned on both ends
+                             {64, 128},    // exactly one block
+                             {100, 101}}) {
+      const size_t rows = range.second - range.first;
+      Matrix buffer(rows, 4);
+      ASSERT_TRUE(store.ReadRows(range.first, rows, &buffer).ok());
+      EXPECT_TRUE(buffer == records.Block(range.first, range.second, 0, 4))
+          << "threads=" << threads << " range [" << range.first << ", "
+          << range.second << ")";
+    }
+  }
+}
+
 TEST(ColumnStoreWriterTest, RejectsBadConfigurations) {
   ScratchFile file("bad_config.rrcs");
   EXPECT_EQ(ColumnStoreWriter::Create(file.path(), {}).status().code(),

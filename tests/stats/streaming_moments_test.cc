@@ -119,6 +119,64 @@ TEST(StreamingMomentsTest, MultiBlockStreamMatchesInMemory) {
             0.0);
 }
 
+TEST(StreamingMomentsTest, ColumnarFormIsBitwiseTheRowMajorForm) {
+  // The columnar entry points (fed by mmap'd BlockColumn slices in
+  // production) must produce bitwise-identical means and covariance to
+  // the row-major ones — including when the two forms are interleaved
+  // mid-stream and when spans straddle the staging block.
+  stats::Rng rng(35);
+  const size_t n = 3 * linalg::kernels::kGramChunkRows / 2 + 37;
+  const size_t m = 5;
+  const Matrix data = rng.GaussianMatrix(n, m);
+
+  const Matrix expected = [&] {
+    StreamingMoments moments(m);
+    moments.AccumulateMeans(data, n);
+    moments.FinalizeMeans();
+    moments.AccumulateScatter(data, n);
+    return moments.FinalizeCovariance();
+  }();
+
+  // Columnar spans of uneven sizes over a transposed copy of the data.
+  Matrix transposed(m, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) transposed.row_data(j)[i] = data(i, j);
+  }
+  auto columns_at = [&](size_t row) {
+    std::vector<const double*> columns(m);
+    for (size_t j = 0; j < m; ++j) columns[j] = transposed.row_data(j) + row;
+    return columns;
+  };
+
+  StreamingMoments columnar(m);
+  size_t row = 0;
+  size_t span = 1;
+  while (row < n) {
+    const size_t take = std::min(span, n - row);
+    if (span % 3 == 0) {  // Interleave the row-major form mid-stream.
+      columnar.AccumulateMeans(data.row_data(row), take);
+    } else {
+      columnar.AccumulateMeansColumns(columns_at(row).data(), take);
+    }
+    row += take;
+    span = span * 2 + 1;
+  }
+  columnar.FinalizeMeans();
+  row = 0;
+  span = 1;
+  while (row < n) {
+    const size_t take = std::min(span, n - row);
+    if (span % 3 == 0) {
+      columnar.AccumulateScatter(data.row_data(row), take);
+    } else {
+      columnar.AccumulateScatterColumns(columns_at(row).data(), take);
+    }
+    row += take;
+    span = span * 2 + 1;
+  }
+  EXPECT_TRUE(columnar.FinalizeCovariance() == expected);
+}
+
 TEST(StreamingMomentsTest, CountsRecords) {
   stats::Rng rng(19);
   const Matrix data = rng.GaussianMatrix(42, 3);
