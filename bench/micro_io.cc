@@ -33,7 +33,10 @@
 //     cores — including the 1-core dev VM, where no thread-parallel
 //     speedup is physically possible — it must stay >= 0.85x, i.e.
 //     sharding + manifest validation may cost at most ~15% over the
-//     single file. Both views are recorded in the json either way.
+//     single file. Both views are recorded in the json either way;
+//   * the disarmed fault-injection check (common/failpoint.h, one
+//     relaxed atomic load guarding every block flush) must cost <= 2%
+//     of a measured pure-store block flush.
 //
 // Flags: --smoke=true     small sizes / fewer reps (CI)
 //        --seed=N         RNG seed (default 7)
@@ -52,6 +55,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "data/column_store.h"
@@ -457,10 +461,64 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Disarmed-failpoint overhead gate. ----------------------------
+  // The ingest hot loop performs exactly one failpoint check per block
+  // flush (store.block_write; seal/fsync/rename fire once per file).
+  // Measure the disarmed check head-on and compare it against a
+  // measured pure-store block flush: the check must stay <= 2% of a
+  // flush, i.e. arming infrastructure that is off must be free.
+  static Failpoint bench_probe("bench.probe");
+  const size_t fp_checks = size_t{1} << 24;
+  uint64_t armed_hits = 0;
+  const double checks_seconds = bench::TimeMedian(5, [&] {
+    for (size_t i = 0; i < fp_checks; ++i) {
+      armed_hits += bench_probe.armed() ? 1 : 0;
+    }
+  });
+  if (armed_hits != 0) {  // Impossible; also keeps the loop observable.
+    std::fprintf(stderr, "FAIL: disarmed probe reported armed\n");
+    return 1;
+  }
+  const size_t fp_rows = smoke.value() ? (size_t{1} << 15) : (size_t{1} << 17);
+  stats::Rng fp_rng(static_cast<uint64_t>(seed.value()) + 99);
+  const Matrix fp_records = fp_rng.GaussianMatrix(fp_rows, m);
+  std::vector<std::string> fp_names;
+  for (size_t j = 0; j < m; ++j) fp_names.push_back("a" + std::to_string(j));
+  const std::string fp_path =
+      std::string("micro_io_failpoint") + pipeline::kColumnStoreExtension;
+  const double fp_write_seconds = bench::TimeMedian(3, [&] {
+    auto created = pipeline::ColumnStoreChunkSink::Create(fp_path, fp_names);
+    if (!created.ok()) bench::Die(created.status());
+    pipeline::ColumnStoreChunkSink sink = std::move(created).value();
+    Status consumed = sink.Consume(0, fp_records, fp_rows);
+    if (!consumed.ok()) bench::Die(consumed);
+    Status closed = sink.Close();
+    if (!closed.ok()) bench::Die(closed);
+  });
+  if (!keep_files.value()) std::remove(fp_path.c_str());
+  const double blocks = static_cast<double>(
+      (fp_rows + data::kDefaultColumnStoreBlockRows - 1) /
+      data::kDefaultColumnStoreBlockRows);
+  const double per_check_seconds = checks_seconds / fp_checks;
+  const double per_block_seconds = fp_write_seconds / blocks;
+  const double overhead_percent =
+      100.0 * per_check_seconds / per_block_seconds;
+  bench::Record(&results, "failpoint/disarmed", checks_seconds, fp_checks,
+                {{"check_ns", per_check_seconds * 1e9},
+                 {"block_flush_us", per_block_seconds * 1e6},
+                 {"ingest_overhead_percent", overhead_percent}});
+
   if (!all_bitwise) {
     std::fprintf(stderr,
                  "FAIL: column-store stream or attack output diverged from "
                  "the CSV path\n");
+    return 1;
+  }
+  if (overhead_percent > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: disarmed failpoint check costs %.3f%% of a block "
+                 "flush (gate: 2%%)\n",
+                 overhead_percent);
     return 1;
   }
   if (worst_speedup < min_speedup) {
@@ -486,6 +544,7 @@ int main(int argc, char** argv) {
       {"block_rows", std::to_string(data::kDefaultColumnStoreBlockRows)},
       {"min_speedup_gate", FormatDouble(min_speedup, 1)},
       {"min_sharded_speedup_gate", FormatDouble(min_sharded_speedup, 2)},
+      {"failpoint_overhead_gate_percent", "2"},
       {"cores", std::to_string(cores)},
   };
   const Status json_status =

@@ -33,6 +33,7 @@
 #include <memory>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "data/column_store.h"
@@ -111,7 +112,12 @@ const char* FormatLabel(data::RecordFileFormat format) {
 /// for a sharded output, the single file otherwise.
 void RemoveOutput(const std::string& output_path) {
   if (pipeline::HasShardManifestExtension(output_path)) {
-    data::RemoveShardedStoreFiles(output_path);
+    const Status removed = data::RemoveShardedStoreFiles(output_path);
+    // Leftovers are worth a warning — a plausible-looking partial store
+    // the user believes deleted is exactly what the sweep must not find.
+    if (!removed.ok()) {
+      std::fprintf(stderr, "warning: %s\n", removed.ToString().c_str());
+    }
   } else {
     std::remove(output_path.c_str());
   }
@@ -301,6 +307,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   const Flags& flags = parsed.value();
+  // CI's fault-injection matrix enumerates the failpoints this binary
+  // links (then re-runs it once per name with RANDRECON_FAILPOINTS set).
+  const auto list_failpoints = flags.GetBool("list_failpoints", false);
+  if (list_failpoints.ok() && list_failpoints.value()) {
+    for (const std::string& name : ListFailpoints()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
   const auto block_rows =
       flags.GetInt("block_rows", data::kDefaultColumnStoreBlockRows);
   const auto chunk_rows = flags.GetInt("chunk_rows", 4096);

@@ -148,7 +148,7 @@ pipeline::PipelineJob MakeJob(const std::string& path, size_t num_attributes,
 
 int RunSweep(const SweepInputs& inputs, double sigma,
              const std::string& attack_name, size_t chunk_rows,
-             int workers, bool per_shard) {
+             int workers, bool per_shard, int retries) {
   pipeline::StreamingAttackOptions attack;
   attack.attack = attack_name == "pca"
                       ? pipeline::StreamingAttack::kPcaDr
@@ -156,6 +156,7 @@ int RunSweep(const SweepInputs& inputs, double sigma,
   attack.chunk_rows = chunk_rows;
 
   std::vector<pipeline::PipelineJob> jobs;
+  std::vector<std::string> degraded_notes;
   for (const std::string& path : inputs.files) {
     const auto manifest = inputs.manifests.find(path);
     size_t m = 0;
@@ -170,10 +171,22 @@ int RunSweep(const SweepInputs& inputs, double sigma,
       if (probed.ok()) m = probed.value().attribute_names.size();
     }
     pipeline::PipelineJob job = MakeJob(path, m, sigma, attack);
+    job.retry.max_attempts = retries;
     if (per_shard && manifest != inputs.manifests.end()) {
-      for (auto& shard_job : pipeline::MakePerShardJobs(
-               manifest->second, data::ManifestDirectory(path), job)) {
+      // Degraded decomposition: a store that recovery left partially
+      // usable still sweeps — healthy shards become jobs, quarantined
+      // or rotten shards are named in the report instead of failing.
+      auto job_set = pipeline::MakePerShardJobsDegraded(path, job);
+      if (!job_set.ok()) {
+        jobs.push_back(std::move(job));  // Fails in-job with the reason.
+        continue;
+      }
+      for (auto& shard_job : job_set.value().jobs) {
         jobs.push_back(std::move(shard_job));
+      }
+      if (job_set.value().degraded()) {
+        degraded_notes.push_back(path + ": " +
+                                 job_set.value().DegradedSummary());
       }
       continue;
     }
@@ -205,6 +218,9 @@ int RunSweep(const SweepInputs& inputs, double sigma,
     }
   }
   std::printf("%zu job(s), %zu failed\n", results.size(), failures);
+  for (const std::string& note : degraded_notes) {
+    std::printf("%s\n", note.c_str());
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -215,7 +231,8 @@ int RunDemo(double sigma, size_t chunk_rows, int workers) {
   std::printf(
       "No input given — demonstrating a mixed-format directory sweep.\n"
       "Usage: sweep_attack <files-or-dirs>... [--attack=sf|pca] "
-      "[--sigma=S] [--chunk_rows=N] [--workers=W] [--per_shard=true]\n\n");
+      "[--sigma=S] [--chunk_rows=N] [--workers=W] [--per_shard=true] "
+      "[--retries=N]\n\n");
   ::mkdir("sweep_demo", 0755);
   stats::Rng rng(20050608);
   data::SyntheticDatasetSpec spec;
@@ -256,7 +273,8 @@ int RunDemo(double sigma, size_t chunk_rows, int workers) {
     return 1;
   }
   return RunSweep(ResolveInputs(CollectInputs({"sweep_demo"})), sigma,
-                  "sf", chunk_rows, workers, /*per_shard=*/false);
+                  "sf", chunk_rows, workers, /*per_shard=*/false,
+                  /*retries=*/1);
 }
 
 }  // namespace
@@ -273,9 +291,11 @@ int main(int argc, char** argv) {
   const auto chunk_rows = flags.GetInt("chunk_rows", 4096);
   const auto workers = flags.GetInt("workers", 0);
   const auto per_shard = flags.GetBool("per_shard", false);
+  const auto retries = flags.GetInt("retries", 1);
   if (!sigma.ok() || sigma.value() <= 0 || !chunk_rows.ok() ||
       chunk_rows.value() < 1 || !workers.ok() || workers.value() < 0 ||
-      !per_shard.ok() || (attack != "sf" && attack != "pca")) {
+      !per_shard.ok() || !retries.ok() || retries.value() < 1 ||
+      (attack != "sf" && attack != "pca")) {
     std::fprintf(stderr, "bad flag value\n");
     return 2;
   }
@@ -286,5 +306,6 @@ int main(int argc, char** argv) {
   return RunSweep(ResolveInputs(CollectInputs(flags.positional())),
                   sigma.value(), attack,
                   static_cast<size_t>(chunk_rows.value()),
-                  static_cast<int>(workers.value()), per_shard.value());
+                  static_cast<int>(workers.value()), per_shard.value(),
+                  static_cast<int>(retries.value()));
 }

@@ -1,0 +1,258 @@
+#include "common/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <unistd.h>
+
+#include "common/check.h"
+
+namespace randrecon {
+
+/// Process-wide registry. A Meyers singleton reached only through
+/// Instance(): failpoints register from static initializers in arbitrary
+/// TU order, and the first registration must find a live registry.
+/// Defined at namespace scope (not in an anonymous namespace) so the
+/// friend declaration in failpoint.h grants it counter access.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance() {
+    static FailpointRegistry* registry = new FailpointRegistry();
+    return *registry;
+  }
+
+  void Register(Failpoint* failpoint) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool inserted =
+        by_name_.emplace(failpoint->name(), failpoint).second;
+    RR_CHECK(inserted) << "duplicate failpoint name '" << failpoint->name()
+                       << "'";
+    // The environment may have armed this name before the TU defining it
+    // was initialized.
+    const auto pending = pending_configs_.find(failpoint->name());
+    if (pending != pending_configs_.end()) {
+      ArmLocked(failpoint, pending->second);
+      pending_configs_.erase(pending);
+    }
+  }
+
+  Status Arm(const std::string& name, const FailpointConfig& config) {
+    RR_RETURN_NOT_OK(ValidateConfig(name, config));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = by_name_.find(name);
+    if (found == by_name_.end()) {
+      return Status::NotFound("no failpoint named '" + name +
+                              "' is registered in this binary");
+    }
+    ArmLocked(found->second, config);
+    return Status::OK();
+  }
+
+  bool Disarm(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = by_name_.find(name);
+    if (found == by_name_.end()) return false;
+    DisarmLocked(found->second);
+    return true;
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& entry : by_name_) DisarmLocked(entry.second);
+    pending_configs_.clear();
+  }
+
+  std::vector<std::string> List() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(by_name_.size());
+    for (const auto& entry : by_name_) names.push_back(entry.first);
+    return names;  // std::map iterates sorted.
+  }
+
+  uint64_t HitCount(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = by_name_.find(name);
+    return found == by_name_.end() ? 0 : found->second->hits_;
+  }
+
+  Status Fire(Failpoint* failpoint) {
+    FailpointAction action;
+    StatusCode code;
+    uint64_t firing_hit = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!failpoint->armed_.load(std::memory_order_relaxed)) {
+        return Status::OK();  // Raced a disarm; the fault is gone.
+      }
+      const FailpointConfig& config = failpoint->config_;
+      ++failpoint->hits_;
+      if (failpoint->hits_ < config.trigger_hit) return Status::OK();
+      if (config.fire_count != kFailpointFireForever &&
+          failpoint->fired_ >= config.fire_count) {
+        return Status::OK();  // Firing window exhausted; keep counting.
+      }
+      ++failpoint->fired_;
+      action = config.action;
+      code = config.code;
+      firing_hit = failpoint->hits_;
+    }
+    if (action == FailpointAction::kCrash) {
+      // No destructors, no stream flushes: user-space buffers die with
+      // the process, exactly like a kill -9 mid-write.
+      ::_exit(kFailpointCrashExitCode);
+    }
+    return Status(code, "failpoint '" + std::string(failpoint->name()) +
+                            "' fired at hit " + std::to_string(firing_hit));
+  }
+
+  /// Parses "name=action[@hit];..."; unknown names go into the pending
+  /// map (the TU defining them may not have initialized yet) when
+  /// `allow_pending`, and fail with NotFound otherwise.
+  Status ArmFromSpec(const std::string& spec, bool allow_pending) {
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+      const size_t end = std::min(spec.find(';', begin), spec.size());
+      const std::string clause = spec.substr(begin, end - begin);
+      begin = end + 1;
+      if (clause.empty()) continue;
+      const size_t equals = clause.find('=');
+      if (equals == std::string::npos || equals == 0) {
+        return Status::InvalidArgument("failpoint spec clause '" + clause +
+                                       "' is not 'name=action[@hit]'");
+      }
+      const std::string name = clause.substr(0, equals);
+      std::string action_text = clause.substr(equals + 1);
+      FailpointConfig config;
+      const size_t at = action_text.find('@');
+      if (at != std::string::npos) {
+        const std::string hit_text = action_text.substr(at + 1);
+        action_text.resize(at);
+        char* parse_end = nullptr;
+        config.trigger_hit =
+            std::strtoull(hit_text.c_str(), &parse_end, 10);
+        if (hit_text.empty() || *parse_end != '\0' ||
+            config.trigger_hit == 0) {
+          return Status::InvalidArgument("failpoint spec clause '" + clause +
+                                         "' has a bad hit number");
+        }
+      }
+      if (action_text == "error") {
+        config.action = FailpointAction::kError;
+        config.code = StatusCode::kIoError;
+      } else if (action_text == "unavailable") {
+        config.action = FailpointAction::kError;
+        config.code = StatusCode::kUnavailable;
+      } else if (action_text == "crash") {
+        config.action = FailpointAction::kCrash;
+      } else {
+        return Status::InvalidArgument(
+            "failpoint spec clause '" + clause +
+            "': action must be error, unavailable or crash");
+      }
+      Status armed = Arm(name, config);
+      if (armed.code() == StatusCode::kNotFound && allow_pending) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_configs_[name] = config;
+        armed = Status::OK();
+      }
+      RR_RETURN_NOT_OK(armed);
+    }
+    return Status::OK();
+  }
+
+  const std::string& env_spec() const { return env_spec_; }
+
+ private:
+  FailpointRegistry() {
+    const char* env = std::getenv("RANDRECON_FAILPOINTS");
+    if (env != nullptr) env_spec_ = env;
+    if (!env_spec_.empty()) {
+      const Status armed = ArmFromSpec(env_spec_, /*allow_pending=*/true);
+      if (!armed.ok()) {
+        std::fprintf(stderr, "RANDRECON_FAILPOINTS ignored: %s\n",
+                     armed.ToString().c_str());
+      }
+    }
+  }
+
+  static Status ValidateConfig(const std::string& name,
+                               const FailpointConfig& config) {
+    if (config.trigger_hit == 0) {
+      return Status::InvalidArgument("failpoint '" + name +
+                                     "': trigger_hit is 1-based, got 0");
+    }
+    if (config.fire_count == 0) {
+      return Status::InvalidArgument("failpoint '" + name +
+                                     "': fire_count must be >= 1");
+    }
+    if (config.action == FailpointAction::kError &&
+        config.code == StatusCode::kOk) {
+      return Status::InvalidArgument(
+          "failpoint '" + name + "': an error action needs a non-OK code");
+    }
+    return Status::OK();
+  }
+
+  void ArmLocked(Failpoint* failpoint, const FailpointConfig& config) {
+    failpoint->config_ = config;
+    failpoint->hits_ = 0;
+    failpoint->fired_ = 0;
+    failpoint->armed_.store(true, std::memory_order_relaxed);
+  }
+
+  void DisarmLocked(Failpoint* failpoint) {
+    failpoint->armed_.store(false, std::memory_order_relaxed);
+    failpoint->hits_ = 0;
+    failpoint->fired_ = 0;
+  }
+
+  std::mutex mutex_;
+  std::map<std::string, Failpoint*> by_name_;
+  std::map<std::string, FailpointConfig> pending_configs_;
+  std::string env_spec_;
+};
+
+Failpoint::Failpoint(const char* name) : name_(name) {
+  FailpointRegistry::Instance().Register(this);
+}
+
+Status Failpoint::Fire() { return FailpointRegistry::Instance().Fire(this); }
+
+Status ArmFailpoint(const std::string& name, const FailpointConfig& config) {
+  return FailpointRegistry::Instance().Arm(name, config);
+}
+
+Status ArmFailpoint(const std::string& name, FailpointAction action,
+                    uint64_t trigger_hit) {
+  FailpointConfig config;
+  config.action = action;
+  config.trigger_hit = trigger_hit;
+  return FailpointRegistry::Instance().Arm(name, config);
+}
+
+bool DisarmFailpoint(const std::string& name) {
+  return FailpointRegistry::Instance().Disarm(name);
+}
+
+void DisarmAllFailpoints() { FailpointRegistry::Instance().DisarmAll(); }
+
+std::vector<std::string> ListFailpoints() {
+  return FailpointRegistry::Instance().List();
+}
+
+uint64_t FailpointHitCount(const std::string& name) {
+  return FailpointRegistry::Instance().HitCount(name);
+}
+
+Status ArmFailpointsFromSpec(const std::string& spec) {
+  return FailpointRegistry::Instance().ArmFromSpec(spec,
+                                                   /*allow_pending=*/false);
+}
+
+const std::string& FailpointEnvSpec() {
+  return FailpointRegistry::Instance().env_spec();
+}
+
+}  // namespace randrecon

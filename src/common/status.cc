@@ -16,8 +16,16 @@ const char* StatusCodeToString(StatusCode code) {
       return "NumericalError";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+bool IsRetryableStatusCode(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kIoError;
 }
 
 std::string Status::ToString() const {

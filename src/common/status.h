@@ -16,15 +16,32 @@ namespace randrecon {
 /// Machine-readable category of a failure.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,   ///< Caller-supplied value violates a documented contract.
-  kNotFound,          ///< A named entity (file, attribute, column) is missing.
-  kIoError,           ///< Filesystem or parsing failure.
-  kNumericalError,    ///< Singular matrix, non-convergence, non-PSD input.
-  kFailedPrecondition ///< Object is not in a state where the call is legal.
+  kInvalidArgument,    ///< Caller-supplied value violates a documented contract.
+  kNotFound,           ///< A named entity (file, attribute, column) is missing.
+  kIoError,            ///< Filesystem or parsing failure.
+  kNumericalError,     ///< Singular matrix, non-convergence, non-PSD input.
+  kFailedPrecondition, ///< Object is not in a state where the call is legal.
+  kUnavailable,        ///< Transient resource failure; retrying may succeed.
+  kDeadlineExceeded    ///< A per-operation time budget ran out.
 };
 
 /// Returns a short stable name for a code, e.g. "InvalidArgument".
 const char* StatusCodeToString(StatusCode code);
+
+/// The transient-vs-permanent taxonomy the retrying pipeline runner
+/// (pipeline::RetryPolicy) schedules by. Retryable codes are the ones a
+/// fresh attempt could plausibly clear without anything else changing:
+///   kUnavailable — declared transient by whoever raised it;
+///   kIoError     — filesystem flakiness (NFS hiccup, EINTR, a shard
+///                  mid-repair) is indistinguishable from permanent
+///                  damage at raise time, so IO is retried and permanent
+///                  damage simply fails again and exhausts its attempts.
+/// Everything else is deterministic — the same inputs will fail the same
+/// way — so retrying only wastes the batch's time:
+///   kInvalidArgument / kFailedPrecondition / kNotFound — contract bugs
+///     or missing inputs; kNumericalError — the math is a pure function
+///     of the data; kDeadlineExceeded — the budget is already spent.
+bool IsRetryableStatusCode(StatusCode code);
 
 /// Result of an operation that can fail. Cheap to copy on the OK path.
 class Status {
@@ -53,9 +70,19 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// True iff a fresh attempt could plausibly succeed — see
+  /// IsRetryableStatusCode. Always false for an OK status.
+  bool IsRetryable() const { return IsRetryableStatusCode(code_); }
 
   /// The failure category (kOk when ok()).
   StatusCode code() const { return code_; }

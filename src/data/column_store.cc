@@ -11,7 +11,9 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 #include "data/csv.h"
+#include "data/file_io.h"
 #include "data/shard_store.h"
 
 // The format is little-endian on disk and the reader/writer serialize
@@ -82,6 +84,15 @@ std::string HexU64(uint64_t value) {
 std::string StorePrefix(const std::string& path) {
   return "column store '" + path + "': ";
 }
+
+// The IO seams of the single-file store (common/failpoint.h). Shards of
+// a sharded store are ordinary column stores, so these fire for shard
+// files too; the sharded layer adds its own shard.* / manifest.* points.
+Failpoint fp_block_write("store.block_write");  ///< Before a block write.
+Failpoint fp_seal("store.seal");        ///< Before the header patch write.
+Failpoint fp_fsync("store.fsync");      ///< Before fsync of the temp file.
+Failpoint fp_rename("store.rename");    ///< Before the temp -> final rename.
+Failpoint fp_read_block("store.read_block");  ///< Before a block verify.
 
 }  // namespace
 
@@ -159,9 +170,12 @@ Result<ColumnStoreWriter> ColumnStoreWriter::Create(
   }
   PatchU32(&prefix, kHeaderBytesOffset, static_cast<uint32_t>(header_bytes));
 
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  // All bytes stream into the temp file; Close() renames it over `path`
+  // (docs/FORMAT.md §8), so the final name never holds a partial store.
+  std::ofstream file(TempPathFor(path), std::ios::binary | std::ios::trunc);
   if (!file.is_open()) {
-    return Status::IoError(StorePrefix(path) + "cannot open for writing");
+    return Status::IoError(StorePrefix(path) + "cannot open temp file '" +
+                           TempPathFor(path) + "' for writing");
   }
   // Deliberately write a MISMATCHED header hash (bitwise NOT of the real
   // one): a file from a writer that crashed before Close() must fail the
@@ -187,6 +201,7 @@ ColumnStoreWriter::ColumnStoreWriter(std::ofstream file, std::string path,
                                      std::string header_prefix)
     : file_(std::move(file)),
       path_(std::move(path)),
+      temp_path_(TempPathFor(path_)),
       names_(std::move(names)),
       block_rows_(block_rows),
       header_bytes_(header_bytes),
@@ -196,6 +211,7 @@ ColumnStoreWriter::ColumnStoreWriter(std::ofstream file, std::string path,
 ColumnStoreWriter::ColumnStoreWriter(ColumnStoreWriter&& other) noexcept
     : file_(std::move(other.file_)),
       path_(std::move(other.path_)),
+      temp_path_(std::move(other.temp_path_)),
       names_(std::move(other.names_)),
       block_rows_(other.block_rows_),
       header_bytes_(other.header_bytes_),
@@ -203,6 +219,7 @@ ColumnStoreWriter::ColumnStoreWriter(ColumnStoreWriter&& other) noexcept
       block_(std::move(other.block_)),
       rows_in_block_(other.rows_in_block_),
       rows_written_(other.rows_written_),
+      deferred_error_(std::move(other.deferred_error_)),
       closed_(other.closed_) {
   other.closed_ = true;  // The hollowed-out source must not try to seal.
 }
@@ -216,6 +233,7 @@ ColumnStoreWriter& ColumnStoreWriter::operator=(
   if (!closed_) Close();  // Best-effort; errors surface via explicit Close().
   file_ = std::move(other.file_);
   path_ = std::move(other.path_);
+  temp_path_ = std::move(other.temp_path_);
   names_ = std::move(other.names_);
   block_rows_ = other.block_rows_;
   header_bytes_ = other.header_bytes_;
@@ -223,6 +241,7 @@ ColumnStoreWriter& ColumnStoreWriter::operator=(
   block_ = std::move(other.block_);
   rows_in_block_ = other.rows_in_block_;
   rows_written_ = other.rows_written_;
+  deferred_error_ = std::move(other.deferred_error_);
   closed_ = other.closed_;
   other.closed_ = true;
   return *this;
@@ -248,6 +267,7 @@ Status ColumnStoreWriter::Append(const double* rows, size_t num_rows) {
     return Status::FailedPrecondition(StorePrefix(path_) +
                                       "Append after Close");
   }
+  if (!deferred_error_.ok()) return deferred_error_;
   const size_t m = names_.size();
   size_t consumed = 0;
   while (consumed < num_rows) {
@@ -280,12 +300,21 @@ Status ColumnStoreWriter::FlushBlock() {
   }
   const size_t payload_bytes = block_.size() * sizeof(double);
   const uint64_t block_hash = ColumnStoreHash(block_.data(), payload_bytes);
-  file_.write(reinterpret_cast<const char*>(block_.data()),
-              static_cast<std::streamsize>(payload_bytes));
-  file_.write(reinterpret_cast<const char*>(&block_hash), sizeof(block_hash));
-  if (!file_) {
-    return Status::IoError(StorePrefix(path_) + "block write failed after " +
-                           std::to_string(rows_written_) + " records");
+  Status status = [&]() -> Status {
+    RR_FAILPOINT(fp_block_write);
+    file_.write(reinterpret_cast<const char*>(block_.data()),
+                static_cast<std::streamsize>(payload_bytes));
+    file_.write(reinterpret_cast<const char*>(&block_hash),
+                sizeof(block_hash));
+    if (!file_) {
+      return Status::IoError(StorePrefix(path_) + "block write failed after " +
+                             std::to_string(rows_written_) + " records");
+    }
+    return Status::OK();
+  }();
+  if (!status.ok()) {
+    deferred_error_ = status;  // A lost block must never seal.
+    return status;
   }
   rows_in_block_ = 0;
   return Status::OK();
@@ -294,10 +323,24 @@ Status ColumnStoreWriter::FlushBlock() {
 Status ColumnStoreWriter::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
+  const Status sealed = Seal();
+  if (!sealed.ok()) {
+    // The store never reached its final name; don't leave the temp file
+    // masquerading as work in progress (best-effort — a crash-grade
+    // failure leaves it for RecoverShardedStore's orphan sweep).
+    if (file_.is_open()) file_.close();
+    std::remove(temp_path_.c_str());
+  }
+  return sealed;
+}
+
+Status ColumnStoreWriter::Seal() {
+  if (!deferred_error_.ok()) return deferred_error_;
   if (!file_.is_open()) {
     return Status::IoError(StorePrefix(path_) + "file is not open");
   }
   RR_RETURN_NOT_OK(FlushBlock());
+  RR_FAILPOINT(fp_seal);
   // Patch the record count and re-seal the header (docs/FORMAT.md §2).
   PatchU64(&header_prefix_, kNumRecordsOffset, rows_written_);
   const uint64_t header_hash =
@@ -310,7 +353,14 @@ Status ColumnStoreWriter::Close() {
   if (file_.fail()) {
     return Status::IoError(StorePrefix(path_) + "closing write failed");
   }
-  return Status::OK();
+  // Durable finalization (docs/FORMAT.md §8): the sealed bytes reach the
+  // platters before the rename publishes them, and the rename reaches
+  // the directory before anyone trusts the final name.
+  RR_FAILPOINT(fp_fsync);
+  RR_RETURN_NOT_OK(FsyncFile(temp_path_));
+  RR_FAILPOINT(fp_rename);
+  RR_RETURN_NOT_OK(AtomicRename(temp_path_, path_));
+  return FsyncParentDirectory(path_);
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +567,7 @@ size_t ColumnStoreReader::rows_in_block(size_t block) const {
 
 Status ColumnStoreReader::VerifyBlock(size_t block) {
   if (block_verified_[block]) return Status::OK();
+  RR_FAILPOINT(fp_read_block);
   const uint8_t* payload = block_payload(block);
   const size_t payload_bytes = block_stride_ - sizeof(uint64_t);
   const uint64_t stored = LoadU64(payload + payload_bytes);

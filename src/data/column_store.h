@@ -75,17 +75,22 @@ struct ColumnStoreOptions {
 
 /// Streams row-major record chunks into a column-store file.
 ///
-/// The header is written eagerly with a zero record count and an
-/// intentionally mismatched checksum; Close() (or the destructor,
-/// best-effort) flushes the final partial block and patches the count +
-/// the real header checksum. A crash mid-write therefore leaves a file
-/// that readers reject (header checksum, or count/size disagreement)
-/// instead of one that silently truncates the stream.
+/// All bytes stream into the temp file data::TempPathFor(path)
+/// ("<path>.tmp"); Close() flushes the final partial block, patches the
+/// record count + the real header checksum, fsyncs, and atomically
+/// renames the temp over `path` (then fsyncs the parent directory) —
+/// the rename protocol of docs/FORMAT.md §8. `path` therefore either
+/// does not exist or holds a complete sealed store at every instant; a
+/// crash leaves at worst an orphan ".tmp" whose header carries an
+/// intentionally mismatched checksum, so even a reader pointed straight
+/// at the temp rejects it. A write or seal failure is sticky: every
+/// later Append/Close re-reports it, and the failed Close removes the
+/// temp file (best-effort) instead of leaving it behind.
 class ColumnStoreWriter {
  public:
-  /// Opens `path` for writing and emits the header. Fails with
-  /// InvalidArgument on empty/duplicate names or block_rows == 0, and
-  /// IoError if the file can't be created.
+  /// Opens `path`'s temp file for writing and emits the unsealed header.
+  /// Fails with InvalidArgument on empty/duplicate names or
+  /// block_rows == 0, and IoError if the temp file can't be created.
   static Result<ColumnStoreWriter> Create(const std::string& path,
                                           std::vector<std::string> column_names,
                                           ColumnStoreOptions options = {});
@@ -109,7 +114,10 @@ class ColumnStoreWriter {
   Status Append(const double* rows, size_t num_rows);
 
   /// Flushes the final partial block, patches the header record count and
-  /// checksum, and closes the file. Idempotent; IoError on write failure.
+  /// checksum, fsyncs, and atomically renames the temp file to the final
+  /// path. Idempotent; IoError on write/fsync/rename failure (the temp
+  /// file is removed best-effort then — a failed store never reaches its
+  /// final name).
   Status Close();
 
   /// Records appended so far.
@@ -123,10 +131,16 @@ class ColumnStoreWriter {
                     size_t header_bytes, std::string header_prefix);
 
   /// Writes the buffered block (zero-padded to full size) + checksum.
+  /// Failures are sticky (recorded in deferred_error_).
   Status FlushBlock();
 
+  /// Close()'s body: flush, patch, fsync, rename. Factored out so Close
+  /// can clean up the temp file on any failure path.
+  Status Seal();
+
   std::ofstream file_;
-  std::string path_;
+  std::string path_;       ///< The final path the sealed store renames to.
+  std::string temp_path_;  ///< TempPathFor(path_): where bytes stream.
   std::vector<std::string> names_;
   size_t block_rows_;
   size_t header_bytes_;
@@ -137,6 +151,9 @@ class ColumnStoreWriter {
   std::vector<double> block_;
   size_t rows_in_block_ = 0;
   size_t rows_written_ = 0;
+  /// First write failure, sticky: a store that lost a block must not
+  /// seal as a silently truncated stream.
+  Status deferred_error_;
   bool closed_ = false;
 };
 

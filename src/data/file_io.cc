@@ -1,0 +1,63 @@
+#include "data/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace randrecon {
+namespace data {
+
+const char kTempFileSuffix[] = ".tmp";
+const char kQuarantineFileSuffix[] = ".quarantined";
+
+std::string TempPathFor(const std::string& final_path) {
+  return final_path + kTempFileSuffix;
+}
+
+Status FsyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("fsync '" + path +
+                           "': cannot open: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("fsync '" + path + "' failed: " + detail);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status FsyncParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string directory =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash + 1);
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("fsync directory '" + directory +
+                           "': cannot open: " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("fsync directory '" + directory +
+                           "' failed: " + detail);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status AtomicRename(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IoError("rename '" + from + "' -> '" + to +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace randrecon

@@ -1,0 +1,53 @@
+// Durable-write primitives shared by every store finalization path.
+//
+// All `.rrcs` / `.rrcm` files reach their final name through the same
+// protocol (docs/FORMAT.md §8): the writer streams into
+// TempPathFor(final) ("<final>.tmp"), fsyncs the temp file, renames it
+// over the final name (::rename — atomic on POSIX within a filesystem),
+// and fsyncs the parent directory so the rename itself is durable. At
+// every instant the final name either does not exist or holds a
+// complete, sealed file; a crash leaves at worst an orphan ".tmp" that
+// RecoverShardedStore (data/store_recovery.h) or RemoveShardedStoreFiles
+// sweeps. Recovery renames damaged-but-sealed files aside to
+// "<name>.quarantined" rather than deleting evidence.
+
+#ifndef RANDRECON_DATA_FILE_IO_H_
+#define RANDRECON_DATA_FILE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace randrecon {
+namespace data {
+
+/// Suffix of in-flight temp files ("<final>.tmp"). Temp files never sniff
+/// as complete stores: column-store temps carry the inverted header hash
+/// until sealed, and manifests are serialized whole before the rename.
+extern const char kTempFileSuffix[];
+
+/// Suffix recovery renames damaged files to ("<name>.quarantined").
+extern const char kQuarantineFileSuffix[];
+
+/// "<final_path>.tmp" — where writers stream before the atomic rename.
+std::string TempPathFor(const std::string& final_path);
+
+/// fsync(2) on `path` (opened read-only, which is sufficient to flush its
+/// data+metadata on the filesystems this library targets). IoError with
+/// errno detail on failure.
+Status FsyncFile(const std::string& path);
+
+/// fsync(2) on the directory containing `path`, making a completed
+/// rename/unlink in it durable. IoError with errno detail on failure.
+Status FsyncParentDirectory(const std::string& path);
+
+/// ::rename(from, to): atomic within a filesystem — `to` transitions
+/// from its old state to the complete new file with no in-between
+/// observable. Does NOT fsync; callers follow with
+/// FsyncParentDirectory(to). IoError with errno detail on failure.
+Status AtomicRename(const std::string& from, const std::string& to);
+
+}  // namespace data
+}  // namespace randrecon
+
+#endif  // RANDRECON_DATA_FILE_IO_H_

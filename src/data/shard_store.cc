@@ -1,6 +1,7 @@
 #include "data/shard_store.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -8,6 +9,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/failpoint.h"
+#include "data/file_io.h"
 
 namespace randrecon {
 namespace data {
@@ -62,6 +65,15 @@ std::string HexU64(uint64_t value) {
 std::string ManifestPrefix(const std::string& path) {
   return "shard manifest '" + path + "': ";
 }
+
+// The IO seams of the sharded layer (common/failpoint.h). The store.*
+// failpoints in column_store.cc also fire for each shard file's own
+// block writes / seal / fsync / rename.
+Failpoint fp_shard_write("shard.write");  ///< Before a chunk hits a shard.
+Failpoint fp_shard_seal("shard.seal");    ///< Before a shard's seal.
+Failpoint fp_manifest_write("manifest.write");    ///< Before the temp write.
+Failpoint fp_manifest_fsync("manifest.fsync");    ///< Before the temp fsync.
+Failpoint fp_manifest_rename("manifest.rename");  ///< Before the rename.
 
 /// A shard path from a manifest may only address files under the
 /// manifest's directory: relative, with no "." / ".." / empty
@@ -346,16 +358,30 @@ Status WriteShardManifest(const ShardManifest& manifest,
   }
   std::string image = SerializeManifestPrefix(manifest);
   AppendU64(&image, ColumnStoreHash(image.data(), image.size()));
-  std::ofstream file(manifest_path, std::ios::binary | std::ios::trunc);
-  if (!file.is_open()) {
-    return Status::IoError(prefix + "cannot open for writing");
-  }
-  file.write(image.data(), static_cast<std::streamsize>(image.size()));
-  file.close();
-  if (file.fail()) {
-    return Status::IoError(prefix + "write failed");
-  }
-  return Status::OK();
+  // Write-temp → fsync → atomic-rename (docs/FORMAT.md §8): the manifest
+  // path flips from absent/old to the complete new manifest in one
+  // rename — readers never observe a torn manifest.
+  const std::string temp_path = TempPathFor(manifest_path);
+  const Status written = [&]() -> Status {
+    RR_FAILPOINT(fp_manifest_write);
+    std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) {
+      return Status::IoError(prefix + "cannot open temp file '" + temp_path +
+                             "' for writing");
+    }
+    file.write(image.data(), static_cast<std::streamsize>(image.size()));
+    file.close();
+    if (file.fail()) {
+      return Status::IoError(prefix + "write failed");
+    }
+    RR_FAILPOINT(fp_manifest_fsync);
+    RR_RETURN_NOT_OK(FsyncFile(temp_path));
+    RR_FAILPOINT(fp_manifest_rename);
+    RR_RETURN_NOT_OK(AtomicRename(temp_path, manifest_path));
+    return FsyncParentDirectory(manifest_path);
+  }();
+  if (!written.ok()) std::remove(temp_path.c_str());  // Best-effort.
+  return written;
 }
 
 // ---------------------------------------------------------------------------
@@ -454,7 +480,10 @@ Status ShardedStoreWriter::SealPendingShards() {
         const std::string shard_prefix =
             ManifestPrefix(manifest_path_) + "shard " + std::to_string(index) +
             " ('" + entries_[index].relative_path + "'): ";
-        Status sealed = writer->Close();
+        Status sealed = [&]() -> Status {
+          RR_FAILPOINT(fp_shard_seal);
+          return writer->Close();
+        }();
         if (!sealed.ok()) {
           statuses[i] = Status(sealed.code(), shard_prefix + sealed.message());
           return;
@@ -505,6 +534,7 @@ Status ShardedStoreWriter::Append(const linalg::Matrix& chunk,
     if (current_ == nullptr) RR_RETURN_NOT_OK(StartShard());
     const size_t take =
         std::min(options_.shard_rows - current_rows_, num_rows - consumed);
+    RR_FAILPOINT(fp_shard_write);
     RR_RETURN_NOT_OK(current_->Append(chunk.data() + consumed * m, take));
     current_rows_ += take;
     rows_written_ += take;
@@ -738,25 +768,51 @@ Result<Dataset> ReadShardedStoreDataset(const std::string& manifest_path) {
   return Dataset::Create(std::move(records), reader.attribute_names());
 }
 
-void RemoveShardedStoreFiles(const std::string& manifest_path) {
+Status RemoveShardedStoreFiles(const std::string& manifest_path) {
+  // Every removal funnels through here: ENOENT is "nothing to do", any
+  // other failure is recorded so the caller learns exactly which files
+  // survived the sweep. Returns true iff the file existed.
+  std::vector<std::string> failed;
+  auto remove_file = [&failed](const std::string& path) {
+    if (std::remove(path.c_str()) == 0) return true;
+    if (errno != ENOENT) failed.push_back(path);
+    return false;
+  };
+  // A shard index may be present as the sealed file, an orphan temp from
+  // a crashed writer, a quarantined file from a recovery pass — or any
+  // mix. Sweep all three spellings.
+  auto remove_shard_variants = [&](const std::string& shard_path) {
+    bool any = false;
+    any |= remove_file(shard_path);
+    any |= remove_file(TempPathFor(shard_path));
+    any |= remove_file(shard_path + kQuarantineFileSuffix);
+    return any;
+  };
   // Shards the manifest names (when it parses) ...
   Result<ShardManifest> manifest = ReadShardManifest(manifest_path);
   const std::string directory = ManifestDirectory(manifest_path);
   if (manifest.ok()) {
     for (const ShardManifestEntry& entry : manifest.value().shards) {
-      std::remove((directory + entry.relative_path).c_str());
+      remove_shard_variants(directory + entry.relative_path);
     }
   }
   // ... plus conventionally-named shards from a write that never reached
-  // its manifest (counting up until the first missing index) ...
+  // its manifest (counting up until the first index with no file under
+  // any spelling) ...
   const std::string stem = ShardStemForManifest(manifest_path);
   for (size_t index = 0;; ++index) {
-    if (std::remove((directory + ShardFileName(stem, index)).c_str()) != 0) {
-      break;
-    }
+    if (!remove_shard_variants(directory + ShardFileName(stem, index))) break;
   }
-  // ... and the manifest itself.
-  std::remove(manifest_path.c_str());
+  // ... and the manifest itself, plus its own orphan temp.
+  remove_file(manifest_path);
+  remove_file(TempPathFor(manifest_path));
+  if (!failed.empty()) {
+    std::string message = ManifestPrefix(manifest_path) +
+                          "cleanup could not remove: " + failed[0];
+    for (size_t i = 1; i < failed.size(); ++i) message += ", " + failed[i];
+    return Status::IoError(std::move(message));
+  }
+  return Status::OK();
 }
 
 }  // namespace data

@@ -109,9 +109,12 @@ std::string ManifestDirectory(const std::string& manifest_path);
 /// ShardedStoreReader.
 Result<ShardManifest> ReadShardManifest(const std::string& manifest_path);
 
-/// Serializes `manifest` (docs/FORMAT.md §7) to `manifest_path`.
-/// InvalidArgument on structural problems (no shards, bad spans, unsafe
-/// paths), IoError on write failure.
+/// Serializes `manifest` (docs/FORMAT.md §7) to `manifest_path` through
+/// the write-temp → fsync → atomic-rename protocol (docs/FORMAT.md §8):
+/// the manifest path never holds a partial manifest, whatever happens
+/// mid-write. InvalidArgument on structural problems (no shards, bad
+/// spans, unsafe paths), IoError on write/fsync/rename failure (the temp
+/// file is removed best-effort then).
 Status WriteShardManifest(const ShardManifest& manifest,
                           const std::string& manifest_path);
 
@@ -280,12 +283,18 @@ Status WriteShardedStore(const Dataset& dataset,
 /// Reads a whole sharded store into memory as a Dataset.
 Result<Dataset> ReadShardedStoreDataset(const std::string& manifest_path);
 
-/// Best-effort cleanup of a sharded-store output (after a failed write
-/// or verification): removes the manifest if present and every
-/// "<stem>.shard-NNNNN.rrcs" file, counting up from 0 until the first
-/// index with no file. Never fails; for tools like convert_csv that must
-/// not leave a plausible-looking partial store behind.
-void RemoveShardedStoreFiles(const std::string& manifest_path);
+/// Cleanup of a sharded-store output (after a failed write or
+/// verification): removes the manifest if present, every shard the
+/// manifest names (when it parses), and every conventionally-named
+/// "<stem>.shard-NNNNN.rrcs" file — including orphan ".tmp" and
+/// ".quarantined" variants left by a crashed writer or a recovery pass —
+/// counting up from 0 until the first index with no file under any of
+/// the three names. OK when everything that existed was removed; IoError
+/// listing every path that existed but could not be removed (callers
+/// that only want the old best-effort behavior may ignore the return).
+/// For tools like convert_csv that must not leave a plausible-looking
+/// partial store behind.
+Status RemoveShardedStoreFiles(const std::string& manifest_path);
 
 }  // namespace data
 }  // namespace randrecon

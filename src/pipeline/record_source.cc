@@ -4,9 +4,19 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/failpoint.h"
 
 namespace randrecon {
 namespace pipeline {
+
+namespace {
+
+/// Fires in every store-backed NextChunk — the seam retry tests and the
+/// CI fault-injection matrix use to make a read-side stage fail or crash
+/// on its Nth chunk without corrupting any file.
+Failpoint fp_next_chunk("source.next_chunk");
+
+}  // namespace
 
 Result<size_t> MatrixRecordSource::NextChunk(linalg::Matrix* buffer) {
   RR_CHECK_EQ(buffer->cols(), records_->cols())
@@ -43,6 +53,7 @@ Result<ColumnStoreRecordSource> ColumnStoreRecordSource::Open(
 Result<size_t> ColumnStoreRecordSource::NextChunk(linalg::Matrix* buffer) {
   RR_CHECK_EQ(buffer->cols(), reader_.num_attributes())
       << "ColumnStoreRecordSource: chunk buffer width mismatch";
+  RR_FAILPOINT(fp_next_chunk);
   const size_t rows =
       std::min(buffer->rows(), reader_.num_records() - next_row_);
   if (rows > 0) {
@@ -79,6 +90,7 @@ Result<ShardedRecordSource> ShardedRecordSource::Open(
 Result<size_t> ShardedRecordSource::NextChunk(linalg::Matrix* buffer) {
   RR_CHECK_EQ(buffer->cols(), reader_.num_attributes())
       << "ShardedRecordSource: chunk buffer width mismatch";
+  RR_FAILPOINT(fp_next_chunk);
   const size_t rows =
       std::min(buffer->rows(), reader_.num_records() - next_row_);
   if (rows > 0) {

@@ -1,0 +1,50 @@
+#include "pipeline/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/column_store.h"
+#include "stats/philox.h"
+
+namespace randrecon {
+namespace pipeline {
+
+namespace {
+
+/// Stream tag separating retry jitter from every other Philox consumer
+/// (record noise, MVN synthesis) under the same seed.
+constexpr uint64_t kRetryJitterStreamTag = 0x5245545259;  // "RETRY"
+
+}  // namespace
+
+uint64_t RetryJobKey(const std::string& job_name) {
+  // RRH64 is already the repo's canonical stable 64-bit hash (and is
+  // specified in docs/FORMAT.md, so job keys survive rebuilds and
+  // platforms alike).
+  return data::ColumnStoreHash(job_name.data(), job_name.size());
+}
+
+double RetryBackoffSeconds(const RetryPolicy& policy, uint64_t job_key,
+                           int attempt) {
+  if (attempt < 2) return 0.0;
+  const double multiplier = std::max(policy.backoff_multiplier, 1.0);
+  double base = policy.initial_backoff_seconds *
+                std::pow(multiplier, static_cast<double>(attempt - 2));
+  base = std::min(base, policy.max_backoff_seconds);
+  base = std::max(base, 0.0);
+  const double jitter =
+      std::min(std::max(policy.jitter_fraction, 0.0), 1.0);
+  if (jitter == 0.0) return base;
+  // Element `attempt` of the job's substream of the RETRY stream: a
+  // counter-based draw, so (seed, job, attempt) -> jitter is stateless
+  // and replayable.
+  const stats::Philox stream =
+      stats::Philox(policy.jitter_seed, kRetryJitterStreamTag)
+          .Substream(job_key);
+  double u = 0.0;
+  stats::UniformSliceAt(stream, static_cast<uint64_t>(attempt), &u, 1);
+  return base * (1.0 - jitter + 2.0 * jitter * u);
+}
+
+}  // namespace pipeline
+}  // namespace randrecon

@@ -1,0 +1,68 @@
+// Retry policy for pipeline jobs: capped exponential backoff with
+// deterministic, Philox-derived jitter.
+//
+// A batch of per-shard jobs over flaky storage fails for two very
+// different reasons: transient faults (a loaded filesystem, an armed
+// `unavailable` failpoint, an NFS hiccup) that a later attempt may
+// clear, and deterministic ones (schema mismatch, checksum corruption,
+// a bug) that every attempt reproduces. Status::IsRetryable() draws
+// that line (common/status.h); this header supplies the schedule for
+// the retryable side.
+//
+// The jitter is the part worth being careful about. Random jitter
+// decorrelates retry storms, but the usual implementation (seed from
+// the clock) makes every failing run unreproducible. Here the jitter
+// for (job, attempt) is a pure function of (jitter_seed, job key,
+// attempt) through the same counter-based Philox generator the
+// synthesis pipeline uses for record noise: re-running a failed batch
+// replays byte-identical backoff schedules, while distinct jobs still
+// spread their retries apart because each job keys its own substream.
+
+#ifndef RANDRECON_PIPELINE_RETRY_H_
+#define RANDRECON_PIPELINE_RETRY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace randrecon {
+namespace pipeline {
+
+/// Per-job retry schedule. The zero-argument default (max_attempts = 1)
+/// means "no retries" — existing callers keep their exact semantics.
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1). 1 disables retries.
+  int max_attempts = 1;
+  /// Backoff before attempt 2; later waits multiply. Seconds.
+  double initial_backoff_seconds = 0.01;
+  /// Growth factor per retry (>= 1).
+  double backoff_multiplier = 2.0;
+  /// Backoff cap (applied before jitter). Seconds.
+  double max_backoff_seconds = 2.0;
+  /// Each wait is scaled by a factor drawn uniformly from
+  /// [1 - jitter_fraction, 1 + jitter_fraction]. 0 disables jitter.
+  double jitter_fraction = 0.25;
+  /// Wall-clock budget for the whole job, all attempts and backoffs
+  /// included. 0 means no deadline. A job that still fails retryably
+  /// when the deadline has passed (or whose next backoff would cross
+  /// it) stops with kDeadlineExceeded wrapping the last error.
+  double deadline_seconds = 0.0;
+  /// Seed for the jitter stream. The same (seed, job name, attempt)
+  /// always yields the same jitter — deterministic replays.
+  uint64_t jitter_seed = 0;
+};
+
+/// The Philox substream key for a job: a stable 64-bit hash of its
+/// name. Two jobs with different names jitter independently; the same
+/// name replays the same schedule.
+uint64_t RetryJobKey(const std::string& job_name);
+
+/// The backoff (seconds) to sleep before attempt `attempt` (2-based:
+/// attempt 2 is the first retry) of the job keyed `job_key`. Pure
+/// function of its arguments — see the header comment.
+double RetryBackoffSeconds(const RetryPolicy& policy, uint64_t job_key,
+                           int attempt);
+
+}  // namespace pipeline
+}  // namespace randrecon
+
+#endif  // RANDRECON_PIPELINE_RETRY_H_

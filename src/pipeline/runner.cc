@@ -1,13 +1,43 @@
 #include "pipeline/runner.h"
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "data/file_io.h"
 #include "data/shard_store.h"
 #include "pipeline/source_factory.h"
 
 namespace randrecon {
 namespace pipeline {
 namespace {
+
+/// One attempt: build fresh sources, run the pipeline once.
+Status RunJobAttempt(const PipelineJob& job, StreamingAttackReport* report) {
+  Result<std::unique_ptr<RecordSource>> disguised = job.disguised();
+  if (!disguised.ok()) return disguised.status();
+
+  std::unique_ptr<RecordSource> reference;
+  if (job.reference) {
+    Result<std::unique_ptr<RecordSource>> made = job.reference();
+    if (!made.ok()) return made.status();
+    reference = std::move(made).value();
+  }
+
+  NullChunkSink null_sink;
+  ChunkSink* sink = job.sink != nullptr ? job.sink.get() : &null_sink;
+
+  const StreamingAttackPipeline pipeline(job.attack);
+  Result<StreamingAttackReport> run = pipeline.Run(
+      disguised.value().get(), job.noise, sink, reference.get());
+  if (!run.ok()) return run.status();
+  *report = std::move(run).value();
+  return Status::OK();
+}
 
 PipelineJobResult RunOneJobOrThrow(const PipelineJob& job) {
   PipelineJobResult result;
@@ -23,25 +53,43 @@ PipelineJobResult RunOneJobOrThrow(const PipelineJob& job) {
     return finish(
         Status::InvalidArgument("PipelineJob: no disguised source factory"));
   }
-  Result<std::unique_ptr<RecordSource>> disguised = job.disguised();
-  if (!disguised.ok()) return finish(disguised.status());
 
-  std::unique_ptr<RecordSource> reference;
-  if (job.reference) {
-    Result<std::unique_ptr<RecordSource>> made = job.reference();
-    if (!made.ok()) return finish(made.status());
-    reference = std::move(made).value();
+  const int max_attempts = std::max(job.retry.max_attempts, 1);
+  const double deadline = job.retry.deadline_seconds;
+  const uint64_t job_key = RetryJobKey(job.name);
+  auto deadline_error = [&](const Status& last) {
+    return Status::DeadlineExceeded(
+        "PipelineJob '" + job.name + "': deadline of " +
+        std::to_string(deadline) + "s exceeded after " +
+        std::to_string(result.attempts) + " attempt(s); last error: " +
+        last.ToString());
+  };
+
+  Status last;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Deterministic capped-exponential backoff: the wait for (job,
+      // attempt) replays exactly on a rerun (pipeline/retry.h).
+      const double backoff = RetryBackoffSeconds(job.retry, job_key, attempt);
+      if (deadline > 0.0 &&
+          stopwatch.ElapsedSeconds() + backoff >= deadline) {
+        return finish(deadline_error(last));
+      }
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+    result.attempts = attempt;
+    Status status = RunJobAttempt(job, &result.report);
+    if (status.ok()) return finish(Status::OK());
+    last = std::move(status);
+    // Deterministic failures reproduce on every attempt — stop now.
+    if (!last.IsRetryable()) break;
+    if (deadline > 0.0 && stopwatch.ElapsedSeconds() >= deadline) {
+      return finish(deadline_error(last));
+    }
   }
-
-  NullChunkSink null_sink;
-  ChunkSink* sink = job.sink != nullptr ? job.sink.get() : &null_sink;
-
-  const StreamingAttackPipeline pipeline(job.attack);
-  Result<StreamingAttackReport> report = pipeline.Run(
-      disguised.value().get(), job.noise, sink, reference.get());
-  if (!report.ok()) return finish(report.status());
-  result.report = std::move(report).value();
-  return finish(Status::OK());
+  return finish(std::move(last));
 }
 
 /// The documented isolation contract covers user-supplied factories and
@@ -106,6 +154,7 @@ std::vector<PipelineJob> MakePerShardJobs(const data::ShardManifest& manifest,
     job.name = prototype.name + "/shard-" + std::to_string(s);
     job.noise = prototype.noise;
     job.attack = prototype.attack;
+    job.retry = prototype.retry;
     // Shards are ordinary sealed column stores, so each job opens its
     // shard file directly — the store's own header and block checksums
     // still guard it, and a missing/corrupt shard fails just this job.
@@ -118,6 +167,105 @@ std::vector<PipelineJob> MakePerShardJobs(const data::ShardManifest& manifest,
     jobs.push_back(std::move(job));
   }
   return jobs;
+}
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// OK iff the shard file matches the manifest's record of it (opens,
+/// schema, row count, seal digest). The error message is the exclusion
+/// reason, so it names the mismatch precisely.
+Status ProbeShard(const std::string& shard_path,
+                  const data::ShardManifest& manifest,
+                  const data::ShardManifestEntry& entry,
+                  const data::ColumnStoreReadOptions& probe_options) {
+  Result<data::ColumnStoreReader> probe =
+      data::ColumnStoreReader::Open(shard_path, probe_options);
+  if (!probe.ok()) {
+    // A shard recovery renamed aside is the common cause of a missing
+    // file — say so when the quarantined copy is sitting right there.
+    if (FileExists(shard_path + data::kQuarantineFileSuffix)) {
+      return Status::FailedPrecondition(
+          "shard was quarantined by recovery ('" + shard_path +
+          data::kQuarantineFileSuffix + "'); " + probe.status().ToString());
+    }
+    return probe.status();
+  }
+  const data::ColumnStoreReader& reader = probe.value();
+  if (reader.attribute_names() != manifest.column_names) {
+    return Status::InvalidArgument("shard schema does not match the manifest");
+  }
+  if (reader.num_records() != entry.row_count) {
+    return Status::InvalidArgument(
+        "shard holds " + std::to_string(reader.num_records()) +
+        " records where the manifest promises " +
+        std::to_string(entry.row_count));
+  }
+  if (data::ComputeShardSealDigest(reader) != entry.seal_digest) {
+    return Status::InvalidArgument(
+        "shard seal digest does not match the manifest (resealed or "
+        "swapped shard file)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string PerShardJobSet::DegradedSummary() const {
+  if (excluded.empty()) return "";
+  std::string summary =
+      "degraded sweep: excluded " + std::to_string(excluded.size()) + " of " +
+      std::to_string(total_shards) + " shards (" +
+      std::to_string(excluded_rows) + " of " + std::to_string(total_rows) +
+      " rows not covered):";
+  for (const ShardExclusion& exclusion : excluded) {
+    summary += "\n  shard " + std::to_string(exclusion.shard_index) + " ('" +
+               exclusion.shard_path + "', rows [" +
+               std::to_string(exclusion.row_begin) + ", " +
+               std::to_string(exclusion.row_begin + exclusion.row_count) +
+               ")): " + exclusion.reason;
+  }
+  return summary;
+}
+
+Result<PerShardJobSet> MakePerShardJobsDegraded(
+    const std::string& manifest_path, const PipelineJob& prototype,
+    data::ColumnStoreReadOptions probe_options) {
+  RR_ASSIGN_OR_RETURN(const data::ShardManifest manifest,
+                      data::ReadShardManifest(manifest_path));
+  const std::string directory = data::ManifestDirectory(manifest_path);
+  // Build jobs exactly the way the non-degraded decomposition does (same
+  // names, same factories — a healthy store yields the identical batch),
+  // then keep only the shards that pass the probe.
+  std::vector<PipelineJob> all_jobs =
+      MakePerShardJobs(manifest, directory, prototype);
+  PerShardJobSet set;
+  set.total_shards = manifest.shards.size();
+  set.total_rows = manifest.num_records;
+  for (size_t s = 0; s < manifest.shards.size(); ++s) {
+    const data::ShardManifestEntry& entry = manifest.shards[s];
+    const std::string shard_path = directory + entry.relative_path;
+    const Status probed = ProbeShard(shard_path, manifest, entry,
+                                     probe_options);
+    if (probed.ok()) {
+      set.jobs.push_back(std::move(all_jobs[s]));
+      set.shard_of_job.push_back(s);
+      continue;
+    }
+    ShardExclusion exclusion;
+    exclusion.shard_index = s;
+    exclusion.shard_path = shard_path;
+    exclusion.row_begin = entry.row_begin;
+    exclusion.row_count = entry.row_count;
+    exclusion.reason = probed.ToString();
+    set.excluded_rows += entry.row_count;
+    set.excluded.push_back(std::move(exclusion));
+  }
+  return set;
 }
 
 }  // namespace pipeline

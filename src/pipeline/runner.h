@@ -14,6 +14,7 @@
 
 #include "data/shard_store.h"
 #include "perturb/noise_model.h"
+#include "pipeline/retry.h"
 #include "pipeline/streaming_attack.h"
 
 namespace randrecon {
@@ -41,16 +42,31 @@ struct PipelineJob {
   /// Where reconstructed chunks go; null means NullChunkSink. Sinks are
   /// per-job (never shared), so no cross-job synchronization is needed.
   std::shared_ptr<ChunkSink> sink;
+  /// Retry schedule for transient failures (pipeline/retry.h). The
+  /// default (max_attempts = 1) retries nothing. Only retryable errors
+  /// (Status::IsRetryable: kUnavailable, kIoError) are retried; a
+  /// deterministic failure stops at its first occurrence. CAVEAT: a
+  /// retry re-builds the sources (fresh factory call) and re-streams the
+  /// WHOLE pipeline into `sink` — a sink that accumulates across runs
+  /// would see the failed attempt's partial chunks followed by the
+  /// successful attempt's full stream. Enable retries only with a null
+  /// sink or one whose Consume is restart-tolerant.
+  RetryPolicy retry;
 };
 
 /// Outcome of one job.
 struct PipelineJobResult {
   std::string name;
   /// OK iff the job ran to completion; the factory/pipeline error
-  /// otherwise.
+  /// otherwise. When the retry policy's deadline cut retries short this
+  /// is kDeadlineExceeded, wrapping the last underlying error.
   Status status;
   /// Valid iff status.ok().
   StreamingAttackReport report;
+  /// Runs attempted (1 when the first try settled it; up to
+  /// retry.max_attempts).
+  int attempts = 0;
+  /// Whole-job wall clock, every attempt and backoff included.
   double elapsed_seconds = 0.0;
 };
 
@@ -99,6 +115,55 @@ Result<std::vector<PipelineJob>> MakePerShardJobs(
 std::vector<PipelineJob> MakePerShardJobs(const data::ShardManifest& manifest,
                                           const std::string& directory,
                                           const PipelineJob& prototype);
+
+/// One shard a degraded sweep left out, with enough identity (index,
+/// path, row span) for the caller's report to say exactly which records
+/// the batch did NOT cover.
+struct ShardExclusion {
+  size_t shard_index = 0;
+  std::string shard_path;
+  uint64_t row_begin = 0;
+  uint64_t row_count = 0;
+  /// Why the shard was excluded — the probe failure, verbatim (missing
+  /// file, checksum mismatch, seal-digest drift, quarantined by
+  /// recovery, ...).
+  std::string reason;
+};
+
+/// MakePerShardJobsDegraded's output: runnable jobs over the healthy
+/// shards plus an explicit account of everything excluded. A degraded
+/// sweep NEVER silently narrows — callers must surface DegradedSummary()
+/// (or the structured `excluded` list) alongside any aggregate they
+/// compute from the jobs.
+struct PerShardJobSet {
+  std::vector<PipelineJob> jobs;
+  /// jobs[i] attacks shard shard_of_job[i] of the manifest.
+  std::vector<size_t> shard_of_job;
+  std::vector<ShardExclusion> excluded;
+  /// Manifest-wide totals, for "covered X of Y" reporting.
+  size_t total_shards = 0;
+  uint64_t total_rows = 0;
+  /// Records the exclusions cover (sum of excluded row_counts).
+  uint64_t excluded_rows = 0;
+  bool degraded() const { return !excluded.empty(); }
+  /// "" when nothing was excluded; otherwise a one-paragraph account
+  /// naming every excluded shard, its row span and its reason.
+  std::string DegradedSummary() const;
+};
+
+/// Degraded-mode job-per-shard decomposition: like MakePerShardJobs, but
+/// each shard is probed up front (file opens, schema, row count and seal
+/// digest match the manifest) and shards that fail the probe are skipped
+/// with a ShardExclusion instead of producing a job doomed to fail — the
+/// batch covers every healthy shard of a store that recovery (or rot)
+/// has left partially usable. `probe_options` tunes the probe's reads
+/// (eager whole-shard verification is NOT forced; the per-block
+/// checksums still guard the jobs' own reads). Fails only like
+/// data::ReadShardManifest — with no readable manifest there is no job
+/// set to build.
+Result<PerShardJobSet> MakePerShardJobsDegraded(
+    const std::string& manifest_path, const PipelineJob& prototype,
+    data::ColumnStoreReadOptions probe_options = {});
 
 }  // namespace pipeline
 }  // namespace randrecon

@@ -1,0 +1,186 @@
+// The deterministic fault-injection seam (src/common/failpoint.h):
+// registration, arming (API + spec strings), trigger-on-Nth-hit
+// semantics, firing windows, and the disarmed fast path being a no-op.
+// The crash action is exercised end-to-end by the fork-based torture
+// matrix in tests/data/store_recovery_test.cc.
+
+#include "common/failpoint.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace randrecon {
+namespace {
+
+/// A failpoint owned by this test binary, so tests can arm/fire it
+/// without disturbing the library's real injection points.
+Failpoint test_point("test.point");
+Failpoint other_point("test.other");
+
+/// The guarded operation under test: returns OK unless the failpoint
+/// fires, exactly like a guarded store write.
+Status GuardedOperation() {
+  RR_FAILPOINT(test_point);
+  return Status::OK();
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { DisarmAllFailpoints(); }
+  void TearDown() override { DisarmAllFailpoints(); }
+};
+
+TEST_F(FailpointTest, DisarmedIsANoOp) {
+  EXPECT_FALSE(test_point.armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(GuardedOperation().ok());
+  }
+  // A disarmed failpoint does not even count hits.
+  EXPECT_EQ(FailpointHitCount("test.point"), 0u);
+}
+
+TEST_F(FailpointTest, RegistryListsEveryLinkedFailpoint) {
+  // Only the failpoints of object files actually LINKED register: this
+  // binary pulls just failpoint.o from the static library, so the
+  // store/pipeline injection points are absent here by design. The full
+  // production set is enumerated by `example_convert_csv
+  // --list_failpoints` (which links everything) and exercised one by
+  // one in the CI fault-injection matrix; arming them by name is also
+  // load-bearing in tests/data/store_recovery_test.cc.
+  const std::vector<std::string> names = ListFailpoints();
+  for (const char* expected : {"test.point", "test.other"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "failpoint '" << expected << "' is not registered";
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST_F(FailpointTest, ErrorActionFiresOnceAtFirstHit) {
+  ASSERT_TRUE(
+      ArmFailpoint("test.point", FailpointAction::kError).ok());
+  EXPECT_TRUE(test_point.armed());
+  const Status fired = GuardedOperation();
+  EXPECT_EQ(fired.code(), StatusCode::kIoError);
+  EXPECT_NE(fired.message().find("test.point"), std::string::npos)
+      << fired.ToString();
+  EXPECT_NE(fired.message().find("hit 1"), std::string::npos)
+      << fired.ToString();
+  // The default firing window is one shot: later hits pass (and still
+  // count).
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(FailpointHitCount("test.point"), 3u);
+}
+
+TEST_F(FailpointTest, TriggerOnNthHit) {
+  ASSERT_TRUE(
+      ArmFailpoint("test.point", FailpointAction::kError, /*trigger_hit=*/3)
+          .ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  const Status fired = GuardedOperation();
+  EXPECT_EQ(fired.code(), StatusCode::kIoError);
+  EXPECT_NE(fired.message().find("hit 3"), std::string::npos)
+      << fired.ToString();
+}
+
+TEST_F(FailpointTest, FireForeverKeepsFiring) {
+  FailpointConfig config;
+  config.fire_count = kFailpointFireForever;
+  ASSERT_TRUE(ArmFailpoint("test.point", config).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(GuardedOperation().code(), StatusCode::kIoError) << i;
+  }
+}
+
+TEST_F(FailpointTest, CustomStatusCode) {
+  FailpointConfig config;
+  config.code = StatusCode::kUnavailable;
+  ASSERT_TRUE(ArmFailpoint("test.point", config).ok());
+  const Status fired = GuardedOperation();
+  EXPECT_EQ(fired.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(fired.IsRetryable());
+}
+
+TEST_F(FailpointTest, DisarmRestoresTheFastPath) {
+  ASSERT_TRUE(ArmFailpoint("test.point", FailpointAction::kError).ok());
+  EXPECT_TRUE(DisarmFailpoint("test.point"));
+  EXPECT_FALSE(test_point.armed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(FailpointHitCount("test.point"), 0u);  // Counters reset.
+  EXPECT_FALSE(DisarmFailpoint("no.such.failpoint"));
+}
+
+TEST_F(FailpointTest, ReArmingResetsTheHitCounter) {
+  ASSERT_TRUE(
+      ArmFailpoint("test.point", FailpointAction::kError, /*trigger_hit=*/2)
+          .ok());
+  EXPECT_TRUE(GuardedOperation().ok());  // hit 1
+  ASSERT_TRUE(
+      ArmFailpoint("test.point", FailpointAction::kError, /*trigger_hit=*/2)
+          .ok());
+  EXPECT_TRUE(GuardedOperation().ok());  // hit 1 again, not 2
+  EXPECT_EQ(GuardedOperation().code(), StatusCode::kIoError);
+}
+
+TEST_F(FailpointTest, UnknownNameIsNotFound) {
+  const Status armed =
+      ArmFailpoint("no.such.failpoint", FailpointAction::kError);
+  EXPECT_EQ(armed.code(), StatusCode::kNotFound);
+}
+
+TEST_F(FailpointTest, InvalidConfigsAreRejected) {
+  FailpointConfig zero_hit;
+  zero_hit.trigger_hit = 0;
+  EXPECT_EQ(ArmFailpoint("test.point", zero_hit).code(),
+            StatusCode::kInvalidArgument);
+  FailpointConfig zero_fires;
+  zero_fires.fire_count = 0;
+  EXPECT_EQ(ArmFailpoint("test.point", zero_fires).code(),
+            StatusCode::kInvalidArgument);
+  FailpointConfig ok_error;
+  ok_error.code = StatusCode::kOk;
+  EXPECT_EQ(ArmFailpoint("test.point", ok_error).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(test_point.armed());
+}
+
+TEST_F(FailpointTest, SpecStringArmsMultipleClauses) {
+  ASSERT_TRUE(
+      ArmFailpointsFromSpec("test.point=unavailable@2;test.other=error")
+          .ok());
+  EXPECT_TRUE(test_point.armed());
+  EXPECT_TRUE(other_point.armed());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(GuardedOperation().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FailpointTest, BadSpecsAreRejected) {
+  EXPECT_EQ(ArmFailpointsFromSpec("test.point").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFailpointsFromSpec("=error").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFailpointsFromSpec("test.point=explode").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFailpointsFromSpec("test.point=error@0").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ArmFailpointsFromSpec("test.point=error@x").code(),
+            StatusCode::kInvalidArgument);
+  // Spec arming (the test API) rejects unknown names loudly — only the
+  // environment path defers them for late-registering TUs.
+  EXPECT_EQ(ArmFailpointsFromSpec("no.such.failpoint=error").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverything) {
+  ASSERT_TRUE(
+      ArmFailpointsFromSpec("test.point=error;test.other=error").ok());
+  DisarmAllFailpoints();
+  EXPECT_FALSE(test_point.armed());
+  EXPECT_FALSE(other_point.armed());
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+}  // namespace
+}  // namespace randrecon

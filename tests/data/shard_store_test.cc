@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "data/csv.h"
+#include "data/file_io.h"
 #include "stats/rng.h"
 
 namespace randrecon {
@@ -548,8 +549,12 @@ TEST(ShardedStoreTest, SealFailureIsStickyAndSuppressesTheManifest) {
     stats::Rng rng(45);
     const Matrix records = rng.GaussianMatrix(100, 3);
     ASSERT_TRUE(writer.Append(records, 100).ok());
+    // The unsealed shard streams into its temp file (the final path does
+    // not exist until the seal's rename) — delete the temp.
     ASSERT_EQ(std::remove(
-                  ShardFileName(ShardStemForManifest(manifest_path), 0).c_str()),
+                  TempPathFor(
+                      ShardFileName(ShardStemForManifest(manifest_path), 0))
+                      .c_str()),
               0);
     const Status closed = writer.Close();
     EXPECT_FALSE(closed.ok());

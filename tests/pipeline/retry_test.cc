@@ -1,0 +1,136 @@
+// RetryPolicy backoff schedule (src/pipeline/retry.h): capped
+// exponential growth, jitter bounds, and the jitter being a pure
+// function of (seed, job, attempt) pinned against the Philox substream
+// it is specified to come from.
+
+#include "pipeline/retry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "data/column_store.h"
+#include "stats/philox.h"
+
+namespace randrecon {
+namespace pipeline {
+namespace {
+
+RetryPolicy NoJitterPolicy() {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.05;
+  policy.jitter_fraction = 0.0;
+  return policy;
+}
+
+TEST(RetryPolicyTest, FirstAttemptHasNoBackoff) {
+  EXPECT_EQ(RetryBackoffSeconds(NoJitterPolicy(), 7, 1), 0.0);
+  EXPECT_EQ(RetryBackoffSeconds(NoJitterPolicy(), 7, 0), 0.0);
+}
+
+TEST(RetryPolicyTest, ExponentialGrowthWithCap) {
+  const RetryPolicy policy = NoJitterPolicy();
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(policy, 7, 2), 0.01);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(policy, 7, 3), 0.02);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(policy, 7, 4), 0.04);
+  // 0.08 and everything after clamps to the cap.
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(policy, 7, 5), 0.05);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(policy, 7, 60), 0.05);
+}
+
+TEST(RetryPolicyTest, JitterStaysInsideItsBand) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter_fraction = 0.25;
+  for (int attempt = 2; attempt <= 10; ++attempt) {
+    const double base = RetryBackoffSeconds(NoJitterPolicy(), 7, attempt);
+    const double jittered = RetryBackoffSeconds(policy, 7, attempt);
+    EXPECT_GE(jittered, base * 0.75) << "attempt " << attempt;
+    EXPECT_LT(jittered, base * 1.25) << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeedJobAndAttempt) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter_fraction = 0.25;
+  const double first = RetryBackoffSeconds(policy, 7, 3);
+  EXPECT_EQ(RetryBackoffSeconds(policy, 7, 3), first);  // Replays exactly.
+  // A different job key, attempt, or seed moves the draw.
+  EXPECT_NE(RetryBackoffSeconds(policy, 8, 3), first);
+  RetryPolicy reseeded = policy;
+  reseeded.jitter_seed = 1;
+  EXPECT_NE(RetryBackoffSeconds(reseeded, 7, 3), first);
+}
+
+TEST(RetryPolicyTest, JitterIsPinnedToThePhiloxSubstream) {
+  // The contract in retry.cc: the jitter factor for (seed, job, attempt)
+  // is element `attempt` of Philox(seed, "RETRY").Substream(job)'s
+  // canonical uniform sequence, mapped to [1-j, 1+j]. Re-derive it here
+  // so the derivation can never drift silently.
+  constexpr uint64_t kRetryJitterStreamTag = 0x5245545259;  // "RETRY"
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter_fraction = 0.25;
+  policy.jitter_seed = 42;
+  const uint64_t job_key = RetryJobKey("jobs/shard-3");
+  for (int attempt = 2; attempt <= 5; ++attempt) {
+    double u = 0.0;
+    stats::UniformSliceAt(
+        stats::Philox(policy.jitter_seed, kRetryJitterStreamTag)
+            .Substream(job_key),
+        static_cast<uint64_t>(attempt), &u, 1);
+    const double base = RetryBackoffSeconds(NoJitterPolicy(), job_key,
+                                            attempt);
+    EXPECT_DOUBLE_EQ(RetryBackoffSeconds(policy, job_key, attempt),
+                     base * (0.75 + 0.5 * u))
+        << "attempt " << attempt;
+  }
+}
+
+TEST(RetryPolicyTest, JobKeyIsTheCanonicalHash) {
+  const std::string name = "sweep/shard-5";
+  EXPECT_EQ(RetryJobKey(name),
+            data::ColumnStoreHash(name.data(), name.size()));
+  EXPECT_NE(RetryJobKey("a"), RetryJobKey("b"));
+}
+
+TEST(RetryPolicyTest, DegenerateMultiplierIsClampedToFlat) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.backoff_multiplier = 0.0;  // Nonsense; treated as 1.0.
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(policy, 7, 2), 0.01);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(policy, 7, 9), 0.01);
+}
+
+TEST(StatusRetryabilityTest, TaxonomyIsExact) {
+  // Retryable: declared-transient unavailability, and I/O errors (at
+  // raise time a flaky read is indistinguishable from permanent
+  // damage — the retry either clears it or re-raises it).
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryableStatusCode(StatusCode::kIoError));
+  // Deterministic: retrying reproduces the failure bit for bit.
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kNumericalError));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryableStatusCode(StatusCode::kDeadlineExceeded));
+
+  EXPECT_TRUE(Status::Unavailable("flaky").IsRetryable());
+  EXPECT_TRUE(Status::IoError("disk").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("late").IsRetryable());
+}
+
+TEST(StatusRetryabilityTest, NewCodesPrintAndConstruct) {
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_EQ(Status::Unavailable("shard busy").ToString(),
+            "Unavailable: shard busy");
+}
+
+}  // namespace
+}  // namespace pipeline
+}  // namespace randrecon

@@ -3,10 +3,14 @@
 
 #include "pipeline/runner.h"
 
+#include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include <gtest/gtest.h>
 
+#include "data/file_io.h"
 #include "data/synthetic.h"
 #include "linalg/matrix_util.h"
 #include "perturb/schemes.h"
@@ -175,6 +179,238 @@ TEST(PipelineRunnerTest, WorkerCountDoesNotChangeResults) {
     EXPECT_EQ(linalg::MaxAbsDifference(a->ToMatrix(), b->ToMatrix()), 0.0)
         << "job " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy integration: transient failures retry, deterministic ones
+// do not, deadlines cut the schedule short.
+// ---------------------------------------------------------------------------
+
+/// A factory that fails with `failure` for the first `failures` calls,
+/// then serves `records`. The call counter outlives the lambda so the
+/// test can assert how many attempts actually ran.
+SourceFactory FlakyFactory(const Matrix* records, int failures,
+                           Status failure,
+                           std::shared_ptr<std::atomic<int>> calls) {
+  return [records, failures, failure,
+          calls]() -> Result<std::unique_ptr<RecordSource>> {
+    if (calls->fetch_add(1) < failures) return failure;
+    return std::unique_ptr<RecordSource>(
+        std::make_unique<MatrixRecordSource>(records));
+  };
+}
+
+RetryPolicy FastRetries(int max_attempts) {
+  RetryPolicy retry;
+  retry.max_attempts = max_attempts;
+  retry.initial_backoff_seconds = 0.0;  // Tests should not sleep.
+  retry.jitter_fraction = 0.0;
+  return retry;
+}
+
+TEST(PipelineRunnerRetryTest, TransientFailureRetriesToSuccess) {
+  const BatchFixture fixture = MakeBatchFixture();
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  std::vector<PipelineJob> jobs(1);
+  jobs[0].name = "flaky";
+  jobs[0].noise = fixture.noise;
+  jobs[0].disguised = FlakyFactory(&fixture.disguised, 2,
+                                   Status::Unavailable("shard busy"), calls);
+  jobs[0].retry = FastRetries(5);
+
+  const auto results = RunPipelineJobs(jobs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].status.ok()) << results[0].status.ToString();
+  EXPECT_EQ(results[0].attempts, 3);
+  EXPECT_EQ(calls->load(), 3);
+  EXPECT_EQ(results[0].report.num_records, 400u);
+}
+
+TEST(PipelineRunnerRetryTest, DeterministicFailureIsNotRetried) {
+  const BatchFixture fixture = MakeBatchFixture();
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  std::vector<PipelineJob> jobs(1);
+  jobs[0].name = "malformed";
+  jobs[0].noise = fixture.noise;
+  jobs[0].disguised = FlakyFactory(
+      &fixture.disguised, 100, Status::InvalidArgument("bad schema"), calls);
+  jobs[0].retry = FastRetries(5);
+
+  const auto results = RunPipelineJobs(jobs);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(results[0].attempts, 1);
+  EXPECT_EQ(calls->load(), 1);
+}
+
+TEST(PipelineRunnerRetryTest, AttemptExhaustionReportsTheLastError) {
+  const BatchFixture fixture = MakeBatchFixture();
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  std::vector<PipelineJob> jobs(1);
+  jobs[0].name = "always-down";
+  jobs[0].noise = fixture.noise;
+  jobs[0].disguised = FlakyFactory(&fixture.disguised, 100,
+                                   Status::Unavailable("still down"), calls);
+  jobs[0].retry = FastRetries(3);
+
+  const auto results = RunPipelineJobs(jobs);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(results[0].attempts, 3);
+  EXPECT_EQ(calls->load(), 3);
+}
+
+TEST(PipelineRunnerRetryTest, DeadlineCutsTheScheduleShort) {
+  const BatchFixture fixture = MakeBatchFixture();
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  std::vector<PipelineJob> jobs(1);
+  jobs[0].name = "deadline";
+  jobs[0].noise = fixture.noise;
+  jobs[0].disguised = FlakyFactory(&fixture.disguised, 1000,
+                                   Status::Unavailable("still down"), calls);
+  jobs[0].retry.max_attempts = 1000;
+  jobs[0].retry.initial_backoff_seconds = 0.02;
+  jobs[0].retry.backoff_multiplier = 1.0;
+  jobs[0].retry.jitter_fraction = 0.0;
+  jobs[0].retry.deadline_seconds = 0.05;
+
+  const auto results = RunPipelineJobs(jobs);
+  EXPECT_EQ(results[0].status.code(), StatusCode::kDeadlineExceeded);
+  // The wrapped message keeps the underlying failure visible.
+  EXPECT_NE(results[0].status.message().find("still down"), std::string::npos)
+      << results[0].status.ToString();
+  EXPECT_GE(results[0].attempts, 1);
+  EXPECT_LT(results[0].attempts, 1000);
+}
+
+TEST(PipelineRunnerRetryTest, DefaultPolicyPreservesSingleAttemptSemantics) {
+  const BatchFixture fixture = MakeBatchFixture();
+  std::vector<PipelineJob> jobs(1);
+  jobs[0].name = "default";
+  jobs[0].noise = fixture.noise;
+  jobs[0].disguised = MatrixFactory(&fixture.disguised);
+  const auto results = RunPipelineJobs(jobs);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[0].attempts, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Degraded per-shard decomposition: a partially-usable store sweeps its
+// healthy shards and names exactly what it skipped.
+// ---------------------------------------------------------------------------
+
+class DegradedSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeBatchFixture();
+    data::ShardedStoreOptions options;
+    options.shard_rows = 100;  // 400 records -> 4 shards.
+    auto created = data::ShardedStoreWriter::Create(
+        kManifestPath, Names(fixture_.disguised.cols()), options);
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    data::ShardedStoreWriter writer = std::move(created).value();
+    ASSERT_TRUE(writer.Append(fixture_.disguised, 400).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+
+  void TearDown() override { data::RemoveShardedStoreFiles(kManifestPath); }
+
+  static std::vector<std::string> Names(size_t m) {
+    std::vector<std::string> names;
+    for (size_t j = 0; j < m; ++j) names.push_back("a" + std::to_string(j));
+    return names;
+  }
+
+  PipelineJob Prototype() const {
+    PipelineJob prototype;
+    prototype.name = "sweep";
+    prototype.noise = fixture_.noise;
+    return prototype;
+  }
+
+  static constexpr const char* kManifestPath = "runner_test_degraded.rrcm";
+  BatchFixture fixture_;
+};
+
+TEST_F(DegradedSweepTest, HealthyStoreYieldsTheFullJobSet) {
+  auto job_set = MakePerShardJobsDegraded(kManifestPath, Prototype());
+  ASSERT_TRUE(job_set.ok()) << job_set.status().ToString();
+  EXPECT_EQ(job_set.value().jobs.size(), 4u);
+  EXPECT_FALSE(job_set.value().degraded());
+  EXPECT_EQ(job_set.value().DegradedSummary(), "");
+  EXPECT_EQ(job_set.value().total_shards, 4u);
+  EXPECT_EQ(job_set.value().total_rows, 400u);
+}
+
+TEST_F(DegradedSweepTest, QuarantinedShardIsSkippedAndNamed) {
+  // Quarantine shard 1 the way store recovery does: rename it aside.
+  const std::string shard1 =
+      data::ShardFileName(data::ShardStemForManifest(kManifestPath), 1);
+  ASSERT_EQ(std::rename(
+                shard1.c_str(),
+                (shard1 + data::kQuarantineFileSuffix).c_str()),
+            0);
+
+  auto job_set = MakePerShardJobsDegraded(kManifestPath, Prototype());
+  ASSERT_TRUE(job_set.ok()) << job_set.status().ToString();
+  const PerShardJobSet& set = job_set.value();
+  ASSERT_EQ(set.jobs.size(), 3u);
+  ASSERT_EQ(set.shard_of_job.size(), 3u);
+  EXPECT_EQ(set.shard_of_job[0], 0u);
+  EXPECT_EQ(set.shard_of_job[1], 2u);
+  EXPECT_EQ(set.shard_of_job[2], 3u);
+  EXPECT_TRUE(set.degraded());
+  ASSERT_EQ(set.excluded.size(), 1u);
+  EXPECT_EQ(set.excluded[0].shard_index, 1u);
+  EXPECT_EQ(set.excluded[0].shard_path, shard1);
+  EXPECT_EQ(set.excluded[0].row_begin, 100u);
+  EXPECT_EQ(set.excluded[0].row_count, 100u);
+  EXPECT_NE(set.excluded[0].reason.find("quarantined"), std::string::npos)
+      << set.excluded[0].reason;
+  EXPECT_EQ(set.excluded_rows, 100u);
+
+  // The summary names the shard, its span and the coverage shortfall.
+  const std::string summary = set.DegradedSummary();
+  EXPECT_NE(summary.find("1 of 4 shards"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("100 of 400 rows"), std::string::npos) << summary;
+  EXPECT_NE(summary.find(shard1), std::string::npos) << summary;
+  EXPECT_NE(summary.find("rows [100, 200)"), std::string::npos) << summary;
+
+  // The surviving jobs run to completion — the batch is degraded, not
+  // broken.
+  const auto results = RunPipelineJobs(set.jobs);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& result : results) {
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.report.num_records, 100u);
+  }
+}
+
+TEST_F(DegradedSweepTest, CorruptShardIsExcludedByItsProbe) {
+  // Flip a bit of shard 2's final stored block hash: the seal digest
+  // (which hashes the stored block hashes) no longer matches the
+  // manifest, so the probe excludes the shard up front.
+  const std::string shard2 =
+      data::ShardFileName(data::ShardStemForManifest(kManifestPath), 2);
+  {
+    std::fstream file(shard2,
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(-4, std::ios::end);  // Inside the final block's checksum.
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(-4, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x1);
+    file.write(&byte, 1);
+  }
+  auto job_set = MakePerShardJobsDegraded(kManifestPath, Prototype());
+  ASSERT_TRUE(job_set.ok()) << job_set.status().ToString();
+  EXPECT_EQ(job_set.value().jobs.size(), 3u);
+  ASSERT_EQ(job_set.value().excluded.size(), 1u);
+  EXPECT_EQ(job_set.value().excluded[0].shard_index, 2u);
+}
+
+TEST_F(DegradedSweepTest, UnreadableManifestFailsTheDecomposition) {
+  EXPECT_FALSE(
+      MakePerShardJobsDegraded("/nonexistent/x.rrcm", Prototype()).ok());
 }
 
 }  // namespace
