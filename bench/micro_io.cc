@@ -36,7 +36,12 @@
 //     single file. Both views are recorded in the json either way;
 //   * the disarmed fault-injection check (common/failpoint.h, one
 //     relaxed atomic load guarding every block flush) must cost <= 2%
-//     of a measured pure-store block flush.
+//     of a measured pure-store block flush;
+//   * one metrics event (a Counter::Add + a Histogram::Record,
+//     common/metrics.h — more than any single hot-path site pays) must
+//     cost <= 2% of the same measured block flush, and the SF attack
+//     with a trace capture active must report bitwise-identical numbers
+//     (telemetry observes, never perturbs).
 //
 // Flags: --smoke=true     small sizes / fewer reps (CI)
 //        --seed=N         RNG seed (default 7)
@@ -57,7 +62,9 @@
 #include "bench/bench_util.h"
 #include "common/failpoint.h"
 #include "common/flags.h"
+#include "common/metrics.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "data/column_store.h"
 #include "data/shard_store.h"
 #include "data/synthetic.h"
@@ -352,6 +359,28 @@ int main(int argc, char** argv) {
       std::printf("%-24s ATTACK REPORTS DIVERGED\n", e2e_stem.c_str());
     }
 
+    // Telemetry determinism: the same attack under an active trace
+    // capture must report bitwise-identical numbers (common/metrics.h:
+    // instruments observe, they never perturb).
+    trace::StartTracing();
+    const pipeline::StreamingAttackReport traced_report =
+        bench::RunSfAttack(store_path, noise, chunk);
+    const size_t traced_spans = trace::StopTracing().size();
+    const bool traced_equal =
+        bench::ReportsIdentical(store_report, traced_report) &&
+        traced_spans > 0;
+    all_bitwise = all_bitwise && traced_equal;
+    BenchResult traced;
+    traced.name = e2e_stem + "/traced";
+    traced.metrics.emplace_back("attack_bitwise_equal",
+                                traced_equal ? 1.0 : 0.0);
+    traced.metrics.emplace_back("spans", static_cast<double>(traced_spans));
+    results.push_back(traced);
+    std::printf("%-24s %s (%zu spans)\n", traced.name.c_str(),
+                traced_equal ? "traced attack bitwise identical"
+                             : "TRACED ATTACK DIVERGED",
+                traced_spans);
+
     // ---- Sharded ingest: 1 vs 8 shards x threads {1, 4}. --------------
     // A large drain chunk (many blocks per ReadRows) is what gives the
     // block-parallel gather room to work; the single-file SEQUENTIAL
@@ -508,6 +537,34 @@ int main(int argc, char** argv) {
                  {"block_flush_us", per_block_seconds * 1e6},
                  {"ingest_overhead_percent", overhead_percent}});
 
+  // ---- Metrics overhead gate (same discipline, same baseline). ------
+  // A store block flush pays two Counter::Adds; a pipeline chunk pays
+  // one Add plus one Histogram::Record. Measure the dearer combination
+  // head-on against the measured block flush: one metrics event must
+  // stay <= 2% of a flush, or the telemetry is not free enough to leave
+  // on by default.
+  static metrics::Counter bench_event_counter("bench.metrics_probe_events");
+  static metrics::Histogram bench_event_nanos("bench.metrics_probe_nanos");
+  const size_t metric_events = size_t{1} << 22;
+  const double events_seconds = bench::TimeMedian(5, [&] {
+    for (size_t i = 0; i < metric_events; ++i) {
+      bench_event_counter.Add(1);
+      bench_event_nanos.Record(i);
+    }
+  });
+  // Counts are exact (and keep the loop observable): 5 timed reps.
+  if (bench_event_counter.Value() != 5 * metric_events) {
+    std::fprintf(stderr, "FAIL: metrics probe counter lost events\n");
+    return 1;
+  }
+  const double per_event_seconds = events_seconds / metric_events;
+  const double metrics_overhead_percent =
+      100.0 * per_event_seconds / per_block_seconds;
+  bench::Record(&results, "metrics/event", events_seconds, metric_events,
+                {{"event_ns", per_event_seconds * 1e9},
+                 {"block_flush_us", per_block_seconds * 1e6},
+                 {"ingest_overhead_percent", metrics_overhead_percent}});
+
   if (!all_bitwise) {
     std::fprintf(stderr,
                  "FAIL: column-store stream or attack output diverged from "
@@ -519,6 +576,13 @@ int main(int argc, char** argv) {
                  "FAIL: disarmed failpoint check costs %.3f%% of a block "
                  "flush (gate: 2%%)\n",
                  overhead_percent);
+    return 1;
+  }
+  if (metrics_overhead_percent > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: one metrics event costs %.3f%% of a block flush "
+                 "(gate: 2%%)\n",
+                 metrics_overhead_percent);
     return 1;
   }
   if (worst_speedup < min_speedup) {
@@ -545,6 +609,7 @@ int main(int argc, char** argv) {
       {"min_speedup_gate", FormatDouble(min_speedup, 1)},
       {"min_sharded_speedup_gate", FormatDouble(min_sharded_speedup, 2)},
       {"failpoint_overhead_gate_percent", "2"},
+      {"metrics_overhead_gate_percent", "2"},
       {"cores", std::to_string(cores)},
   };
   const Status json_status =

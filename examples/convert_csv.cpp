@@ -35,7 +35,10 @@
 
 #include "common/failpoint.h"
 #include "common/flags.h"
+#include "common/metrics.h"
+#include "common/run_report.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "data/column_store.h"
 #include "data/csv.h"
 #include "data/shard_store.h"
@@ -181,7 +184,16 @@ Result<size_t> Convert(const std::string& input_path,
 
 int RunConversion(const std::string& input, std::string output,
                   size_t block_rows, size_t chunk_rows, size_t shards,
-                  size_t shard_rows, bool verify, bool force) {
+                  size_t shard_rows, bool verify, bool force,
+                  const std::string& report_path = "") {
+  // A reporting conversion restarts the process-global counters so the
+  // report accounts for exactly this run (blocks/bytes written, shards
+  // sealed, checksum verifies), and captures a span tree around it.
+  const bool reporting = !report_path.empty();
+  if (reporting) {
+    metrics::ResetAllMetrics();
+    trace::StartTracing();
+  }
   auto format = data::DetectRecordFileFormat(input);
   if (!format.ok()) {
     std::fprintf(stderr, "%s\n", format.status().ToString().c_str());
@@ -245,6 +257,25 @@ int RunConversion(const std::string& input, std::string output,
     }
     std::printf("verified: both files stream bitwise-identical records\n");
   }
+  if (reporting) {
+    report::RunReportBuilder builder("convert_csv");
+    builder.AddConfig("input", input);
+    builder.AddConfig("output", output);
+    builder.AddConfigInt("block_rows", static_cast<int64_t>(block_rows));
+    builder.AddConfigInt("chunk_rows", static_cast<int64_t>(chunk_rows));
+    builder.AddConfigInt("shards", static_cast<int64_t>(shards));
+    builder.AddConfigInt("shard_rows", static_cast<int64_t>(shard_rows));
+    builder.AddConfigBool("verified", verify);
+    builder.AddConfigInt("records", static_cast<int64_t>(converted.value()));
+    builder.AddConfigDouble("elapsed_seconds", elapsed);
+    builder.SetSpans(trace::StopTracing());
+    const Status written_report = builder.WriteFile(report_path);
+    if (!written_report.ok()) {
+      std::fprintf(stderr, "%s\n", written_report.ToString().c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", report_path.c_str());
+  }
   return 0;
 }
 
@@ -254,7 +285,7 @@ int RunDemo(size_t block_rows, size_t chunk_rows) {
   std::printf("No input given — demonstrating a CSV -> store -> CSV "
               "round-trip.\nUsage: convert_csv input [output] "
               "[--block_rows=N] [--shards=N] [--shard_rows=R] "
-              "[--verify=true|false] [--force=true]\n\n");
+              "[--verify=true|false] [--force=true] [--report=PATH]\n\n");
   stats::Rng rng(20050607);
   data::SyntheticDatasetSpec spec;
   spec.eigenvalues = data::TwoLevelSpectrum(8, 2, 6.0, 0.2);
@@ -323,6 +354,7 @@ int main(int argc, char** argv) {
   const auto shard_rows = flags.GetInt("shard_rows", 0);
   const auto verify = flags.GetBool("verify", true);
   const auto force = flags.GetBool("force", false);
+  const std::string report_path = flags.GetString("report", "");
   if (!block_rows.ok() || block_rows.value() < 1 || !chunk_rows.ok() ||
       chunk_rows.value() < 1 || !shards.ok() || shards.value() < 0 ||
       !shard_rows.ok() || shard_rows.value() < 0 || !verify.ok() ||
@@ -340,5 +372,5 @@ int main(int argc, char** argv) {
                        static_cast<size_t>(chunk_rows.value()),
                        static_cast<size_t>(shards.value()),
                        static_cast<size_t>(shard_rows.value()), verify.value(),
-                       force.value());
+                       force.value(), report_path);
 }

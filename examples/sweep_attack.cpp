@@ -38,6 +38,9 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/metrics.h"
+#include "common/run_report.h"
+#include "common/trace.h"
 #include "data/column_store.h"
 #include "data/csv.h"
 #include "data/shard_store.h"
@@ -146,9 +149,34 @@ pipeline::PipelineJob MakeJob(const std::string& path, size_t num_attributes,
   return job;
 }
 
+/// One excluded shard, remembered with the manifest it came from so the
+/// report can account for every row the sweep did not cover.
+struct ManifestExclusion {
+  std::string manifest;
+  pipeline::ShardExclusion exclusion;
+};
+
+std::string RenderDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  std::string rendered = buffer;
+  if (rendered.find_first_of("nN") != std::string::npos) rendered = "null";
+  return rendered;
+}
+
 int RunSweep(const SweepInputs& inputs, double sigma,
              const std::string& attack_name, size_t chunk_rows,
-             int workers, bool per_shard, int retries) {
+             int workers, bool per_shard, int retries,
+             const std::string& report_path) {
+  // A reporting sweep owns the process-global telemetry for its
+  // duration: counters restart at zero so the written report accounts
+  // for exactly this batch, and a span capture brackets the run.
+  const bool reporting = !report_path.empty();
+  if (reporting) {
+    metrics::ResetAllMetrics();
+    trace::StartTracing();
+  }
+
   pipeline::StreamingAttackOptions attack;
   attack.attack = attack_name == "pca"
                       ? pipeline::StreamingAttack::kPcaDr
@@ -157,6 +185,7 @@ int RunSweep(const SweepInputs& inputs, double sigma,
 
   std::vector<pipeline::PipelineJob> jobs;
   std::vector<std::string> degraded_notes;
+  std::vector<ManifestExclusion> exclusions;
   for (const std::string& path : inputs.files) {
     const auto manifest = inputs.manifests.find(path);
     size_t m = 0;
@@ -188,6 +217,10 @@ int RunSweep(const SweepInputs& inputs, double sigma,
         degraded_notes.push_back(path + ": " +
                                  job_set.value().DegradedSummary());
       }
+      for (const pipeline::ShardExclusion& exclusion :
+           job_set.value().excluded) {
+        exclusions.push_back({path, exclusion});
+      }
       continue;
     }
     jobs.push_back(std::move(job));
@@ -218,8 +251,81 @@ int RunSweep(const SweepInputs& inputs, double sigma,
     }
   }
   std::printf("%zu job(s), %zu failed\n", results.size(), failures);
+  size_t total_retries = 0;
+  for (const auto& result : results) {
+    if (result.attempts > 1) total_retries += result.attempts - 1;
+  }
+  size_t quarantined = 0;
+  for (const ManifestExclusion& entry : exclusions) {
+    if (entry.exclusion.reason.find("quarantined") != std::string::npos) {
+      ++quarantined;
+    }
+  }
   for (const std::string& note : degraded_notes) {
     std::printf("%s\n", note.c_str());
+  }
+  if (!degraded_notes.empty() || total_retries > 0) {
+    // The degraded summary names the shards; this line accounts for the
+    // sweep's health in counters (mirrored under "counters" in the
+    // report as pipeline.job_retries / pipeline.shards_excluded).
+    std::printf(
+        "sweep telemetry: %zu retry(ies), %zu shard(s) excluded "
+        "(%zu quarantined by recovery)\n",
+        total_retries, exclusions.size(), quarantined);
+  }
+
+  if (reporting) {
+    std::string jobs_json = "[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const pipeline::PipelineJobResult& result = results[i];
+      if (i > 0) jobs_json.append(",");
+      jobs_json.append(
+          "{\"name\":\"" + report::JsonEscape(result.name) + "\",\"ok\":" +
+          (result.status.ok() ? "true" : "false") + ",\"status\":\"" +
+          report::JsonEscape(result.status.ToString()) +
+          "\",\"records\":" + std::to_string(result.report.num_records) +
+          ",\"attributes\":" + std::to_string(result.report.num_attributes) +
+          ",\"components\":" + std::to_string(result.report.num_components) +
+          ",\"rmse_vs_disguised\":" +
+          RenderDouble(result.report.rmse_vs_disguised) +
+          ",\"attempts\":" + std::to_string(result.attempts) +
+          ",\"elapsed_seconds\":" + RenderDouble(result.elapsed_seconds) +
+          "}");
+    }
+    jobs_json.append("]");
+    std::string exclusions_json = "[";
+    for (size_t i = 0; i < exclusions.size(); ++i) {
+      const ManifestExclusion& entry = exclusions[i];
+      if (i > 0) exclusions_json.append(",");
+      exclusions_json.append(
+          "{\"manifest\":\"" + report::JsonEscape(entry.manifest) +
+          "\",\"shard_index\":" + std::to_string(entry.exclusion.shard_index) +
+          ",\"shard_path\":\"" + report::JsonEscape(entry.exclusion.shard_path) +
+          "\",\"row_begin\":" + std::to_string(entry.exclusion.row_begin) +
+          ",\"row_count\":" + std::to_string(entry.exclusion.row_count) +
+          ",\"reason\":\"" + report::JsonEscape(entry.exclusion.reason) +
+          "\"}");
+    }
+    exclusions_json.append("]");
+
+    report::RunReportBuilder builder("sweep_attack");
+    builder.AddConfigDouble("sigma", sigma);
+    builder.AddConfig("attack", attack_name);
+    builder.AddConfigInt("chunk_rows", static_cast<int64_t>(chunk_rows));
+    builder.AddConfigInt("workers", workers);
+    builder.AddConfigBool("per_shard", per_shard);
+    builder.AddConfigInt("retries", retries);
+    builder.AddConfigInt("jobs_total", static_cast<int64_t>(results.size()));
+    builder.AddConfigInt("jobs_failed", static_cast<int64_t>(failures));
+    builder.AddRawSection("jobs", jobs_json);
+    builder.AddRawSection("exclusions", exclusions_json);
+    builder.SetSpans(trace::StopTracing());
+    const Status written = builder.WriteFile(report_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", report_path.c_str());
   }
   return failures == 0 ? 0 : 1;
 }
@@ -232,7 +338,7 @@ int RunDemo(double sigma, size_t chunk_rows, int workers) {
       "No input given — demonstrating a mixed-format directory sweep.\n"
       "Usage: sweep_attack <files-or-dirs>... [--attack=sf|pca] "
       "[--sigma=S] [--chunk_rows=N] [--workers=W] [--per_shard=true] "
-      "[--retries=N]\n\n");
+      "[--retries=N] [--report=PATH]\n\n");
   ::mkdir("sweep_demo", 0755);
   stats::Rng rng(20050608);
   data::SyntheticDatasetSpec spec;
@@ -274,7 +380,7 @@ int RunDemo(double sigma, size_t chunk_rows, int workers) {
   }
   return RunSweep(ResolveInputs(CollectInputs({"sweep_demo"})), sigma,
                   "sf", chunk_rows, workers, /*per_shard=*/false,
-                  /*retries=*/1);
+                  /*retries=*/1, /*report_path=*/"");
 }
 
 }  // namespace
@@ -292,6 +398,7 @@ int main(int argc, char** argv) {
   const auto workers = flags.GetInt("workers", 0);
   const auto per_shard = flags.GetBool("per_shard", false);
   const auto retries = flags.GetInt("retries", 1);
+  const std::string report_path = flags.GetString("report", "");
   if (!sigma.ok() || sigma.value() <= 0 || !chunk_rows.ok() ||
       chunk_rows.value() < 1 || !workers.ok() || workers.value() < 0 ||
       !per_shard.ok() || !retries.ok() || retries.value() < 1 ||
@@ -307,5 +414,5 @@ int main(int argc, char** argv) {
                   sigma.value(), attack,
                   static_cast<size_t>(chunk_rows.value()),
                   static_cast<int>(workers.value()), per_shard.value(),
-                  static_cast<int>(retries.value()));
+                  static_cast<int>(retries.value()), report_path);
 }

@@ -1,12 +1,16 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
+
+#include <chrono>
 
 namespace randrecon {
 namespace {
-
-std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,12 +31,74 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+/// The level the process starts with: kInfo, unless RANDRECON_LOG_LEVEL
+/// overrides it. Runs once, at the first GetLogLevel/SetLogLevel.
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("RANDRECON_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogLevel::kInfo;
+  const Result<LogLevel> parsed = ParseLogLevel(env);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "RANDRECON_LOG_LEVEL ignored: %s\n",
+                 parsed.status().ToString().c_str());
+    return LogLevel::kInfo;
+  }
+  return parsed.value();
+}
+
+std::atomic<LogLevel>& LevelVar() {
+  // Function-local so the env override applies whatever static-init
+  // order TUs run in (a constructor may log before main()).
+  static std::atomic<LogLevel> level{InitialLogLevel()};
+  return level;
+}
+
+/// "2026-08-07T12:34:56.789Z" — UTC wall clock with milliseconds.
+std::string FormatTimestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", utc.tm_year + 1900,
+                utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min,
+                utc.tm_sec, millis);
+  return buffer;
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_log_level.load(std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return LevelVar().load(std::memory_order_relaxed); }
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(level, std::memory_order_relaxed);
+  LevelVar().store(level, std::memory_order_relaxed);
+}
+
+Result<LogLevel> ParseLogLevel(const std::string& text) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (const char c : text) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warning" || lowered == "warn") return LogLevel::kWarning;
+  if (lowered == "error") return LogLevel::kError;
+  return Status::InvalidArgument(
+      "log level '" + text +
+      "' is not one of debug, info, warning, error");
+}
+
+int LogThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 namespace internal {
@@ -40,8 +106,8 @@ namespace internal {
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GetLogLevel()), level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    stream_ << "[" << FormatTimestamp() << " " << LevelName(level) << " T"
+            << LogThreadId() << " " << Basename(file) << ":" << line << "] ";
   }
 }
 

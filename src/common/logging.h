@@ -1,5 +1,20 @@
-// Minimal leveled logging for the experiment harness. Defaults to kInfo;
-// tests lower it to kWarning to keep ctest output clean.
+// Leveled logging for the experiment harness and the long-running
+// pipeline tools. Defaults to kInfo; tests lower it to kWarning to keep
+// ctest output clean.
+//
+// Each emitted line is prefixed
+//   [2026-08-07T12:34:56.789Z INFO T0 file.cc:42]
+// — an ISO-8601 UTC timestamp with milliseconds, the level, a dense
+// per-process thread ordinal (T0 is the first thread that logged), and
+// the call site. The format is pinned by tests/common/logging_test.cc
+// so log scrapers can rely on it.
+//
+// The RANDRECON_LOG_LEVEL environment variable ("debug", "info",
+// "warning"/"warn", "error" — case-insensitive) overrides the initial
+// level, parsed once when the level is first read (mirroring
+// RANDRECON_FAILPOINTS: no main() cooperation needed, so CI can turn a
+// crashing example binary verbose without rebuilding it). An
+// unparseable value is reported to stderr and ignored.
 
 #ifndef RANDRECON_COMMON_LOGGING_H_
 #define RANDRECON_COMMON_LOGGING_H_
@@ -8,13 +23,26 @@
 #include <sstream>
 #include <string>
 
+#include "common/result.h"
+
 namespace randrecon {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded. The first
+/// read applies the RANDRECON_LOG_LEVEL override, if any.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses a RANDRECON_LOG_LEVEL spelling ("debug", "info", "warning",
+/// "warn", "error", any case). InvalidArgument naming the bad value
+/// otherwise — exposed so the env parsing is unit-testable.
+Result<LogLevel> ParseLogLevel(const std::string& text);
+
+/// This thread's dense log ordinal (the "T0" of the prefix): 0 for the
+/// first thread that logged (or asked), then 1, 2, ... in first-use
+/// order. Stable for the thread's lifetime.
+int LogThreadId();
 
 namespace internal {
 

@@ -1,0 +1,125 @@
+#include "common/run_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/metrics.h"
+
+namespace randrecon {
+namespace report {
+
+std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        escaped.append("\\\"");
+        break;
+      case '\\':
+        escaped.append("\\\\");
+        break;
+      case '\n':
+        escaped.append("\\n");
+        break;
+      case '\r':
+        escaped.append("\\r");
+        break;
+      case '\t':
+        escaped.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          escaped.append(buffer);
+        } else {
+          escaped.push_back(c);
+        }
+    }
+  }
+  return escaped;
+}
+
+RunReportBuilder::RunReportBuilder(std::string tool) : tool_(std::move(tool)) {}
+
+void RunReportBuilder::AddConfig(const std::string& key,
+                                 const std::string& value) {
+  config_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void RunReportBuilder::AddConfigInt(const std::string& key, int64_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+
+void RunReportBuilder::AddConfigDouble(const std::string& key, double value) {
+  char buffer[40];
+  // %.17g round-trips every finite double; JSON has no inf/nan.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  std::string rendered = buffer;
+  if (rendered.find_first_of("nN") != std::string::npos) rendered = "null";
+  config_.emplace_back(key, std::move(rendered));
+}
+
+void RunReportBuilder::AddConfigBool(const std::string& key, bool value) {
+  config_.emplace_back(key, value ? "true" : "false");
+}
+
+void RunReportBuilder::AddRawSection(const std::string& key,
+                                     std::string json) {
+  sections_.emplace_back(key, std::move(json));
+}
+
+void RunReportBuilder::SetSpans(std::vector<trace::Span> spans) {
+  spans_ = std::move(spans);
+}
+
+std::string RunReportBuilder::ToJson() const {
+  std::string json = "{\"schema_version\":" +
+                     std::to_string(kRunReportSchemaVersion) + ",\"tool\":\"" +
+                     JsonEscape(tool_) + "\",\"config\":{";
+  bool first = true;
+  for (const auto& entry : config_) {
+    if (!first) json.append(",");
+    first = false;
+    json.append("\"" + JsonEscape(entry.first) + "\":" + entry.second);
+  }
+  json.append("},");
+  // SnapshotJson() is {"counters":...,"gauges":...,"histograms":...} —
+  // splice its members as our own.
+  const std::string metrics_json = metrics::SnapshotJson();
+  json.append(metrics_json.substr(1, metrics_json.size() - 2));
+  json.append(",\"spans\":" + trace::SpanTreeJson(spans_));
+  for (const auto& section : sections_) {
+    json.append(",\"" + JsonEscape(section.first) + "\":" + section.second);
+  }
+  json.append("}");
+  return json;
+}
+
+Status RunReportBuilder::WriteFile(const std::string& path) const {
+  const std::string temp_path = path + ".tmp";
+  {
+    std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) {
+      return Status::IoError("cannot create report temp file '" + temp_path +
+                             "'");
+    }
+    file << ToJson() << "\n";
+    file.flush();
+    if (!file.good()) {
+      std::remove(temp_path.c_str());
+      return Status::IoError("cannot write report to '" + temp_path + "'");
+    }
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status::IoError("cannot rename report '" + temp_path + "' to '" +
+                           path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace report
+}  // namespace randrecon

@@ -1,31 +1,45 @@
-// Monotonic stopwatch used by the benchmark harness and example programs.
+// Monotonic stopwatch used by the benchmark harness, the pipeline
+// runner's retry deadlines, and the example programs.
+//
+// Reads the injectable process clock of the span machinery
+// (trace::NowNanos) rather than steady_clock directly, so a test that
+// installs trace::FakeClockGuard drives Stopwatch-based deadlines and
+// latency histograms deterministically — no real sleeps in tier-1.
 
 #ifndef RANDRECON_COMMON_STOPWATCH_H_
 #define RANDRECON_COMMON_STOPWATCH_H_
 
-#include <chrono>
+#include <cstdint>
+
+#include "common/trace.h"
 
 namespace randrecon {
 
 /// Measures wall-clock time from construction (or the last Restart()).
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_nanos_(trace::NowNanos()) {}
 
   /// Resets the start point to now.
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_nanos_ = trace::NowNanos(); }
+
+  /// Nanoseconds elapsed since construction/Restart (0 if the clock was
+  /// swapped out from under a running watch — never negative).
+  uint64_t ElapsedNanos() const {
+    const uint64_t now = trace::NowNanos();
+    return now >= start_nanos_ ? now - start_nanos_ : 0;
+  }
 
   /// Seconds elapsed since construction/Restart.
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   /// Milliseconds elapsed since construction/Restart.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_nanos_;
 };
 
 }  // namespace randrecon

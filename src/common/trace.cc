@@ -1,0 +1,297 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace randrecon {
+namespace trace {
+namespace {
+
+// ---- Clock ----------------------------------------------------------
+
+/// Fake-clock state. `g_fake_active` is the one relaxed load NowNanos
+/// pays over a raw steady_clock read; the fake's reading is its own
+/// atomic so tests may Advance from any thread.
+std::atomic<bool> g_fake_active{false};
+std::atomic<uint64_t> g_fake_nanos{0};
+
+uint64_t SteadyNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---- Per-thread span buffers ----------------------------------------
+
+/// One span as recorded in place on its thread.
+struct SpanRecord {
+  const char* name = nullptr;
+  uint64_t start_nanos = 0;
+  uint64_t duration_nanos = 0;
+  int parent_slot = -1;
+  bool done = false;
+};
+
+/// A thread's capture buffer. The mutex serializes that thread's
+/// append/finalize against StopTracing()'s harvest — uncontended on the
+/// hot path (spans are coarse stages, not per-row work).
+struct ThreadBuffer {
+  std::mutex mutex;
+  uint64_t epoch = 0;  ///< Capture these spans belong to.
+  uint64_t registration_order = 0;
+  std::vector<SpanRecord> spans;
+  std::vector<int> open_stack;  ///< Slots of spans not yet destroyed.
+};
+
+/// A finished thread's spans, parked until the capture is harvested.
+struct RetiredBuffer {
+  uint64_t epoch = 0;
+  uint64_t registration_order = 0;
+  std::vector<SpanRecord> spans;
+};
+
+/// Capture state + the live/retired buffer registry. A Meyers singleton
+/// for the same static-initialization-order reason as the failpoint and
+/// metrics registries.
+class TraceRegistry {
+ public:
+  static TraceRegistry& Instance() {
+    static TraceRegistry* registry = new TraceRegistry();
+    return *registry;
+  }
+
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> epoch{1};
+
+  void Register(ThreadBuffer* buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer->registration_order = next_registration_++;
+    live_.push_back(buffer);
+  }
+
+  /// Thread exit: park the buffer's completed spans, forget the buffer.
+  void Retire(ThreadBuffer* buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_.erase(std::remove(live_.begin(), live_.end(), buffer), live_.end());
+    if (!buffer->spans.empty()) {
+      RetiredBuffer retired;
+      retired.epoch = buffer->epoch;
+      retired.registration_order = buffer->registration_order;
+      retired.spans = std::move(buffer->spans);
+      retired_.push_back(std::move(retired));
+    }
+  }
+
+  void StartCapture() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Buffers clear themselves lazily when they observe the new epoch;
+    // parked spans from older captures are dead now.
+    retired_.clear();
+    epoch.fetch_add(1);
+    enabled.store(true);
+  }
+
+  std::vector<Span> StopCapture() {
+    enabled.store(false);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t capture = epoch.load();
+
+    /// (registration_order, spans) per thread that recorded this capture.
+    struct Harvest {
+      uint64_t registration_order = 0;
+      std::vector<SpanRecord> spans;
+    };
+    std::vector<Harvest> harvests;
+    for (ThreadBuffer* buffer : live_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      if (buffer->epoch != capture || buffer->spans.empty()) continue;
+      Harvest harvest;
+      harvest.registration_order = buffer->registration_order;
+      harvest.spans = buffer->spans;
+      harvests.push_back(std::move(harvest));
+    }
+    for (RetiredBuffer& retired : retired_) {
+      if (retired.epoch != capture || retired.spans.empty()) continue;
+      harvests.push_back(
+          {retired.registration_order, std::move(retired.spans)});
+    }
+    retired_.clear();
+
+    // Deterministic thread order: first-span start, ties by
+    // registration order (exact under the fake clock; registration
+    // order alone decides single-threaded runs).
+    std::sort(harvests.begin(), harvests.end(),
+              [](const Harvest& a, const Harvest& b) {
+                if (a.spans.front().start_nanos != b.spans.front().start_nanos) {
+                  return a.spans.front().start_nanos < b.spans.front().start_nanos;
+                }
+                return a.registration_order < b.registration_order;
+              });
+
+    std::vector<Span> flattened;
+    for (size_t t = 0; t < harvests.size(); ++t) {
+      const std::vector<SpanRecord>& records = harvests[t].spans;
+      // Slot -> flat index for DONE spans; an unfinished ancestor
+      // (capture stopped mid-span) re-parents its children upward.
+      std::vector<int> flat_index(records.size(), -1);
+      for (size_t slot = 0; slot < records.size(); ++slot) {
+        const SpanRecord& record = records[slot];
+        if (!record.done) continue;
+        Span span;
+        span.name = record.name;
+        span.start_nanos = record.start_nanos;
+        span.duration_nanos = record.duration_nanos;
+        span.thread = static_cast<int>(t);
+        int parent_slot = record.parent_slot;
+        while (parent_slot >= 0 && flat_index[parent_slot] < 0) {
+          parent_slot = records[parent_slot].parent_slot;
+        }
+        span.parent = parent_slot >= 0 ? flat_index[parent_slot] : -1;
+        flat_index[slot] = static_cast<int>(flattened.size());
+        flattened.push_back(std::move(span));
+      }
+    }
+    return flattened;
+  }
+
+ private:
+  TraceRegistry() = default;
+
+  std::mutex mutex_;
+  std::vector<ThreadBuffer*> live_;
+  std::vector<RetiredBuffer> retired_;
+  uint64_t next_registration_ = 0;
+};
+
+/// The calling thread's buffer, registered on first use and retired
+/// (spans parked) when the thread exits.
+class ThreadBufferOwner {
+ public:
+  ThreadBufferOwner() : buffer_(new ThreadBuffer()) {
+    TraceRegistry::Instance().Register(buffer_.get());
+  }
+  ~ThreadBufferOwner() { TraceRegistry::Instance().Retire(buffer_.get()); }
+  ThreadBuffer& buffer() { return *buffer_; }
+
+ private:
+  std::unique_ptr<ThreadBuffer> buffer_;
+};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBufferOwner owner;
+  return owner.buffer();
+}
+
+}  // namespace
+
+uint64_t NowNanos() {
+  if (g_fake_active.load(std::memory_order_relaxed)) {
+    return g_fake_nanos.load(std::memory_order_relaxed);
+  }
+  return SteadyNanos();
+}
+
+FakeClockGuard::FakeClockGuard(uint64_t start_nanos) {
+  RR_CHECK(!g_fake_active.load()) << "FakeClockGuard does not nest";
+  g_fake_nanos.store(start_nanos);
+  g_fake_active.store(true);
+}
+
+FakeClockGuard::~FakeClockGuard() { g_fake_active.store(false); }
+
+void FakeClockGuard::Advance(uint64_t nanos) { g_fake_nanos.fetch_add(nanos); }
+
+void FakeClockGuard::Set(uint64_t nanos) {
+  RR_CHECK(nanos >= g_fake_nanos.load()) << "fake clock must not go backwards";
+  g_fake_nanos.store(nanos);
+}
+
+bool TracingEnabled() {
+  return TraceRegistry::Instance().enabled.load(std::memory_order_relaxed);
+}
+
+void StartTracing() { TraceRegistry::Instance().StartCapture(); }
+
+std::vector<Span> StopTracing() {
+  return TraceRegistry::Instance().StopCapture();
+}
+
+std::string SpanTreeJson(const std::vector<Span>& spans) {
+  std::string json = "[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) json.append(",");
+    const Span& span = spans[i];
+    json.append("{\"name\":\"");
+    for (const char c : span.name) {
+      if (c == '"' || c == '\\') json.push_back('\\');
+      json.push_back(c);
+    }
+    json.append("\",\"start_ns\":" + std::to_string(span.start_nanos) +
+                ",\"duration_ns\":" + std::to_string(span.duration_nanos) +
+                ",\"parent\":" + std::to_string(span.parent) +
+                ",\"thread\":" + std::to_string(span.thread) + "}");
+  }
+  json.append("]");
+  return json;
+}
+
+TraceSpan::TraceSpan(const char* name, metrics::Histogram* latency)
+    : name_(name), latency_(latency) {
+  const bool tracing = TracingEnabled();
+  // Disarmed and histogram-free: that one relaxed load was the whole
+  // cost — not even a clock read.
+  if (!tracing && latency_ == nullptr) return;
+  start_nanos_ = NowNanos();
+  timed_ = true;
+  if (!tracing) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  epoch_ = TraceRegistry::Instance().epoch.load();
+  if (buffer.epoch != epoch_) {
+    buffer.spans.clear();
+    buffer.open_stack.clear();
+    buffer.epoch = epoch_;
+  }
+  SpanRecord record;
+  record.name = name_;
+  record.start_nanos = start_nanos_;
+  record.parent_slot =
+      buffer.open_stack.empty() ? -1 : buffer.open_stack.back();
+  slot_ = static_cast<int>(buffer.spans.size());
+  buffer.spans.push_back(record);
+  buffer.open_stack.push_back(slot_);
+}
+
+TraceSpan::~TraceSpan() { Finish(); }
+
+void TraceSpan::Finish() {
+  if (!timed_) return;
+  timed_ = false;
+  const uint64_t end_nanos = NowNanos();
+  const uint64_t duration =
+      end_nanos >= start_nanos_ ? end_nanos - start_nanos_ : 0;
+  if (latency_ != nullptr) latency_->Record(duration);
+  if (slot_ < 0) return;
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  // A capture that ended (or restarted) mid-span reclaimed the slot.
+  if (buffer.epoch != epoch_ ||
+      static_cast<size_t>(slot_) >= buffer.spans.size()) {
+    return;
+  }
+  SpanRecord& record = buffer.spans[slot_];
+  record.duration_nanos = duration;
+  record.done = true;
+  // RAII scoping guarantees this span is the innermost open one.
+  if (!buffer.open_stack.empty() && buffer.open_stack.back() == slot_) {
+    buffer.open_stack.pop_back();
+  }
+}
+
+}  // namespace trace
+}  // namespace randrecon

@@ -12,6 +12,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "data/csv.h"
 #include "data/file_io.h"
 #include "data/shard_store.h"
@@ -93,6 +94,17 @@ Failpoint fp_seal("store.seal");        ///< Before the header patch write.
 Failpoint fp_fsync("store.fsync");      ///< Before fsync of the temp file.
 Failpoint fp_rename("store.rename");    ///< Before the temp -> final rename.
 Failpoint fp_read_block("store.read_block");  ///< Before a block verify.
+
+// Hot-path telemetry (common/metrics.h) — same registration idiom as
+// the failpoints above: one relaxed atomic add per event, nothing the
+// data path branches on.
+metrics::Counter m_blocks_written("store.blocks_written");
+metrics::Counter m_bytes_written("store.bytes_written");
+metrics::Counter m_seals("store.seals");
+metrics::Counter m_opens("store.opens");
+metrics::Counter m_blocks_verified("store.blocks_verified");
+metrics::Counter m_verify_short_circuits("store.verify_short_circuits");
+metrics::Counter m_rows_read("store.rows_read");
 
 }  // namespace
 
@@ -316,6 +328,8 @@ Status ColumnStoreWriter::FlushBlock() {
     deferred_error_ = status;  // A lost block must never seal.
     return status;
   }
+  m_blocks_written.Add(1);
+  m_bytes_written.Add(payload_bytes + sizeof(block_hash));
   rows_in_block_ = 0;
   return Status::OK();
 }
@@ -360,7 +374,9 @@ Status ColumnStoreWriter::Seal() {
   RR_RETURN_NOT_OK(FsyncFile(temp_path_));
   RR_FAILPOINT(fp_rename);
   RR_RETURN_NOT_OK(AtomicRename(temp_path_, path_));
-  return FsyncParentDirectory(path_);
+  RR_RETURN_NOT_OK(FsyncParentDirectory(path_));
+  m_seals.Add(1);
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -517,6 +533,7 @@ Result<ColumnStoreReader> ColumnStoreReader::Open(const std::string& path,
     // mid-stream.
     RR_RETURN_NOT_OK(reader.VerifyBlocksInRange(0, reader.num_blocks_));
   }
+  m_opens.Add(1);
   return reader;
 }
 
@@ -566,7 +583,10 @@ size_t ColumnStoreReader::rows_in_block(size_t block) const {
 }
 
 Status ColumnStoreReader::VerifyBlock(size_t block) {
-  if (block_verified_[block]) return Status::OK();
+  if (block_verified_[block]) {
+    m_verify_short_circuits.Add(1);
+    return Status::OK();
+  }
   RR_FAILPOINT(fp_read_block);
   const uint8_t* payload = block_payload(block);
   const size_t payload_bytes = block_stride_ - sizeof(uint64_t);
@@ -581,6 +601,7 @@ Status ColumnStoreReader::VerifyBlock(size_t block) {
         " (see docs/FORMAT.md)");
   }
   block_verified_[block] = 1;
+  m_blocks_verified.Add(1);
   return Status::OK();
 }
 
@@ -596,7 +617,10 @@ Status ColumnStoreReader::VerifyBlocksInRange(size_t block_begin,
        ++block) {
     all_verified = block_verified_[block] != 0;
   }
-  if (all_verified) return Status::OK();
+  if (all_verified) {
+    m_verify_short_circuits.Add(block_end - block_begin);
+    return Status::OK();
+  }
   // Each task verifies a distinct block and writes only its own bitmap
   // byte and status slot, so the pass is thread-safe and the surviving
   // diagnostic (lowest failing block) is thread-count independent.
@@ -664,6 +688,7 @@ Status ColumnStoreReader::ReadRowsInto(size_t row_begin, size_t num_rows,
         }
       },
       options_.parallel);
+  m_rows_read.Add(num_rows);
   return Status::OK();
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "data/file_io.h"
 
 namespace randrecon {
@@ -74,6 +75,15 @@ Failpoint fp_shard_seal("shard.seal");    ///< Before a shard's seal.
 Failpoint fp_manifest_write("manifest.write");    ///< Before the temp write.
 Failpoint fp_manifest_fsync("manifest.fsync");    ///< Before the temp fsync.
 Failpoint fp_manifest_rename("manifest.rename");  ///< Before the rename.
+
+// Sharded-layer telemetry (common/metrics.h). Counts sit next to the
+// failpoints they observe; the per-shard store.* counters in
+// column_store.cc tick underneath these for every shard file.
+metrics::Counter m_shards_sealed("shard.shards_sealed");
+metrics::Counter m_shards_opened("shard.shards_opened");
+metrics::Counter m_shard_open_hits("shard.open_hits");  ///< Lazy-verify hits.
+metrics::Counter m_manifests_written("shard.manifests_written");
+metrics::Counter m_manifests_read("shard.manifests_read");
 
 /// A shard path from a manifest may only address files under the
 /// manifest's directory: relative, with no "." / ".." / empty
@@ -339,6 +349,7 @@ Result<ShardManifest> ReadShardManifest(const std::string& manifest_path) {
         " — trailing bytes or truncated entry table");
   }
   RR_RETURN_NOT_OK(ValidateManifestStructure(manifest, prefix));
+  m_manifests_read.Add(1);
   return manifest;
 }
 
@@ -380,7 +391,11 @@ Status WriteShardManifest(const ShardManifest& manifest,
     RR_RETURN_NOT_OK(AtomicRename(temp_path, manifest_path));
     return FsyncParentDirectory(manifest_path);
   }();
-  if (!written.ok()) std::remove(temp_path.c_str());  // Best-effort.
+  if (!written.ok()) {
+    std::remove(temp_path.c_str());  // Best-effort.
+    return written;
+  }
+  m_manifests_written.Add(1);
   return written;
 }
 
@@ -498,6 +513,7 @@ Status ShardedStoreWriter::SealPendingShards() {
           return;
         }
         entries_[index].seal_digest = ComputeShardSealDigest(reader.value());
+        m_shards_sealed.Add(1);
       },
       options_.parallel);
   pending_.clear();
@@ -622,7 +638,10 @@ std::string ShardedStoreReader::ShardPrefix(size_t shard) const {
 
 Result<ColumnStoreReader*> ShardedStoreReader::shard(size_t shard) {
   RR_CHECK(shard < shards_.size()) << "ShardedStoreReader: shard out of range";
-  if (shards_[shard] != nullptr) return shards_[shard].get();
+  if (shards_[shard] != nullptr) {
+    m_shard_open_hits.Add(1);
+    return shards_[shard].get();
+  }
   const ShardManifestEntry& entry = manifest_.shards[shard];
   Result<ColumnStoreReader> opened =
       ColumnStoreReader::Open(shard_path(shard), store_options_);
@@ -659,6 +678,7 @@ Result<ColumnStoreReader*> ShardedStoreReader::shard(size_t shard) {
         "was written)");
   }
   shards_[shard] = std::make_unique<ColumnStoreReader>(std::move(reader));
+  m_shards_opened.Add(1);
   return shards_[shard].get();
 }
 

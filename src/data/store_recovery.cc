@@ -8,12 +8,24 @@
 #include <set>
 #include <utility>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "data/file_io.h"
 #include "data/shard_store.h"
 
 namespace randrecon {
 namespace data {
 namespace {
+
+// Recovery telemetry (common/metrics.h): every sweep/quarantine decision
+// leaves a countable trace, so a degraded sweep's report can account for
+// what recovery touched without re-parsing its log lines.
+metrics::Counter m_recovery_runs("recovery.runs");
+metrics::Counter m_recovery_orphans_removed("recovery.orphans_removed");
+metrics::Counter m_recovery_shards_quarantined("recovery.shards_quarantined");
+metrics::Counter m_recovery_manifests_rebuilt("recovery.manifests_rebuilt");
+metrics::Counter m_recovery_stores_empty("recovery.stores_empty");
 
 std::string RecoveryPrefix(const std::string& manifest_path) {
   return "recover sharded store '" + manifest_path + "': ";
@@ -30,6 +42,7 @@ Status RemoveIfPresent(const std::string& path, const std::string& prefix,
                        StoreRecoveryReport* report) {
   if (std::remove(path.c_str()) == 0) {
     report->removed_files.push_back(path);
+    m_recovery_orphans_removed.Add(1);
     return Status::OK();
   }
   if (errno == ENOENT) return Status::OK();
@@ -47,6 +60,9 @@ Status Quarantine(const std::string& path, const std::string& prefix,
                            "': " + std::strerror(errno));
   }
   report->quarantined_files.push_back(destination);
+  m_recovery_shards_quarantined.Add(1);
+  RR_LOG(kWarning) << "recovery quarantined '" << path << "' -> '"
+                   << destination << "'";
   return Status::OK();
 }
 
@@ -72,6 +88,8 @@ bool ManifestStoreIsValid(const ShardManifest& manifest,
 
 Result<StoreRecoveryReport> RecoverShardedStore(
     const std::string& manifest_path, StoreRecoveryOptions options) {
+  trace::TraceSpan recovery_span("recovery.run");
+  m_recovery_runs.Add(1);
   const std::string prefix = RecoveryPrefix(manifest_path);
   const std::string directory = ManifestDirectory(manifest_path);
   const std::string stem = ShardStemForManifest(manifest_path);
@@ -167,6 +185,7 @@ Result<StoreRecoveryReport> RecoverShardedStore(
   if (entries.empty()) {
     RR_RETURN_NOT_OK(RemoveIfPresent(manifest_path, prefix, &report));
     report.store_empty = true;
+    m_recovery_stores_empty.Add(1);
     return report;
   }
   ShardManifest rebuilt;
@@ -177,6 +196,7 @@ Result<StoreRecoveryReport> RecoverShardedStore(
   report.recovered_shards = rebuilt.shards.size();
   report.recovered_records = rebuilt.num_records;
   report.manifest_rebuilt = true;
+  m_recovery_manifests_rebuilt.Add(1);
   return report;
 }
 

@@ -6,8 +6,11 @@
 #include <chrono>
 #include <thread>
 
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "data/file_io.h"
 #include "data/shard_store.h"
 #include "pipeline/source_factory.h"
@@ -15,6 +18,19 @@
 namespace randrecon {
 namespace pipeline {
 namespace {
+
+// Runner telemetry (common/metrics.h). Job counters are exact for any
+// worker count: each job increments its own outcome counter exactly
+// once, and integer adds commute.
+metrics::Counter m_jobs_run("pipeline.jobs_run");
+metrics::Counter m_jobs_ok("pipeline.jobs_ok");
+metrics::Counter m_jobs_failed("pipeline.jobs_failed");
+metrics::Counter m_job_retries("pipeline.job_retries");
+metrics::Counter m_deadline_exceeded("pipeline.deadline_exceeded");
+metrics::Counter m_shard_probes("pipeline.shard_probes");
+metrics::Counter m_shards_excluded("pipeline.shards_excluded");
+metrics::Histogram m_job_wall_nanos("pipeline.job_wall_nanos");
+metrics::Histogram m_backoff_nanos("pipeline.backoff_nanos");
 
 /// One attempt: build fresh sources, run the pipeline once.
 Status RunJobAttempt(const PipelineJob& job, StreamingAttackReport* report) {
@@ -42,8 +58,14 @@ Status RunJobAttempt(const PipelineJob& job, StreamingAttackReport* report) {
 PipelineJobResult RunOneJobOrThrow(const PipelineJob& job) {
   PipelineJobResult result;
   result.name = job.name;
+  trace::TraceSpan job_span("pipeline.job", &m_job_wall_nanos);
+  m_jobs_run.Add(1);
   Stopwatch stopwatch;
   auto finish = [&](Status status) {
+    (status.ok() ? m_jobs_ok : m_jobs_failed).Add(1);
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      m_deadline_exceeded.Add(1);
+    }
     result.status = std::move(status);
     result.elapsed_seconds = stopwatch.ElapsedSeconds();
     return result;
@@ -78,6 +100,11 @@ PipelineJobResult RunOneJobOrThrow(const PipelineJob& job) {
       if (backoff > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
       }
+      m_job_retries.Add(1);
+      m_backoff_nanos.Record(static_cast<uint64_t>(backoff * 1e9));
+      RR_LOG(kWarning) << "job '" << job.name << "': attempt " << attempt
+                       << " of " << max_attempts << " after "
+                       << last.ToString();
     }
     result.attempts = attempt;
     Status status = RunJobAttempt(job, &result.report);
@@ -100,12 +127,14 @@ PipelineJobResult RunOneJob(const PipelineJob& job) {
   try {
     return RunOneJobOrThrow(job);
   } catch (const std::exception& e) {
+    m_jobs_failed.Add(1);
     PipelineJobResult result;
     result.name = job.name;
     result.status = Status::FailedPrecondition(
         std::string("PipelineJob: uncaught exception: ") + e.what());
     return result;
   } catch (...) {
+    m_jobs_failed.Add(1);
     PipelineJobResult result;
     result.name = job.name;
     result.status =
@@ -249,6 +278,7 @@ Result<PerShardJobSet> MakePerShardJobsDegraded(
   for (size_t s = 0; s < manifest.shards.size(); ++s) {
     const data::ShardManifestEntry& entry = manifest.shards[s];
     const std::string shard_path = directory + entry.relative_path;
+    m_shard_probes.Add(1);
     const Status probed = ProbeShard(shard_path, manifest, entry,
                                      probe_options);
     if (probed.ok()) {
@@ -263,6 +293,10 @@ Result<PerShardJobSet> MakePerShardJobsDegraded(
     exclusion.row_count = entry.row_count;
     exclusion.reason = probed.ToString();
     set.excluded_rows += entry.row_count;
+    m_shards_excluded.Add(1);
+    RR_LOG(kWarning) << "degraded sweep: excluding shard "
+                     << exclusion.shard_index << " ('" << exclusion.shard_path
+                     << "'): " << exclusion.reason;
     set.excluded.push_back(std::move(exclusion));
   }
   return set;

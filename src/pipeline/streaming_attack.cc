@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "linalg/eigen.h"
 #include "linalg/kernels.h"
 #include "stats/streaming_moments.h"
@@ -11,6 +13,19 @@
 namespace randrecon {
 namespace pipeline {
 namespace {
+
+// Attack-pipeline telemetry (common/metrics.h). Record/chunk counters
+// are exact; the per-chunk latency histograms and the stage spans are
+// timing-only — nothing below branches on them, so the numeric output
+// is bitwise identical with telemetry compiled out.
+metrics::Counter m_attack_runs("attack.runs");
+metrics::Counter m_records_pass1("attack.records_pass1");
+metrics::Counter m_records_pass2("attack.records_pass2");
+metrics::Counter m_chunks_pass1("attack.chunks_pass1");
+metrics::Counter m_chunks_pass2("attack.chunks_pass2");
+metrics::Gauge m_last_rows_per_second("attack.last_rows_per_second");
+metrics::Histogram m_pass1_chunk_nanos("attack.pass1_chunk_nanos");
+metrics::Histogram m_pass2_chunk_nanos("attack.pass2_chunk_nanos");
 
 /// The eigenbasis and diagnostics pass 2 projects through.
 struct AttackBasis {
@@ -63,6 +78,13 @@ Result<AttackBasis> SelectBasis(const StreamingAttackOptions& options,
   return Status::InvalidArgument("StreamingAttackPipeline: unknown attack");
 }
 
+/// Elapsed nanos since `start`, saturating at 0 (a test's FakeClockGuard
+/// may move the clock backwards under a running measurement).
+uint64_t NanosSince(uint64_t start) {
+  const uint64_t now = trace::NowNanos();
+  return now >= start ? now - start : 0;
+}
+
 }  // namespace
 
 Result<StreamingAttackReport> StreamingAttackPipeline::Run(
@@ -96,23 +118,36 @@ Result<StreamingAttackReport> StreamingAttackPipeline::Run(
   // columnar→row-major gather entirely. The columnar accumulators are
   // bitwise identical to the row-major ones (stats/streaming_moments.h),
   // so which path runs never changes the covariance.
+  m_attack_runs.Add(1);
+  const uint64_t run_start_nanos = trace::NowNanos();
   stats::StreamingMoments moments(m, options_.parallel);
   ColumnarBlockStream* columnar = disguised->columnar_blocks();
   std::vector<const double*> block_columns;
-  if (columnar != nullptr) {
-    RR_RETURN_NOT_OK(columnar->ResetBlocks());
-    for (;;) {
-      RR_ASSIGN_OR_RETURN(const size_t rows,
-                          columnar->NextBlockColumns(&block_columns));
-      if (rows == 0) break;
-      moments.AccumulateMeansColumns(block_columns.data(), rows);
-    }
-  } else {
-    RR_RETURN_NOT_OK(disguised->Reset());
-    for (;;) {
-      RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
-      if (rows == 0) break;
-      moments.AccumulateMeans(chunk, rows);
+  {
+    trace::TraceSpan means_span("attack.pass1_means");
+    if (columnar != nullptr) {
+      RR_RETURN_NOT_OK(columnar->ResetBlocks());
+      for (;;) {
+        const uint64_t chunk_start = trace::NowNanos();
+        RR_ASSIGN_OR_RETURN(const size_t rows,
+                            columnar->NextBlockColumns(&block_columns));
+        if (rows == 0) break;
+        moments.AccumulateMeansColumns(block_columns.data(), rows);
+        m_pass1_chunk_nanos.Record(NanosSince(chunk_start));
+        m_chunks_pass1.Add(1);
+        m_records_pass1.Add(rows);
+      }
+    } else {
+      RR_RETURN_NOT_OK(disguised->Reset());
+      for (;;) {
+        const uint64_t chunk_start = trace::NowNanos();
+        RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
+        if (rows == 0) break;
+        moments.AccumulateMeans(chunk, rows);
+        m_pass1_chunk_nanos.Record(NanosSince(chunk_start));
+        m_chunks_pass1.Add(1);
+        m_records_pass1.Add(rows);
+      }
     }
   }
   const size_t n = moments.num_records();
@@ -123,22 +158,31 @@ Result<StreamingAttackReport> StreamingAttackPipeline::Run(
   }
   moments.FinalizeMeans();
   size_t scatter_records = 0;
-  if (columnar != nullptr) {
-    RR_RETURN_NOT_OK(columnar->ResetBlocks());
-    for (;;) {
-      RR_ASSIGN_OR_RETURN(const size_t rows,
-                          columnar->NextBlockColumns(&block_columns));
-      if (rows == 0) break;
-      moments.AccumulateScatterColumns(block_columns.data(), rows);
-      scatter_records += rows;
-    }
-  } else {
-    RR_RETURN_NOT_OK(disguised->Reset());
-    for (;;) {
-      RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
-      if (rows == 0) break;
-      moments.AccumulateScatter(chunk, rows);
-      scatter_records += rows;
+  {
+    trace::TraceSpan scatter_span("attack.pass1_scatter");
+    if (columnar != nullptr) {
+      RR_RETURN_NOT_OK(columnar->ResetBlocks());
+      for (;;) {
+        const uint64_t chunk_start = trace::NowNanos();
+        RR_ASSIGN_OR_RETURN(const size_t rows,
+                            columnar->NextBlockColumns(&block_columns));
+        if (rows == 0) break;
+        moments.AccumulateScatterColumns(block_columns.data(), rows);
+        scatter_records += rows;
+        m_pass1_chunk_nanos.Record(NanosSince(chunk_start));
+        m_chunks_pass1.Add(1);
+      }
+    } else {
+      RR_RETURN_NOT_OK(disguised->Reset());
+      for (;;) {
+        const uint64_t chunk_start = trace::NowNanos();
+        RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
+        if (rows == 0) break;
+        moments.AccumulateScatter(chunk, rows);
+        scatter_records += rows;
+        m_pass1_chunk_nanos.Record(NanosSince(chunk_start));
+        m_chunks_pass1.Add(1);
+      }
     }
   }
   // A drifting source (records appended/lost between sweeps) is a data
@@ -153,8 +197,11 @@ Result<StreamingAttackReport> StreamingAttackPipeline::Run(
   const linalg::Vector mean = moments.means();
   const linalg::Matrix cov_y = moments.FinalizeCovariance();
 
-  RR_ASSIGN_OR_RETURN(AttackBasis basis,
-                      SelectBasis(options_, cov_y, noise, n));
+  AttackBasis basis;
+  {
+    trace::TraceSpan eigen_span("attack.eigen");
+    RR_ASSIGN_OR_RETURN(basis, SelectBasis(options_, cov_y, noise, n));
+  }
   const size_t p = basis.num_components;
 
   // ---- Pass 2: project every chunk through the basis. -----------------
@@ -168,7 +215,9 @@ Result<StreamingAttackReport> StreamingAttackPipeline::Run(
   double squared_vs_disguised = 0.0;
   double squared_vs_reference = 0.0;
   size_t row_offset = 0;
+  trace::TraceSpan pass2_span("attack.pass2");
   for (;;) {
+    const uint64_t chunk_start = trace::NowNanos();
     RR_ASSIGN_OR_RETURN(const size_t rows, disguised->NextChunk(&chunk));
     if (rows == 0) break;
     // X̂ = Ȳ Q̂ Q̂ᵀ + µ̂, chunk-wise through the pointer kernels (no
@@ -231,7 +280,11 @@ Result<StreamingAttackReport> StreamingAttackPipeline::Run(
     }
     RR_RETURN_NOT_OK(sink->Consume(row_offset, reconstructed, rows));
     row_offset += rows;
+    m_pass2_chunk_nanos.Record(NanosSince(chunk_start));
+    m_chunks_pass2.Add(1);
+    m_records_pass2.Add(rows);
   }
+  pass2_span.Finish();
   if (row_offset != n) {
     return Status::InvalidArgument(
         "StreamingAttackPipeline: source served " + std::to_string(row_offset) +
@@ -256,6 +309,11 @@ Result<StreamingAttackReport> StreamingAttackPipeline::Run(
   report.has_reference = reference != nullptr;
   if (report.has_reference) {
     report.rmse_vs_reference = std::sqrt(squared_vs_reference / denom);
+  }
+  const uint64_t run_nanos = NanosSince(run_start_nanos);
+  if (run_nanos > 0) {
+    m_last_rows_per_second.Set(static_cast<int64_t>(
+        static_cast<double>(n) * 1e9 / static_cast<double>(run_nanos)));
   }
   return report;
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
+
 namespace randrecon {
 namespace {
 
@@ -32,6 +35,53 @@ TEST_F(LoggingTest, EmittedMessageDoesNotCrash) {
   const std::string captured = testing::internal::GetCapturedStderr();
   EXPECT_NE(captured.find("visible warning 1.5"), std::string::npos);
   EXPECT_NE(captured.find("WARN"), std::string::npos);
+}
+
+// Pins the emitted prefix format promised in common/logging.h:
+//   [2026-08-07T12:34:56.789Z WARN T0 logging_test.cc:NN]
+// Log scrapers parse this; changing it is a breaking change.
+TEST_F(LoggingTest, PrefixFormatIsPinned) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  RR_LOG(kWarning) << "format probe";
+  const std::string captured = testing::internal::GetCapturedStderr();
+  const std::regex pinned(
+      R"(^\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z WARN T\d+ )"
+      R"(logging_test\.cc:\d+\] format probe\n$)");
+  EXPECT_TRUE(std::regex_match(captured, pinned))
+      << "log line does not match the pinned prefix format: " << captured;
+}
+
+TEST_F(LoggingTest, ThreadIdIsStablePerThread) {
+  const int first = LogThreadId();
+  EXPECT_GE(first, 0);
+  EXPECT_EQ(LogThreadId(), first);
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsEverySpelling) {
+  struct Case {
+    const char* text;
+    LogLevel level;
+  };
+  for (const Case& c : {Case{"debug", LogLevel::kDebug},
+                        Case{"DEBUG", LogLevel::kDebug},
+                        Case{"info", LogLevel::kInfo},
+                        Case{"warning", LogLevel::kWarning},
+                        Case{"warn", LogLevel::kWarning},
+                        Case{"Warn", LogLevel::kWarning},
+                        Case{"error", LogLevel::kError},
+                        Case{"ERROR", LogLevel::kError}}) {
+    const Result<LogLevel> parsed = ParseLogLevel(c.text);
+    ASSERT_TRUE(parsed.ok()) << c.text;
+    EXPECT_EQ(parsed.value(), c.level) << c.text;
+  }
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsJunk) {
+  for (const char* text : {"", "verbose", "3", "warning!"}) {
+    const Result<LogLevel> parsed = ParseLogLevel(text);
+    EXPECT_FALSE(parsed.ok()) << text;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,105 @@
+#include "common/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace randrecon {
+namespace report {
+namespace {
+
+class RunReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics::ResetAllMetrics(); }
+};
+
+TEST_F(RunReportTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST_F(RunReportTest, TopLevelKeysInFixedOrder) {
+  RunReportBuilder builder("test_tool");
+  builder.AddConfig("input", "a.csv");
+  builder.AddConfigInt("rows", 5);
+  builder.AddRawSection("extras", "[1,2]");
+  const std::string json = builder.ToJson();
+  const size_t schema = json.find("\"schema_version\":1");
+  const size_t tool = json.find("\"tool\":\"test_tool\"");
+  const size_t config = json.find("\"config\":{");
+  const size_t counters = json.find("\"counters\":{");
+  const size_t gauges = json.find("\"gauges\":{");
+  const size_t histograms = json.find("\"histograms\":{");
+  const size_t spans = json.find("\"spans\":[");
+  const size_t extras = json.find("\"extras\":[1,2]");
+  ASSERT_NE(schema, std::string::npos);
+  ASSERT_NE(extras, std::string::npos);
+  EXPECT_LT(schema, tool);
+  EXPECT_LT(tool, config);
+  EXPECT_LT(config, counters);
+  EXPECT_LT(counters, gauges);
+  EXPECT_LT(gauges, histograms);
+  EXPECT_LT(histograms, spans);
+  EXPECT_LT(spans, extras);
+}
+
+TEST_F(RunReportTest, ConfigRendersEveryScalarKind) {
+  RunReportBuilder builder("t");
+  builder.AddConfig("s", "quo\"ted");
+  builder.AddConfigInt("i", -7);
+  builder.AddConfigDouble("d", 0.5);
+  builder.AddConfigBool("b", true);
+  const std::string json = builder.ToJson();
+  EXPECT_NE(json.find("\"s\":\"quo\\\"ted\""), std::string::npos);
+  EXPECT_NE(json.find("\"i\":-7"), std::string::npos);
+  EXPECT_NE(json.find("\"d\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"b\":true"), std::string::npos);
+}
+
+TEST_F(RunReportTest, NanRendersAsNull) {
+  RunReportBuilder builder("t");
+  builder.AddConfigDouble("bad", std::nan(""));
+  EXPECT_NE(builder.ToJson().find("\"bad\":null"), std::string::npos);
+}
+
+TEST_F(RunReportTest, SpansEmbedViaSetSpans) {
+  RunReportBuilder builder("t");
+  std::vector<trace::Span> spans(1);
+  spans[0].name = "stage";
+  spans[0].duration_nanos = 4;
+  builder.SetSpans(std::move(spans));
+  EXPECT_NE(builder.ToJson().find("\"spans\":[{\"name\":\"stage\""),
+            std::string::npos);
+}
+
+TEST_F(RunReportTest, WriteFileIsAtomicAndRereadable) {
+  const std::string path = "run_report_test_out.json";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  RunReportBuilder builder("t");
+  builder.AddConfigInt("x", 1);
+  ASSERT_TRUE(builder.WriteFile(path).ok());
+  // The temp never survives a successful write.
+  std::ifstream temp(path + ".tmp");
+  EXPECT_FALSE(temp.is_open());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), builder.ToJson() + "\n");
+  file.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace report
+}  // namespace randrecon

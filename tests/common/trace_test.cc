@@ -1,0 +1,188 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace randrecon {
+namespace trace {
+namespace {
+
+metrics::Histogram span_latency("test.trace.span_latency");
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { metrics::ResetAllMetrics(); }
+  void TearDown() override {
+    // Never leak an open capture into the next test.
+    if (TracingEnabled()) StopTracing();
+  }
+};
+
+TEST_F(TraceTest, FakeClockDrivesNowNanos) {
+  FakeClockGuard clock(100);
+  EXPECT_EQ(NowNanos(), 100u);
+  clock.Advance(50);
+  EXPECT_EQ(NowNanos(), 150u);
+  clock.Set(1000);
+  EXPECT_EQ(NowNanos(), 1000u);
+}
+
+TEST_F(TraceTest, StopwatchReadsTheInjectedClock) {
+  FakeClockGuard clock(0);
+  Stopwatch stopwatch;
+  clock.Advance(2500);
+  EXPECT_EQ(stopwatch.ElapsedNanos(), 2500u);
+  EXPECT_DOUBLE_EQ(stopwatch.ElapsedSeconds(), 2.5e-6);
+  stopwatch.Restart();
+  EXPECT_EQ(stopwatch.ElapsedNanos(), 0u);
+  clock.Advance(7);
+  EXPECT_EQ(stopwatch.ElapsedNanos(), 7u);
+}
+
+TEST_F(TraceTest, DisabledTracingRecordsNoSpans) {
+  ASSERT_FALSE(TracingEnabled());
+  { TraceSpan span("test.trace.unwatched"); }
+  StartTracing();
+  const std::vector<Span> spans = StopTracing();
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST_F(TraceTest, NestedSpansFlattenParentsFirst) {
+  FakeClockGuard clock(0);
+  StartTracing();
+  {
+    TraceSpan outer("outer");
+    clock.Advance(10);
+    {
+      TraceSpan inner("inner");
+      clock.Advance(5);
+    }
+    clock.Advance(1);
+  }
+  const std::vector<Span> spans = StopTracing();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].start_nanos, 0u);
+  EXPECT_EQ(spans[0].duration_nanos, 16u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[1].start_nanos, 10u);
+  EXPECT_EQ(spans[1].duration_nanos, 5u);
+  // The flat array is a topologically-ordered tree.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i].parent, static_cast<int>(i));
+  }
+}
+
+TEST_F(TraceTest, SiblingsShareTheParent) {
+  FakeClockGuard clock(0);
+  StartTracing();
+  {
+    TraceSpan parent("parent");
+    { TraceSpan a("a"); clock.Advance(1); }
+    { TraceSpan b("b"); clock.Advance(2); }
+  }
+  const std::vector<Span> spans = StopTracing();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[1].name, "a");
+  EXPECT_EQ(spans[2].name, "b");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].parent, 0);
+}
+
+Status FailsEarlyUnderSpan(FakeClockGuard* clock) {
+  TraceSpan span("early_return");
+  clock->Advance(42);
+  return Status::InvalidArgument("synthetic failure");
+  // The span closes by scope exit despite the early return.
+}
+
+TEST_F(TraceTest, EarlyStatusReturnClosesTheSpan) {
+  FakeClockGuard clock(0);
+  StartTracing();
+  EXPECT_FALSE(FailsEarlyUnderSpan(&clock).ok());
+  const std::vector<Span> spans = StopTracing();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "early_return");
+  EXPECT_EQ(spans[0].duration_nanos, 42u);
+}
+
+TEST_F(TraceTest, SpanFeedsItsHistogramExactly) {
+  FakeClockGuard clock(0);
+  // Tracing OFF: the histogram still records (latency percentiles do
+  // not require a capture).
+  {
+    TraceSpan span("test.trace.timed", &span_latency);
+    clock.Advance(640);
+  }
+  EXPECT_EQ(span_latency.Count(), 1u);
+  EXPECT_EQ(span_latency.Sum(), 640u);
+  EXPECT_EQ(span_latency.ValueAtPercentile(50), 640u);
+}
+
+TEST_F(TraceTest, FinishClosesEarlyAndIsIdempotent) {
+  FakeClockGuard clock(0);
+  StartTracing();
+  {
+    TraceSpan span("finished", &span_latency);
+    clock.Advance(30);
+    span.Finish();
+    clock.Advance(1000);  // After Finish: not part of the span.
+    span.Finish();        // No-op.
+  }
+  const std::vector<Span> spans = StopTracing();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].duration_nanos, 30u);
+  EXPECT_EQ(span_latency.Count(), 1u);
+  EXPECT_EQ(span_latency.Sum(), 30u);
+}
+
+TEST_F(TraceTest, SpanOpenAcrossStopIsDropped) {
+  FakeClockGuard clock(0);
+  StartTracing();
+  {
+    TraceSpan open_span("still_open");
+    { TraceSpan closed("closed"); clock.Advance(3); }
+    const std::vector<Span> spans = StopTracing();
+    // The unfinished ancestor is dropped; its child re-parents upward
+    // to a root.
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "closed");
+    EXPECT_EQ(spans[0].parent, -1);
+  }
+}
+
+TEST_F(TraceTest, RestartedCaptureDropsOldSpans) {
+  FakeClockGuard clock(0);
+  StartTracing();
+  { TraceSpan stale("stale"); clock.Advance(1); }
+  StartTracing();  // New epoch: the stale span is dead.
+  { TraceSpan fresh("fresh"); clock.Advance(2); }
+  const std::vector<Span> spans = StopTracing();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "fresh");
+}
+
+TEST_F(TraceTest, SpanTreeJsonRendersEveryField) {
+  std::vector<Span> spans(1);
+  spans[0].name = "stage";
+  spans[0].start_nanos = 5;
+  spans[0].duration_nanos = 9;
+  spans[0].parent = -1;
+  spans[0].thread = 0;
+  EXPECT_EQ(SpanTreeJson(spans),
+            "[{\"name\":\"stage\",\"start_ns\":5,\"duration_ns\":9,"
+            "\"parent\":-1,\"thread\":0}]");
+  EXPECT_EQ(SpanTreeJson({}), "[]");
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace randrecon

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "data/file_io.h"
 #include "data/synthetic.h"
 #include "linalg/matrix_util.h"
@@ -293,6 +294,84 @@ TEST(PipelineRunnerRetryTest, DefaultPolicyPreservesSingleAttemptSemantics) {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry: the runner's counters are exact for single-threaded batches
+// (common/metrics.h determinism contract). The instruments live in the
+// runner's anonymous namespace, so the tests read them back by name.
+// ---------------------------------------------------------------------------
+
+uint64_t CounterByName(const char* name) {
+  for (const metrics::CounterSnapshot& c : metrics::Snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  ADD_FAILURE() << "no counter named " << name;
+  return 0;
+}
+
+uint64_t HistogramCountByName(const char* name) {
+  for (const metrics::HistogramSnapshot& h : metrics::Snapshot().histograms) {
+    if (h.name == name) return h.count;
+  }
+  ADD_FAILURE() << "no histogram named " << name;
+  return 0;
+}
+
+TEST(PipelineRunnerMetricsTest, SingleWorkerBatchPinsTheCounters) {
+  metrics::ResetAllMetrics();
+  const BatchFixture fixture = MakeBatchFixture();
+  auto flaky_calls = std::make_shared<std::atomic<int>>(0);
+  auto broken_calls = std::make_shared<std::atomic<int>>(0);
+
+  std::vector<PipelineJob> jobs(3);
+  jobs[0].name = "clean";
+  jobs[0].noise = fixture.noise;
+  jobs[0].disguised = MatrixFactory(&fixture.disguised);
+  jobs[1].name = "flaky-once";
+  jobs[1].noise = fixture.noise;
+  jobs[1].disguised = FlakyFactory(&fixture.disguised, 1,
+                                   Status::Unavailable("blip"), flaky_calls);
+  jobs[1].retry = FastRetries(5);
+  jobs[2].name = "broken";
+  jobs[2].noise = fixture.noise;
+  jobs[2].disguised = FlakyFactory(
+      &fixture.disguised, 100, Status::InvalidArgument("bad"), broken_calls);
+  jobs[2].retry = FastRetries(5);
+
+  PipelineRunnerOptions serial;
+  serial.num_workers = 1;
+  const auto results = RunPipelineJobs(jobs, serial);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_TRUE(results[1].status.ok());
+  EXPECT_FALSE(results[2].status.ok());
+
+  // Every job counted once; the flaky job's single retry is the only one.
+  EXPECT_EQ(CounterByName("pipeline.jobs_run"), 3u);
+  EXPECT_EQ(CounterByName("pipeline.jobs_ok"), 2u);
+  EXPECT_EQ(CounterByName("pipeline.jobs_failed"), 1u);
+  EXPECT_EQ(CounterByName("pipeline.job_retries"), 1u);
+  EXPECT_EQ(CounterByName("pipeline.deadline_exceeded"), 0u);
+  EXPECT_EQ(HistogramCountByName("pipeline.job_wall_nanos"), 3u);
+}
+
+TEST(PipelineRunnerMetricsTest, ThrowingJobStillCountsAsFailed) {
+  metrics::ResetAllMetrics();
+  std::vector<PipelineJob> jobs(1);
+  jobs[0].name = "throws";
+  jobs[0].disguised = []() -> Result<std::unique_ptr<RecordSource>> {
+    throw std::runtime_error("boom");
+  };
+  const auto results = RunPipelineJobs(jobs);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].status.ok());
+  EXPECT_EQ(CounterByName("pipeline.jobs_run"), 1u);
+  EXPECT_EQ(CounterByName("pipeline.jobs_ok"), 0u);
+  EXPECT_EQ(CounterByName("pipeline.jobs_failed"), 1u);
+  // The wall-clock span closes during unwinding, so the histogram still
+  // holds one sample for the aborted job.
+  EXPECT_EQ(HistogramCountByName("pipeline.job_wall_nanos"), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // Degraded per-shard decomposition: a partially-usable store sweeps its
 // healthy shards and names exactly what it skipped.
 // ---------------------------------------------------------------------------
@@ -406,6 +485,20 @@ TEST_F(DegradedSweepTest, CorruptShardIsExcludedByItsProbe) {
   EXPECT_EQ(job_set.value().jobs.size(), 3u);
   ASSERT_EQ(job_set.value().excluded.size(), 1u);
   EXPECT_EQ(job_set.value().excluded[0].shard_index, 2u);
+}
+
+TEST_F(DegradedSweepTest, ProbeTelemetryCountsEveryShardOnce) {
+  metrics::ResetAllMetrics();
+  const std::string shard1 =
+      data::ShardFileName(data::ShardStemForManifest(kManifestPath), 1);
+  ASSERT_EQ(std::rename(
+                shard1.c_str(),
+                (shard1 + data::kQuarantineFileSuffix).c_str()),
+            0);
+  auto job_set = MakePerShardJobsDegraded(kManifestPath, Prototype());
+  ASSERT_TRUE(job_set.ok()) << job_set.status().ToString();
+  EXPECT_EQ(CounterByName("pipeline.shard_probes"), 4u);
+  EXPECT_EQ(CounterByName("pipeline.shards_excluded"), 1u);
 }
 
 TEST_F(DegradedSweepTest, UnreadableManifestFailsTheDecomposition) {

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/pca_dr.h"
 #include "core/spectral_filtering.h"
 #include "data/csv.h"
@@ -270,6 +272,87 @@ TEST(StreamingAttackTest, TooFewRecordsIsAnError) {
       &source, perturb::NoiseModel::IndependentGaussian(3, 1.0), &sink);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: chunk/record counters are exact, and instrumentation never
+// perturbs the numbers (common/metrics.h determinism contract).
+// ---------------------------------------------------------------------------
+
+uint64_t AttackCounter(const char* name) {
+  for (const metrics::CounterSnapshot& c : metrics::Snapshot().counters) {
+    if (c.name == name) return c.value;
+  }
+  ADD_FAILURE() << "no counter named " << name;
+  return 0;
+}
+
+uint64_t AttackHistogramCount(const char* name) {
+  for (const metrics::HistogramSnapshot& h : metrics::Snapshot().histograms) {
+    if (h.name == name) return h.count;
+  }
+  ADD_FAILURE() << "no histogram named " << name;
+  return 0;
+}
+
+TEST(StreamingAttackTest, TelemetryCountersArePinned) {
+  metrics::ResetAllMetrics();
+  const Fixture fixture = MakeFixture(100, 4);
+  StreamingAttackReport report;
+  RunStreaming(fixture, StreamingAttack::kPcaDr, 30, &report);
+  ASSERT_EQ(report.num_records, 100u);
+
+  // 100 rows in 30-row chunks is 4 chunks per sweep; pass 1 sweeps the
+  // source twice (means, then scatter), pass 2 once. Records are counted
+  // on the means sweep and on pass 2 — exactly n each.
+  EXPECT_EQ(AttackCounter("attack.runs"), 1u);
+  EXPECT_EQ(AttackCounter("attack.records_pass1"), 100u);
+  EXPECT_EQ(AttackCounter("attack.records_pass2"), 100u);
+  EXPECT_EQ(AttackCounter("attack.chunks_pass1"), 8u);
+  EXPECT_EQ(AttackCounter("attack.chunks_pass2"), 4u);
+  EXPECT_EQ(AttackHistogramCount("attack.pass1_chunk_nanos"), 8u);
+  EXPECT_EQ(AttackHistogramCount("attack.pass2_chunk_nanos"), 4u);
+}
+
+TEST(StreamingAttackTest, TracingDoesNotPerturbTheNumbers) {
+  const Fixture fixture = MakeFixture(300, 6);
+
+  StreamingAttackReport plain_report;
+  const Matrix plain = RunStreaming(fixture, StreamingAttack::kSpectralFiltering,
+                                    44, &plain_report);
+
+  trace::StartTracing();
+  StreamingAttackReport traced_report;
+  const Matrix traced = RunStreaming(
+      fixture, StreamingAttack::kSpectralFiltering, 44, &traced_report);
+  const std::vector<trace::Span> spans = trace::StopTracing();
+
+  // The capture saw the pipeline's stage spans...
+  auto has_span = [&](const char* name) {
+    for (const trace::Span& span : spans) {
+      if (span.name == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_span("attack.pass1_means"));
+  EXPECT_TRUE(has_span("attack.pass1_scatter"));
+  EXPECT_TRUE(has_span("attack.eigen"));
+  EXPECT_TRUE(has_span("attack.pass2"));
+
+  // ...and every number is bitwise identical to the uninstrumented run.
+  EXPECT_EQ(linalg::MaxAbsDifference(plain, traced), 0.0);
+  EXPECT_EQ(plain_report.num_records, traced_report.num_records);
+  EXPECT_EQ(plain_report.num_components, traced_report.num_components);
+  EXPECT_EQ(plain_report.rmse_vs_disguised, traced_report.rmse_vs_disguised);
+  ASSERT_EQ(plain_report.mean.size(), traced_report.mean.size());
+  for (size_t j = 0; j < plain_report.mean.size(); ++j) {
+    EXPECT_EQ(plain_report.mean[j], traced_report.mean[j]) << "mean " << j;
+  }
+  ASSERT_EQ(plain_report.eigenvalues.size(), traced_report.eigenvalues.size());
+  for (size_t j = 0; j < plain_report.eigenvalues.size(); ++j) {
+    EXPECT_EQ(plain_report.eigenvalues[j], traced_report.eigenvalues[j])
+        << "eigenvalue " << j;
+  }
 }
 
 TEST(StreamingAttackTest, ZeroChunkRowsFailsTheJobNotTheProcess) {

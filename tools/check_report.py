@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validates a randrecon run report (docs/REPORT_SCHEMA.md).
+
+Usage: check_report.py report.json [report2.json ...]
+
+Checks every report against the schema_version-1 layout — required keys,
+value types, histogram invariants, span-tree topology — and, for tools
+whose sections it knows (sweep_attack, convert_csv), cross-checks the
+telemetry counters against the tool's own job accounting: every job,
+retry and excluded shard must be counted exactly once. Stdlib only, so
+CI can run it on a bare python3.
+
+Exit status: 0 iff every report validates; failures name the report and
+the violated invariant.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+TOP_LEVEL_KEYS = ["schema_version", "tool", "config", "counters", "gauges",
+                  "histograms", "spans"]
+HISTOGRAM_KEYS = {"count", "sum", "min", "max", "p50", "p95", "p99"}
+
+
+class ReportError(Exception):
+    """One violated invariant, with enough context to locate it."""
+
+
+def require(condition, message):
+    if not condition:
+        raise ReportError(message)
+
+
+def check_common(report):
+    for key in TOP_LEVEL_KEYS:
+        require(key in report, f"missing top-level key '{key}'")
+    require(report["schema_version"] == SCHEMA_VERSION,
+            f"schema_version is {report['schema_version']}, "
+            f"expected {SCHEMA_VERSION}")
+    require(isinstance(report["tool"], str) and report["tool"],
+            "tool must be a non-empty string")
+    require(isinstance(report["config"], dict), "config must be an object")
+
+    counters = report["counters"]
+    require(isinstance(counters, dict), "counters must be an object")
+    for name, value in counters.items():
+        require(isinstance(value, int) and value >= 0,
+                f"counter '{name}' must be a non-negative integer, "
+                f"got {value!r}")
+
+    gauges = report["gauges"]
+    require(isinstance(gauges, dict), "gauges must be an object")
+    for name, value in gauges.items():
+        require(isinstance(value, int),
+                f"gauge '{name}' must be an integer, got {value!r}")
+
+    histograms = report["histograms"]
+    require(isinstance(histograms, dict), "histograms must be an object")
+    for name, hist in histograms.items():
+        require(isinstance(hist, dict) and set(hist) == HISTOGRAM_KEYS,
+                f"histogram '{name}' must have exactly keys "
+                f"{sorted(HISTOGRAM_KEYS)}")
+        for key in HISTOGRAM_KEYS:
+            require(isinstance(hist[key], int) and hist[key] >= 0,
+                    f"histogram '{name}'.{key} must be a non-negative "
+                    f"integer")
+        if hist["count"] == 0:
+            require(hist["sum"] == 0 and hist["max"] == 0,
+                    f"empty histogram '{name}' must have zero sum/max")
+        else:
+            require(hist["min"] <= hist["p50"] <= hist["p95"]
+                    <= hist["p99"] <= hist["max"],
+                    f"histogram '{name}' percentiles must be ordered "
+                    f"min <= p50 <= p95 <= p99 <= max")
+            require(hist["sum"] >= hist["max"],
+                    f"histogram '{name}' sum must be >= max")
+
+    spans = report["spans"]
+    require(isinstance(spans, list), "spans must be an array")
+    for i, span in enumerate(spans):
+        require(isinstance(span, dict), f"span {i} must be an object")
+        for key, kind in [("name", str), ("start_ns", int),
+                          ("duration_ns", int), ("parent", int),
+                          ("thread", int)]:
+            require(isinstance(span.get(key), kind),
+                    f"span {i} needs {kind.__name__} '{key}'")
+        require(-1 <= span["parent"] < i,
+                f"span {i} parent {span['parent']} must be -1 or an "
+                f"earlier index (topological order)")
+        if span["parent"] >= 0:
+            require(spans[span["parent"]]["thread"] == span["thread"],
+                    f"span {i} and its parent must share a thread")
+
+
+def check_sweep_attack(report):
+    counters = report["counters"]
+    config = report["config"]
+    jobs = report.get("jobs")
+    exclusions = report.get("exclusions")
+    require(isinstance(jobs, list), "sweep_attack report needs a 'jobs' array")
+    require(isinstance(exclusions, list),
+            "sweep_attack report needs an 'exclusions' array")
+
+    for i, job in enumerate(jobs):
+        for key, kind in [("name", str), ("ok", bool), ("status", str),
+                          ("records", int), ("attributes", int),
+                          ("components", int), ("attempts", int)]:
+            require(isinstance(job.get(key), kind),
+                    f"job {i} needs {kind.__name__} '{key}'")
+    for i, excl in enumerate(exclusions):
+        for key, kind in [("manifest", str), ("shard_index", int),
+                          ("shard_path", str), ("row_begin", int),
+                          ("row_count", int), ("reason", str)]:
+            require(isinstance(excl.get(key), kind),
+                    f"exclusion {i} needs {kind.__name__} '{key}'")
+
+    # Every job, retry and excluded shard accounted exactly once.
+    require(config.get("jobs_total") == len(jobs),
+            f"config.jobs_total {config.get('jobs_total')} != "
+            f"{len(jobs)} jobs listed")
+    failed = sum(1 for job in jobs if not job["ok"])
+    require(config.get("jobs_failed") == failed,
+            f"config.jobs_failed {config.get('jobs_failed')} != "
+            f"{failed} failing jobs listed")
+    require(counters.get("pipeline.jobs_run") == len(jobs),
+            f"pipeline.jobs_run {counters.get('pipeline.jobs_run')} != "
+            f"{len(jobs)} jobs listed")
+    require(counters.get("pipeline.jobs_ok") == len(jobs) - failed,
+            "pipeline.jobs_ok does not match the jobs listed as ok")
+    require(counters.get("pipeline.jobs_failed") == failed,
+            "pipeline.jobs_failed does not match the jobs listed as failed")
+    retries = sum(max(job["attempts"] - 1, 0) for job in jobs)
+    require(counters.get("pipeline.job_retries") == retries,
+            f"pipeline.job_retries {counters.get('pipeline.job_retries')} "
+            f"!= {retries} retries implied by job attempts")
+    require(counters.get("pipeline.shards_excluded") == len(exclusions),
+            f"pipeline.shards_excluded "
+            f"{counters.get('pipeline.shards_excluded')} != "
+            f"{len(exclusions)} exclusions listed")
+    hist = report["histograms"].get("pipeline.job_wall_nanos")
+    require(hist is not None and hist["count"] == len(jobs),
+            "pipeline.job_wall_nanos must hold one sample per job")
+
+
+def check_convert_csv(report):
+    config = report["config"]
+    counters = report["counters"]
+    for key in ["input", "output", "records"]:
+        require(key in config, f"convert_csv report needs config.{key}")
+    require(isinstance(config["records"], int) and config["records"] >= 0,
+            "config.records must be a non-negative integer")
+    if config["output"].endswith(".rrcs") or config["output"].endswith(".rrcm"):
+        require(counters.get("store.blocks_written", 0) > 0,
+                "a store-writing conversion must write at least one block")
+
+
+def check_report(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    check_common(report)
+    tool = report["tool"]
+    if tool == "sweep_attack":
+        check_sweep_attack(report)
+    elif tool == "convert_csv":
+        check_convert_csv(report)
+    return tool
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            tool = check_report(path)
+            print(f"{path}: OK ({tool})")
+        except (ReportError, OSError, json.JSONDecodeError) as error:
+            print(f"{path}: FAIL: {error}", file=sys.stderr)
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
