@@ -5,6 +5,9 @@
 //   sweep_attack logs/                        # every record file in logs/
 //   sweep_attack a.csv b.rrcs c.rrcm --attack=pca --sigma=0.5
 //   sweep_attack logs/ --per_shard=true       # manifests fan out per shard
+//   sweep_attack live                         # rolling-store stem: attacks
+//                                             # live.rrcm, the latest
+//                                             # PUBLISHED snapshot
 //
 // Arguments are files or directories (directories are scanned one level
 // deep for *.csv, *.rrcs, *.rrcm). Shard files that a collected manifest
@@ -64,6 +67,11 @@ bool IsDirectory(const std::string& path) {
   return ::stat(path.c_str(), &file_stat) == 0 && S_ISDIR(file_stat.st_mode);
 }
 
+bool FileExists(const std::string& path) {
+  struct stat file_stat;
+  return ::stat(path.c_str(), &file_stat) == 0;
+}
+
 bool LooksLikeRecordFile(const std::string& name) {
   // The store/manifest predicates come from the factory so this driver
   // stays in sync with what CreateRecordSink/OpenRecordSource dispatch
@@ -78,6 +86,16 @@ std::vector<std::string> CollectInputs(const std::vector<std::string>& args) {
   std::vector<std::string> inputs;
   for (const std::string& arg : args) {
     if (!IsDirectory(arg)) {
+      // A rolling-store STEM (the path an IngestService was started
+      // with, minus the manifest extension) resolves to its manifest:
+      // the latest PUBLISHED snapshot — open shards and sealed-but-
+      // unpublished shards are invisible by protocol, so the sweep
+      // attacks exactly what any concurrent snapshot reader would see.
+      if (!LooksLikeRecordFile(arg) && !FileExists(arg) &&
+          FileExists(arg + data::kShardManifestExtension)) {
+        inputs.push_back(arg + data::kShardManifestExtension);
+        continue;
+      }
       inputs.push_back(arg);
       continue;
     }
@@ -307,6 +325,21 @@ int RunSweep(const SweepInputs& inputs, double sigma,
           "\"}");
     }
     exclusions_json.append("]");
+    // Which published snapshot each manifest job attacked: the manifest
+    // path and its row count as parsed at resolve time. For a rolling
+    // store this pins the run to one snapshot even if a writer
+    // republished the manifest while the sweep ran.
+    std::string snapshots_json = "[";
+    bool first_snapshot = true;
+    for (const auto& entry : inputs.manifests) {
+      if (!first_snapshot) snapshots_json.append(",");
+      first_snapshot = false;
+      snapshots_json.append(
+          "{\"manifest\":\"" + report::JsonEscape(entry.first) +
+          "\",\"rows\":" + std::to_string(entry.second.num_records) +
+          ",\"shards\":" + std::to_string(entry.second.shards.size()) + "}");
+    }
+    snapshots_json.append("]");
 
     report::RunReportBuilder builder("sweep_attack");
     builder.AddConfigDouble("sigma", sigma);
@@ -319,6 +352,7 @@ int RunSweep(const SweepInputs& inputs, double sigma,
     builder.AddConfigInt("jobs_failed", static_cast<int64_t>(failures));
     builder.AddRawSection("jobs", jobs_json);
     builder.AddRawSection("exclusions", exclusions_json);
+    builder.AddRawSection("snapshots", snapshots_json);
     builder.SetSpans(trace::StopTracing());
     const Status written = builder.WriteFile(report_path);
     if (!written.ok()) {

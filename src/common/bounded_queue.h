@@ -1,0 +1,283 @@
+// Bounded MPMC queue: the backpressure primitive every producer/consumer
+// edge of the ingest core rides on.
+//
+// A BoundedQueue<T> is a mutex + two condition variables over a deque
+// with a hard capacity — deliberately boring concurrency, chosen so the
+// shutdown and deadline semantics can be exact rather than clever:
+//
+//   * Push blocks while the queue is full; Pop blocks while it is
+//     empty. TryPush/TryPop never block. PushUntil/PopUntil block no
+//     later than an absolute trace::NowNanos() deadline.
+//   * Close() wakes every blocked producer AND consumer. A closed queue
+//     rejects pushes (kClosed, the caller's value is untouched) but
+//     keeps serving pops until drained — Pop returns kClosed only once
+//     the queue is BOTH closed and empty, so no accepted element is
+//     ever lost to shutdown (the drain-after-close contract the ingest
+//     writer's accounting identity depends on).
+//   * A failed push of any flavor leaves the caller's value unmoved, so
+//     an admission-controlled producer can shed or retry the same batch.
+//
+// Deadlines come from trace::NowNanos() — the same injectable clock as
+// every timing primitive in the repo — so deadline-expiry tests pin
+// exact outcomes with a FakeClockGuard and an already-expired deadline
+// instead of real sleeps. (Under a fake clock a FUTURE deadline still
+// waits in real time between checks; deterministic tests use expired
+// deadlines, race tests use real short ones.)
+//
+// Telemetry: an optional BoundedQueueInstruments wires a depth gauge
+// (set under the lock after every successful push/pop) and block-time
+// histograms (recorded only when an operation actually blocked, so the
+// histogram count IS the number of blocked ops). The queue itself never
+// reads a metric — telemetry observes, it never perturbs
+// (docs/ARCHITECTURE.md).
+
+#ifndef RANDRECON_COMMON_BOUNDED_QUEUE_H_
+#define RANDRECON_COMMON_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace randrecon {
+
+/// Outcome of one queue operation.
+enum class QueueOpResult {
+  /// The element was enqueued / dequeued.
+  kOk,
+  /// Push: the queue is closed. Pop: closed AND drained — no element
+  /// will ever arrive again.
+  kClosed,
+  /// PushUntil/PopUntil: the deadline passed first. The caller's value
+  /// (push) is untouched.
+  kTimedOut,
+  /// TryPush: the queue is at capacity right now.
+  kFull,
+  /// TryPop: the queue is empty right now (but not closed).
+  kEmpty,
+};
+
+/// Short stable name for a QueueOpResult, e.g. "TimedOut".
+inline const char* QueueOpResultToString(QueueOpResult result) {
+  switch (result) {
+    case QueueOpResult::kOk:
+      return "Ok";
+    case QueueOpResult::kClosed:
+      return "Closed";
+    case QueueOpResult::kTimedOut:
+      return "TimedOut";
+    case QueueOpResult::kFull:
+      return "Full";
+    case QueueOpResult::kEmpty:
+      return "Empty";
+  }
+  return "Unknown";
+}
+
+/// Optional instruments a queue publishes into (common/metrics.h). The
+/// queue is a generic primitive, so it does not own metric names — the
+/// owner (e.g. pipeline/ingest.cc) registers the instruments and hands
+/// in pointers, which must outlive the queue. Null pointers disable the
+/// corresponding instrument.
+struct BoundedQueueInstruments {
+  /// Current element count, Set under the queue lock after every
+  /// successful push/pop — so the gauge never shows a depth the queue
+  /// did not actually pass through.
+  metrics::Gauge* depth = nullptr;
+  /// Nanoseconds a push spent blocked (recorded only for pushes that
+  /// actually waited — the count is the number of blocked pushes).
+  metrics::Histogram* push_block_nanos = nullptr;
+  /// Nanoseconds a pop spent blocked, same recording rule.
+  metrics::Histogram* pop_block_nanos = nullptr;
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` (>= 1) elements.
+  explicit BoundedQueue(size_t capacity,
+                        BoundedQueueInstruments instruments = {})
+      : capacity_(capacity), instruments_(instruments) {
+    RR_CHECK(capacity_ >= 1) << "BoundedQueue capacity must be >= 1";
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (kOk) or the queue closes (kClosed —
+  /// `value` is untouched).
+  QueueOpResult Push(T&& value) {
+    return PushInternal(value, /*bounded=*/false, /*deadline_nanos=*/0,
+                        /*blocking=*/true);
+  }
+
+  /// Never blocks: kOk, kFull, or kClosed (`value` untouched on both
+  /// failures).
+  QueueOpResult TryPush(T&& value) {
+    return PushInternal(value, /*bounded=*/false, /*deadline_nanos=*/0,
+                        /*blocking=*/false);
+  }
+
+  /// Blocks until room, close, or `trace::NowNanos() >= deadline_nanos`
+  /// — whichever first (kOk / kClosed / kTimedOut). An already-expired
+  /// deadline degrades to TryPush (a full queue times out immediately
+  /// rather than failing kFull, since the deadline HAS passed).
+  QueueOpResult PushUntil(T&& value, uint64_t deadline_nanos) {
+    return PushInternal(value, /*bounded=*/true, deadline_nanos,
+                        /*blocking=*/true);
+  }
+
+  /// Blocks until an element arrives (kOk) or the queue is closed and
+  /// drained (kClosed).
+  QueueOpResult Pop(T* out) {
+    return PopInternal(out, /*bounded=*/false, /*deadline_nanos=*/0,
+                       /*blocking=*/true);
+  }
+
+  /// Never blocks: kOk, kEmpty, or kClosed (closed and drained).
+  QueueOpResult TryPop(T* out) {
+    return PopInternal(out, /*bounded=*/false, /*deadline_nanos=*/0,
+                       /*blocking=*/false);
+  }
+
+  /// Blocks until an element, closed-and-drained, or the deadline —
+  /// whichever first (kOk / kClosed / kTimedOut).
+  QueueOpResult PopUntil(T* out, uint64_t deadline_nanos) {
+    return PopInternal(out, /*bounded=*/true, deadline_nanos,
+                       /*blocking=*/true);
+  }
+
+  /// Closes the queue: every blocked and future push fails kClosed,
+  /// pops keep draining what was accepted, and every blocked waiter on
+  /// either side wakes now. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// True once Close() has run (elements may still be draining).
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Elements currently queued. A momentary value under concurrency.
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// `value` is moved from ONLY on the kOk path.
+  QueueOpResult PushInternal(T& value, bool bounded, uint64_t deadline_nanos,
+                             bool blocking) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool blocked = false;
+    uint64_t blocked_since = 0;
+    while (true) {
+      if (closed_) {
+        RecordBlock(instruments_.push_block_nanos, blocked, blocked_since);
+        return QueueOpResult::kClosed;
+      }
+      if (queue_.size() < capacity_) break;
+      if (!blocking) return QueueOpResult::kFull;
+      const uint64_t now = trace::NowNanos();
+      if (bounded && now >= deadline_nanos) {
+        RecordBlock(instruments_.push_block_nanos, blocked, blocked_since);
+        return QueueOpResult::kTimedOut;
+      }
+      if (!blocked) {
+        blocked = true;
+        blocked_since = now;
+      }
+      if (bounded) {
+        not_full_.wait_for(lock,
+                           std::chrono::nanoseconds(deadline_nanos - now));
+      } else {
+        not_full_.wait(lock);
+      }
+    }
+    queue_.push_back(std::move(value));
+    SetDepth(queue_.size());
+    RecordBlock(instruments_.push_block_nanos, blocked, blocked_since);
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueueOpResult::kOk;
+  }
+
+  QueueOpResult PopInternal(T* out, bool bounded, uint64_t deadline_nanos,
+                            bool blocking) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool blocked = false;
+    uint64_t blocked_since = 0;
+    while (true) {
+      if (!queue_.empty()) break;
+      if (closed_) {
+        // Closed AND drained — the queue's terminal state.
+        RecordBlock(instruments_.pop_block_nanos, blocked, blocked_since);
+        return QueueOpResult::kClosed;
+      }
+      if (!blocking) return QueueOpResult::kEmpty;
+      const uint64_t now = trace::NowNanos();
+      if (bounded && now >= deadline_nanos) {
+        RecordBlock(instruments_.pop_block_nanos, blocked, blocked_since);
+        return QueueOpResult::kTimedOut;
+      }
+      if (!blocked) {
+        blocked = true;
+        blocked_since = now;
+      }
+      if (bounded) {
+        not_empty_.wait_for(lock,
+                            std::chrono::nanoseconds(deadline_nanos - now));
+      } else {
+        not_empty_.wait(lock);
+      }
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    SetDepth(queue_.size());
+    RecordBlock(instruments_.pop_block_nanos, blocked, blocked_since);
+    lock.unlock();
+    not_full_.notify_one();
+    return QueueOpResult::kOk;
+  }
+
+  void SetDepth(size_t depth) {
+    if (instruments_.depth != nullptr) {
+      instruments_.depth->Set(static_cast<int64_t>(depth));
+    }
+  }
+
+  /// Records the elapsed block time iff the op blocked at all.
+  void RecordBlock(metrics::Histogram* histogram, bool blocked,
+                   uint64_t blocked_since) {
+    if (histogram != nullptr && blocked) {
+      histogram->Record(trace::NowNanos() - blocked_since);
+    }
+  }
+
+  const size_t capacity_;
+  const BoundedQueueInstruments instruments_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace randrecon
+
+#endif  // RANDRECON_COMMON_BOUNDED_QUEUE_H_

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace randrecon {
 
@@ -107,9 +108,48 @@ class FailpointRegistry {
                             "' fired at hit " + std::to_string(firing_hit));
   }
 
+  /// Parses one "name=action[@hit]" clause into (*name, *config).
+  static Status ParseSpecClause(const std::string& clause, std::string* name,
+                                FailpointConfig* config) {
+    const size_t equals = clause.find('=');
+    if (equals == std::string::npos || equals == 0) {
+      return Status::InvalidArgument("failpoint spec clause '" + clause +
+                                     "' is not 'name=action[@hit]'");
+    }
+    *name = clause.substr(0, equals);
+    std::string action_text = clause.substr(equals + 1);
+    const size_t at = action_text.find('@');
+    if (at != std::string::npos) {
+      const std::string hit_text = action_text.substr(at + 1);
+      action_text.resize(at);
+      char* parse_end = nullptr;
+      config->trigger_hit = std::strtoull(hit_text.c_str(), &parse_end, 10);
+      if (hit_text.empty() || *parse_end != '\0' ||
+          config->trigger_hit == 0) {
+        return Status::InvalidArgument("failpoint spec clause '" + clause +
+                                       "' has a bad hit number");
+      }
+    }
+    if (action_text == "error") {
+      config->action = FailpointAction::kError;
+      config->code = StatusCode::kIoError;
+    } else if (action_text == "unavailable") {
+      config->action = FailpointAction::kError;
+      config->code = StatusCode::kUnavailable;
+    } else if (action_text == "crash") {
+      config->action = FailpointAction::kCrash;
+    } else {
+      return Status::InvalidArgument(
+          "failpoint spec clause '" + clause +
+          "': action must be error, unavailable or crash");
+    }
+    return Status::OK();
+  }
+
   /// Parses "name=action[@hit];..."; unknown names go into the pending
   /// map (the TU defining them may not have initialized yet) when
-  /// `allow_pending`, and fail with NotFound otherwise.
+  /// `allow_pending`, and fail with NotFound otherwise. Strict: the
+  /// first bad clause aborts the whole spec (the test-facing API).
   Status ArmFromSpec(const std::string& spec, bool allow_pending) {
     size_t begin = 0;
     while (begin <= spec.size()) {
@@ -117,40 +157,9 @@ class FailpointRegistry {
       const std::string clause = spec.substr(begin, end - begin);
       begin = end + 1;
       if (clause.empty()) continue;
-      const size_t equals = clause.find('=');
-      if (equals == std::string::npos || equals == 0) {
-        return Status::InvalidArgument("failpoint spec clause '" + clause +
-                                       "' is not 'name=action[@hit]'");
-      }
-      const std::string name = clause.substr(0, equals);
-      std::string action_text = clause.substr(equals + 1);
+      std::string name;
       FailpointConfig config;
-      const size_t at = action_text.find('@');
-      if (at != std::string::npos) {
-        const std::string hit_text = action_text.substr(at + 1);
-        action_text.resize(at);
-        char* parse_end = nullptr;
-        config.trigger_hit =
-            std::strtoull(hit_text.c_str(), &parse_end, 10);
-        if (hit_text.empty() || *parse_end != '\0' ||
-            config.trigger_hit == 0) {
-          return Status::InvalidArgument("failpoint spec clause '" + clause +
-                                         "' has a bad hit number");
-        }
-      }
-      if (action_text == "error") {
-        config.action = FailpointAction::kError;
-        config.code = StatusCode::kIoError;
-      } else if (action_text == "unavailable") {
-        config.action = FailpointAction::kError;
-        config.code = StatusCode::kUnavailable;
-      } else if (action_text == "crash") {
-        config.action = FailpointAction::kCrash;
-      } else {
-        return Status::InvalidArgument(
-            "failpoint spec clause '" + clause +
-            "': action must be error, unavailable or crash");
-      }
+      RR_RETURN_NOT_OK(ParseSpecClause(clause, &name, &config));
       Status armed = Arm(name, config);
       if (armed.code() == StatusCode::kNotFound && allow_pending) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -162,6 +171,56 @@ class FailpointRegistry {
     return Status::OK();
   }
 
+  /// Lenient: each bad clause is warned about and skipped, the rest of
+  /// the spec still arms (the environment path — a typo must not
+  /// silently disarm every other clause). Returns clauses skipped.
+  size_t ArmFromSpecLenient(const std::string& spec, bool allow_pending) {
+    size_t warned = 0;
+    size_t begin = 0;
+    while (begin <= spec.size()) {
+      const size_t end = std::min(spec.find(';', begin), spec.size());
+      const std::string clause = spec.substr(begin, end - begin);
+      begin = end + 1;
+      if (clause.empty()) continue;
+      std::string name;
+      FailpointConfig config;
+      Status armed = ParseSpecClause(clause, &name, &config);
+      if (armed.ok()) armed = Arm(name, config);
+      if (armed.code() == StatusCode::kNotFound && allow_pending) {
+        // Not a typo yet: the TU registering this name may simply not
+        // have initialized. If no registration ever claims it, the
+        // atexit pass (WarnUnclaimedPendingFailpoints) reports it.
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_configs_[name] = config;
+        continue;
+      }
+      if (!armed.ok()) {
+        ++warned;
+        RR_LOG(kWarning) << "RANDRECON_FAILPOINTS: " << armed.message()
+                         << " — clause skipped";
+      }
+    }
+    return warned;
+  }
+
+  std::vector<std::string> UnclaimedPending() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(pending_configs_.size());
+    for (const auto& entry : pending_configs_) names.push_back(entry.first);
+    return names;  // std::map iterates sorted.
+  }
+
+  size_t WarnUnclaimedPending() {
+    const std::vector<std::string> names = UnclaimedPending();
+    for (const std::string& name : names) {
+      RR_LOG(kWarning) << "RANDRECON_FAILPOINTS: failpoint '" << name
+                       << "' is not registered by this binary (typo, or an "
+                          "unlinked TU?) — its clause never fired";
+    }
+    return names.size();
+  }
+
   const std::string& env_spec() const { return env_spec_; }
 
  private:
@@ -169,11 +228,14 @@ class FailpointRegistry {
     const char* env = std::getenv("RANDRECON_FAILPOINTS");
     if (env != nullptr) env_spec_ = env;
     if (!env_spec_.empty()) {
-      const Status armed = ArmFromSpec(env_spec_, /*allow_pending=*/true);
-      if (!armed.ok()) {
-        std::fprintf(stderr, "RANDRECON_FAILPOINTS ignored: %s\n",
-                     armed.ToString().c_str());
-      }
+      // Lenient: a malformed clause is warned about and skipped, never
+      // allowed to silently discard the rest of the spec. Names no
+      // registration ever claims (typos) are reported on exit — the
+      // earliest point the "every TU has initialized" claim is true.
+      ArmFromSpecLenient(env_spec_, /*allow_pending=*/true);
+      std::atexit(+[] {
+        FailpointRegistry::Instance().WarnUnclaimedPending();
+      });
     }
   }
 
@@ -249,6 +311,20 @@ uint64_t FailpointHitCount(const std::string& name) {
 Status ArmFailpointsFromSpec(const std::string& spec) {
   return FailpointRegistry::Instance().ArmFromSpec(spec,
                                                    /*allow_pending=*/false);
+}
+
+size_t ArmFailpointsFromSpecLenient(const std::string& spec,
+                                    bool allow_pending) {
+  return FailpointRegistry::Instance().ArmFromSpecLenient(spec,
+                                                          allow_pending);
+}
+
+std::vector<std::string> UnclaimedPendingFailpoints() {
+  return FailpointRegistry::Instance().UnclaimedPending();
+}
+
+size_t WarnUnclaimedPendingFailpoints() {
+  return FailpointRegistry::Instance().WarnUnclaimedPending();
 }
 
 const std::string& FailpointEnvSpec() {

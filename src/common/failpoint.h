@@ -145,6 +145,31 @@ uint64_t FailpointHitCount(const std::string& name);
 /// unregistered failpoint.
 Status ArmFailpointsFromSpec(const std::string& spec);
 
+/// The lenient variant the RANDRECON_FAILPOINTS environment path uses:
+/// a malformed clause or unknown name is RR_LOG(kWarning)-ed and
+/// SKIPPED instead of aborting the whole spec, so one typo cannot
+/// silently disarm every other clause. Returns the number of clauses
+/// skipped with a warning (0 = every clause armed).
+///
+/// With `allow_pending` (the environment path — the TU defining a name
+/// may not have initialized yet) an unknown name is deferred rather
+/// than warned here; a deferred name no registration ever claims is
+/// reported by WarnUnclaimedPendingFailpoints(), which the registry
+/// runs automatically at process exit when the environment armed
+/// anything.
+size_t ArmFailpointsFromSpecLenient(const std::string& spec,
+                                    bool allow_pending = false);
+
+/// Environment-armed failpoint names still waiting for a registration
+/// that never came — i.e. names that will NEVER fire (a typo, or a TU
+/// this binary does not link). Sorted.
+std::vector<std::string> UnclaimedPendingFailpoints();
+
+/// RR_LOG(kWarning) for every unclaimed pending name (see above);
+/// returns how many were reported. Registered with atexit by the
+/// environment arming path; exposed so the warning is unit-testable.
+size_t WarnUnclaimedPendingFailpoints();
+
 /// The spec the RANDRECON_FAILPOINTS environment variable held when the
 /// registry first materialized ("" when unset) — exposed so tools can
 /// report what was armed under them.

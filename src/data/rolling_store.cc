@@ -1,0 +1,365 @@
+#include "data/rolling_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "data/file_io.h"
+
+namespace randrecon {
+namespace data {
+namespace {
+
+std::string RollingPrefix(const std::string& path) {
+  return "rolling store '" + path + "': ";
+}
+
+// The rotation/republish/retention seams (common/failpoint.h). The
+// shard file's own store.* failpoints (column_store.cc) and the shared
+// manifest.* failpoints (shard_store.cc) fire underneath these.
+Failpoint fp_roll_seal("roll.seal");        ///< Before sealing the open shard.
+Failpoint fp_roll_publish("roll.publish");  ///< Before the manifest republish.
+Failpoint fp_roll_retire("roll.retire");    ///< Before each retired unlink.
+
+// Rolling-layer telemetry (common/metrics.h). These live in the data
+// layer but carry the ingest.* prefix: they are the rotation half of
+// the continuous-ingest accounting tools/check_report.py validates,
+// and splitting the namespace would force every report consumer to
+// know the layering.
+metrics::Counter m_rotations("ingest.rotations");
+metrics::Counter m_publishes("ingest.manifest_publishes");
+metrics::Counter m_retired("ingest.shards_retired");
+metrics::Counter m_snapshots_opened("ingest.snapshots_opened");
+metrics::Gauge g_published_shards("ingest.published_shards");
+metrics::Gauge g_published_rows("ingest.published_rows");
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+RollingShardedStoreWriter::RollingShardedStoreWriter(
+    std::string manifest_path, std::string directory, std::string stem,
+    std::vector<std::string> names, RollingStoreOptions options)
+    : manifest_path_(std::move(manifest_path)),
+      directory_(std::move(directory)),
+      stem_(std::move(stem)),
+      names_(std::move(names)),
+      options_(options) {}
+
+RollingShardedStoreWriter::RollingShardedStoreWriter(
+    RollingShardedStoreWriter&& other) noexcept
+    : manifest_path_(std::move(other.manifest_path_)),
+      directory_(std::move(other.directory_)),
+      stem_(std::move(other.stem_)),
+      names_(std::move(other.names_)),
+      options_(other.options_),
+      entries_(std::move(other.entries_)),
+      entry_rows_(std::move(other.entry_rows_)),
+      current_(std::move(other.current_)),
+      current_rows_(other.current_rows_),
+      current_opened_nanos_(other.current_opened_nanos_),
+      next_shard_index_(other.next_shard_index_),
+      pending_retire_(std::move(other.pending_retire_)),
+      rows_written_(other.rows_written_),
+      published_rows_(other.published_rows_),
+      published_shards_(other.published_shards_),
+      publishes_(other.publishes_),
+      deferred_error_(std::move(other.deferred_error_)),
+      closed_(other.closed_) {
+  other.closed_ = true;  // The hollowed-out source must not try to close.
+}
+
+Result<RollingShardedStoreWriter> RollingShardedStoreWriter::Create(
+    const std::string& manifest_path, std::vector<std::string> column_names,
+    RollingStoreOptions options) {
+  const std::string prefix = RollingPrefix(manifest_path);
+  if (options.shard_rows == 0) {
+    return Status::InvalidArgument(prefix + "shard_rows must be >= 1");
+  }
+  if (options.block_rows == 0) {
+    return Status::InvalidArgument(prefix + "block_rows must be >= 1");
+  }
+  for (const std::string& name : column_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument(prefix + "column names must be non-empty");
+    }
+  }
+  if (column_names.empty()) {
+    return Status::InvalidArgument(prefix + "store needs >= 1 column");
+  }
+  // Unlike ShardedStoreWriter, no shard is created eagerly: Create
+  // leaves NO files behind (an unwritable directory surfaces on the
+  // first Append instead), which keeps "a writer that wrote nothing
+  // recovers to no store" exact for the crash-torture matrix.
+  return RollingShardedStoreWriter(
+      manifest_path, ManifestDirectory(manifest_path),
+      ShardStemForManifest(manifest_path), std::move(column_names), options);
+}
+
+RollingShardedStoreWriter::~RollingShardedStoreWriter() {
+  if (!closed_) Close();  // Best-effort; errors surface via explicit Close().
+}
+
+Status RollingShardedStoreWriter::StartShard() {
+  const std::string relative_path = ShardFileName(stem_, next_shard_index_);
+  ColumnStoreOptions store_options;
+  store_options.block_rows = options_.block_rows;
+  Result<ColumnStoreWriter> created = ColumnStoreWriter::Create(
+      directory_ + relative_path, names_, store_options);
+  if (!created.ok()) {
+    return Status(created.status().code(),
+                  RollingPrefix(manifest_path_) + "shard '" + relative_path +
+                      "': " + created.status().message());
+  }
+  current_ = std::make_unique<ColumnStoreWriter>(std::move(created).value());
+  current_rows_ = 0;
+  current_opened_nanos_ = trace::NowNanos();
+  ++next_shard_index_;
+  return Status::OK();
+}
+
+bool RollingShardedStoreWriter::ShouldRotate() const {
+  if (current_ == nullptr || current_rows_ == 0) return false;
+  if (current_rows_ >= options_.shard_rows) return true;
+  if (options_.shard_bytes > 0 &&
+      current_rows_ * names_.size() * sizeof(double) >= options_.shard_bytes) {
+    return true;
+  }
+  if (options_.shard_age_nanos > 0 &&
+      trace::NowNanos() - current_opened_nanos_ >= options_.shard_age_nanos) {
+    return true;
+  }
+  return false;
+}
+
+Status RollingShardedStoreWriter::SealCurrentShard() {
+  // The relative path was fixed when the shard started; its index is
+  // next_shard_index_ - 1.
+  const std::string relative_path = ShardFileName(stem_, next_shard_index_ - 1);
+  const std::string shard_prefix =
+      RollingPrefix(manifest_path_) + "shard '" + relative_path + "': ";
+  Status sealed = [&]() -> Status {
+    RR_FAILPOINT(fp_roll_seal);
+    return current_->Close();
+  }();
+  if (!sealed.ok()) {
+    // Sticky: a shard that failed to seal lost data — no later publish
+    // may describe this writer's output as complete.
+    deferred_error_ = Status(sealed.code(), shard_prefix + sealed.message());
+    return deferred_error_;
+  }
+  // Re-open the sealed file to digest its header + block hashes; this
+  // also proves the bytes on disk parse as a valid store.
+  Result<ColumnStoreReader> reader =
+      ColumnStoreReader::Open(directory_ + relative_path);
+  if (!reader.ok()) {
+    deferred_error_ = Status(reader.status().code(),
+                             shard_prefix + reader.status().message());
+    return deferred_error_;
+  }
+  ShardManifestEntry entry;
+  entry.relative_path = relative_path;
+  entry.seal_digest = ComputeShardSealDigest(reader.value());
+  entries_.push_back(std::move(entry));
+  entry_rows_.push_back(current_rows_);
+  current_.reset();
+  current_rows_ = 0;
+  m_rotations.Add(1);
+  return Status::OK();
+}
+
+size_t RollingShardedStoreWriter::RetireCount() const {
+  size_t retire = 0;
+  uint64_t remaining_rows = 0;
+  for (uint64_t rows : entry_rows_) remaining_rows += rows;
+  // Retire oldest-first while a bound says the suffix alone satisfies
+  // the policy. At least one shard always survives.
+  while (retire + 1 < entries_.size()) {
+    const bool too_many_shards = options_.retain_shards > 0 &&
+                                 entries_.size() - retire >
+                                     options_.retain_shards;
+    const bool rows_to_spare =
+        options_.retain_rows > 0 &&
+        remaining_rows - entry_rows_[retire] >= options_.retain_rows;
+    if (!too_many_shards && !rows_to_spare) break;
+    remaining_rows -= entry_rows_[retire];
+    ++retire;
+  }
+  return retire;
+}
+
+Status RollingShardedStoreWriter::PublishAndRetire() {
+  RR_CHECK(!entries_.empty())
+      << "RollingShardedStoreWriter: publish with no sealed shards";
+  const size_t retire = RetireCount();
+  // Build the manifest over the retained suffix, renumbering row spans
+  // from 0 (manifest v1 spans must tile [0, num_records)).
+  ShardManifest manifest;
+  manifest.column_names = names_;
+  uint64_t row_begin = 0;
+  for (size_t s = retire; s < entries_.size(); ++s) {
+    ShardManifestEntry entry = entries_[s];
+    entry.row_begin = row_begin;
+    entry.row_count = entry_rows_[s];
+    row_begin += entry_rows_[s];
+    manifest.shards.push_back(std::move(entry));
+  }
+  manifest.num_records = row_begin;
+  Status published = [&]() -> Status {
+    RR_FAILPOINT(fp_roll_publish);
+    return WriteShardManifest(manifest, manifest_path_);
+  }();
+  // NOT sticky: the manifest on disk is still the previous good one and
+  // every sealed shard is still queued — the next rotation (or Close)
+  // simply republishes the longer list.
+  RR_RETURN_NOT_OK(published);
+  publishes_ += 1;
+  published_rows_ = manifest.num_records;
+  published_shards_ = manifest.shards.size();
+  m_publishes.Add(1);
+  g_published_shards.Set(static_cast<int64_t>(published_shards_));
+  g_published_rows.Set(static_cast<int64_t>(published_rows_));
+  // Retention commits only AFTER the publish that stopped naming the
+  // retired shards succeeded: a crash anywhere here leaves an
+  // unreferenced sealed file, never a manifest naming a missing one.
+  for (size_t s = 0; s < retire; ++s) {
+    pending_retire_.push_back(directory_ + entries_[s].relative_path);
+  }
+  entries_.erase(entries_.begin(),
+                 entries_.begin() + static_cast<ptrdiff_t>(retire));
+  entry_rows_.erase(entry_rows_.begin(),
+                    entry_rows_.begin() + static_cast<ptrdiff_t>(retire));
+  // Deletion is transient-retryable: a path that fails to unlink stays
+  // queued for the next publish instead of leaking silently.
+  std::vector<std::string> still_pending;
+  for (const std::string& path : pending_retire_) {
+    const Status retired = [&]() -> Status {
+      RR_FAILPOINT(fp_roll_retire);
+      if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+        return Status::IoError(RollingPrefix(manifest_path_) +
+                               "could not remove retired shard '" + path +
+                               "'");
+      }
+      return Status::OK();
+    }();
+    if (retired.ok()) {
+      m_retired.Add(1);
+      continue;
+    }
+    RR_LOG(kWarning) << retired.message() << " — will retry next publish";
+    still_pending.push_back(path);
+  }
+  pending_retire_ = std::move(still_pending);
+  return Status::OK();
+}
+
+Status RollingShardedStoreWriter::Rotate() {
+  if (closed_) {
+    return Status::FailedPrecondition(RollingPrefix(manifest_path_) +
+                                      "Rotate after Close");
+  }
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (current_ == nullptr || current_rows_ == 0) return Status::OK();
+  RR_RETURN_NOT_OK(SealCurrentShard());
+  return PublishAndRetire();
+}
+
+Status RollingShardedStoreWriter::MaybeRotate() {
+  if (closed_) {
+    return Status::FailedPrecondition(RollingPrefix(manifest_path_) +
+                                      "MaybeRotate after Close");
+  }
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (!ShouldRotate()) return Status::OK();
+  return Rotate();
+}
+
+Status RollingShardedStoreWriter::Append(const linalg::Matrix& chunk,
+                                         size_t num_rows) {
+  if (closed_) {
+    return Status::FailedPrecondition(RollingPrefix(manifest_path_) +
+                                      "Append after Close");
+  }
+  if (!deferred_error_.ok()) return deferred_error_;
+  const size_t m = names_.size();
+  if (chunk.cols() != m) {
+    return Status::InvalidArgument(
+        RollingPrefix(manifest_path_) + "chunk has " +
+        std::to_string(chunk.cols()) + " columns, store has " +
+        std::to_string(m));
+  }
+  RR_CHECK(num_rows <= chunk.rows())
+      << "RollingShardedStoreWriter::Append: num_rows exceeds chunk";
+  size_t consumed = 0;
+  while (consumed < num_rows) {
+    if (current_ == nullptr) RR_RETURN_NOT_OK(StartShard());
+    const size_t take =
+        std::min(options_.shard_rows - current_rows_, num_rows - consumed);
+    RR_RETURN_NOT_OK(current_->Append(chunk.data() + consumed * m, take));
+    current_rows_ += take;
+    rows_written_ += take;
+    consumed += take;
+    if (ShouldRotate()) RR_RETURN_NOT_OK(Rotate());
+  }
+  return Status::OK();
+}
+
+Status RollingShardedStoreWriter::Close() {
+  if (closed_) return deferred_error_;
+  if (!deferred_error_.ok()) {
+    closed_ = true;
+    return deferred_error_;
+  }
+  // An open shard that never took a row would seal into a 0-row store
+  // file via ColumnStoreWriter's best-effort destructor — discard it
+  // instead (seal, then remove both spellings).
+  if (current_ != nullptr && current_rows_ == 0) {
+    const std::string path =
+        directory_ + ShardFileName(stem_, next_shard_index_ - 1);
+    current_.reset();
+    std::remove(path.c_str());
+    std::remove(TempPathFor(path).c_str());
+  }
+  // Final rotation covers the open partial shard; if sealed shards are
+  // queued from an earlier failed publish, republish them so Close
+  // never leaves sealed data unnamed by the manifest.
+  Status final_publish = Status::OK();
+  if (current_ != nullptr && current_rows_ > 0) {
+    final_publish = Rotate();
+  } else if (!entries_.empty() && published_shards_ != entries_.size()) {
+    final_publish = PublishAndRetire();
+  }
+  closed_ = true;
+  current_.reset();
+  return final_publish;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot reader.
+// ---------------------------------------------------------------------------
+
+Result<RollingStoreSnapshotReader> RollingStoreSnapshotReader::Open(
+    const std::string& manifest_path, ColumnStoreReadOptions store_options) {
+  RR_ASSIGN_OR_RETURN(ShardedStoreReader reader,
+                      ShardedStoreReader::Open(manifest_path, store_options));
+  // Pin: open + validate every shard NOW. From here the snapshot can
+  // never fail on a shard open — retention may unlink files under us,
+  // but the mmaps hold the sealed bytes until this reader dies.
+  for (size_t s = 0; s < reader.num_shards(); ++s) {
+    RR_ASSIGN_OR_RETURN(ColumnStoreReader * shard, reader.shard(s));
+    (void)shard;
+  }
+  m_snapshots_opened.Add(1);
+  return RollingStoreSnapshotReader(std::move(reader));
+}
+
+}  // namespace data
+}  // namespace randrecon

@@ -1,0 +1,245 @@
+// Rolling sharded stores: reader-while-writer over the sharded store
+// format, with no locks shared across processes.
+//
+// ShardedStoreWriter (data/shard_store.h) publishes its manifest once,
+// on Close() — correct for batch conversions, useless for continuous
+// ingest, where readers must attack a growing corpus while the writer
+// keeps appending. RollingShardedStoreWriter closes that gap using only
+// the crash-safety primitives the format already has:
+//
+//   * Rows stream into one open shard at a time. An open shard is
+//     ALWAYS a ".tmp" file with an intentionally mismatched header
+//     checksum (data/column_store.h), so no reader — and no recovery
+//     pass — can mistake it for data.
+//   * When the open shard hits a rotation trigger (`shard_rows` rows,
+//     `shard_bytes` payload bytes, or `shard_age_nanos` of wall age),
+//     it is sealed (flush + header patch + fsync + atomic rename),
+//     digested, appended to the published entry list, and a NEW
+//     manifest over every retained shard is republished through the
+//     same write-temp → fsync → atomic-rename path every ".rrcm"
+//     already uses (docs/FORMAT.md §7–8).
+//   * Because shards seal BEFORE the manifest that names them, and the
+//     manifest flips atomically, ANY manifest a concurrent process
+//     observes describes only fully-sealed, digest-bound shards. That
+//     is the whole reader-while-writer protocol: the filesystem is the
+//     only shared state.
+//
+// Retention: `retain_shards` / `retain_rows` bound the published
+// window. Retired entries leave the manifest first (republish), and
+// only then are their files deleted — a crash in between leaves an
+// unreferenced sealed file, never a manifest naming a missing one.
+// Retention renumbers row spans from 0 (manifest v1 spans must tile
+// [0, num_records)), so a record's logical row index is a per-snapshot
+// coordinate, not a stable global id; rows_written() keeps the
+// monotonic total.
+//
+// RollingStoreSnapshotReader opens the latest published manifest and
+// PINS every shard it names (opens + validates + mmaps them all up
+// front). A pinned snapshot stays bitwise-readable for its whole
+// lifetime even after retention unlinks a shard file: sealed shards are
+// never rewritten in place, and POSIX keeps an unlinked mapping alive
+// until the last reader drops it.
+//
+// Crash recovery is data/store_recovery.h, unchanged: any crash leaves
+// either the last published manifest (kept untouched — every shard it
+// names sealed before it was written) or, if no manifest was ever
+// published, orphan temps that sweep to an empty store. The fork-based
+// torture matrix in tests/data/rolling_store_test.cc kills the writer
+// at every rotation failpoint × hit to prove it.
+
+#ifndef RANDRECON_DATA_ROLLING_STORE_H_
+#define RANDRECON_DATA_ROLLING_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/column_store.h"
+#include "data/shard_store.h"
+#include "linalg/matrix.h"
+
+namespace randrecon {
+namespace data {
+
+/// Rotation + retention knobs.
+struct RollingStoreOptions {
+  /// Rotate once the open shard holds this many rows (>= 1).
+  size_t shard_rows = 1u << 16;
+  /// Rotate once the open shard's payload reaches this many bytes
+  /// (rows x columns x 8; 0 = no byte trigger).
+  size_t shard_bytes = 0;
+  /// Rotate once the open shard has been open this long, measured on
+  /// trace::NowNanos() so tests pin it with a FakeClockGuard (0 = no
+  /// age trigger). Age only triggers on an Append or MaybeRotate call —
+  /// an idle writer rotates on its owner's next poll.
+  uint64_t shard_age_nanos = 0;
+  /// Keep at most this many newest published shards (0 = unlimited).
+  size_t retain_shards = 0;
+  /// Keep the newest published shards covering at least this many rows:
+  /// the oldest shard is retired only while the shards after it still
+  /// hold >= retain_rows rows (0 = unlimited).
+  uint64_t retain_rows = 0;
+  /// Rows per block inside each shard (data::ColumnStoreOptions).
+  size_t block_rows = kDefaultColumnStoreBlockRows;
+};
+
+/// Streams rows into rotating shards, republishing the manifest after
+/// every rotation so concurrent snapshot readers always have a sealed,
+/// consistent prefix to open. Single-threaded like every writer in the
+/// data layer — the concurrent edge lives in pipeline/ingest.h, which
+/// feeds one writer from a bounded queue.
+class RollingShardedStoreWriter {
+ public:
+  /// InvalidArgument on shard_rows == 0, block_rows == 0 or bad column
+  /// names. Touches NO files: the first shard is created on the first
+  /// Append (an unwritable directory surfaces there), and the first
+  /// manifest appears after the first rotation (or Close).
+  static Result<RollingShardedStoreWriter> Create(
+      const std::string& manifest_path, std::vector<std::string> column_names,
+      RollingStoreOptions options = {});
+
+  RollingShardedStoreWriter(RollingShardedStoreWriter&& other) noexcept;
+  RollingShardedStoreWriter& operator=(RollingShardedStoreWriter&&) = delete;
+  RollingShardedStoreWriter(const RollingShardedStoreWriter&) = delete;
+  RollingShardedStoreWriter& operator=(const RollingShardedStoreWriter&) =
+      delete;
+  ~RollingShardedStoreWriter();
+
+  /// Appends the leading `num_rows` rows of row-major `chunk`, rotating
+  /// (and republishing) whenever a trigger fires mid-append.
+  Status Append(const linalg::Matrix& chunk, size_t num_rows);
+
+  /// Applies the rotation triggers now — how an owner with no rows to
+  /// append honors `shard_age_nanos`. No-op when nothing triggers.
+  Status MaybeRotate();
+
+  /// Seals the open shard and republishes unconditionally (no-op when
+  /// the open shard is empty). A publish failure is NOT sticky: the
+  /// sealed shard stays queued and the next rotation or Close retries
+  /// the republish — the manifest on disk is the previous good one
+  /// throughout.
+  Status Rotate();
+
+  /// Final rotation + republish, then closes. Idempotent. A store that
+  /// never received a row closes without writing any file.
+  Status Close();
+
+  /// Rows appended over the writer's whole life (monotonic — retention
+  /// does not subtract).
+  uint64_t rows_written() const { return rows_written_; }
+
+  /// Rows / shards in the last successfully published manifest.
+  uint64_t published_rows() const { return published_rows_; }
+  size_t published_shards() const { return published_shards_; }
+
+  /// Successful manifest publishes so far.
+  uint64_t publishes() const { return publishes_; }
+
+  const std::string& manifest_path() const { return manifest_path_; }
+
+  /// Immutable after Create — safe from any thread.
+  size_t num_attributes() const { return names_.size(); }
+
+ private:
+  RollingShardedStoreWriter(std::string manifest_path, std::string directory,
+                            std::string stem, std::vector<std::string> names,
+                            RollingStoreOptions options);
+
+  /// Creates the next shard file as the open target.
+  Status StartShard();
+
+  /// True when a rotation trigger currently holds for the open shard.
+  bool ShouldRotate() const;
+
+  /// Seals + digests the open shard into entries_ (rotation step 1).
+  Status SealCurrentShard();
+
+  /// Splits entries_ into (retired prefix, retained suffix) per the
+  /// retention policy. Pure planning — nothing touches disk here.
+  size_t RetireCount() const;
+
+  /// Republishes the manifest over the retained suffix, then commits
+  /// retention (drops retired entries, queues their files for
+  /// deletion) and best-effort deletes everything queued.
+  Status PublishAndRetire();
+
+  std::string manifest_path_;
+  std::string directory_;  ///< Includes the trailing '/', or "".
+  std::string stem_;
+  std::vector<std::string> names_;
+  RollingStoreOptions options_;
+  /// Sealed, digested shards awaiting or surviving publish. Entry
+  /// row_begin values are recomputed at each publish.
+  std::vector<ShardManifestEntry> entries_;
+  /// Row counts per entries_ slot (row_begin renumbering source).
+  std::vector<uint64_t> entry_rows_;
+  /// The open shard (null between a rotation and the next Append).
+  std::unique_ptr<ColumnStoreWriter> current_;
+  size_t current_rows_ = 0;
+  uint64_t current_opened_nanos_ = 0;
+  /// Monotonic file-name index: retention never reuses a shard name.
+  size_t next_shard_index_ = 0;
+  /// Files retired from the manifest whose deletion has not succeeded
+  /// yet — retried after every publish, so a failed unlink is
+  /// transient, not leaked.
+  std::vector<std::string> pending_retire_;
+  uint64_t rows_written_ = 0;
+  uint64_t published_rows_ = 0;
+  size_t published_shards_ = 0;
+  uint64_t publishes_ = 0;
+  /// First seal failure, sticky (a shard that failed to seal is
+  /// unrecoverable damage — publish failures are NOT recorded here).
+  Status deferred_error_;
+  bool closed_ = false;
+};
+
+/// A pinned, immutable view of the latest published manifest: every
+/// named shard is opened and validated against its manifest digest up
+/// front, so the snapshot keeps serving bitwise-exact rows for its
+/// whole lifetime regardless of concurrent rotations and retention
+/// (sealed shards are never modified, only unlinked — and the pin's
+/// mmap outlives the unlink). Move-only, single-threaded; concurrent
+/// consumers each Open their own snapshot.
+class RollingStoreSnapshotReader {
+ public:
+  /// Fails like ShardedStoreReader::Open, or with the first shard that
+  /// does not validate — a snapshot is all-or-nothing.
+  static Result<RollingStoreSnapshotReader> Open(
+      const std::string& manifest_path,
+      ColumnStoreReadOptions store_options = {});
+
+  RollingStoreSnapshotReader(RollingStoreSnapshotReader&&) = default;
+  RollingStoreSnapshotReader& operator=(RollingStoreSnapshotReader&&) =
+      default;
+  RollingStoreSnapshotReader(const RollingStoreSnapshotReader&) = delete;
+  RollingStoreSnapshotReader& operator=(const RollingStoreSnapshotReader&) =
+      delete;
+
+  size_t num_records() const { return reader_.num_records(); }
+  size_t num_attributes() const { return reader_.num_attributes(); }
+  size_t num_shards() const { return reader_.num_shards(); }
+  const std::vector<std::string>& attribute_names() const {
+    return reader_.attribute_names();
+  }
+  const ShardManifest& manifest() const { return reader_.manifest(); }
+
+  /// Fills the leading rows of `buffer` with snapshot records
+  /// [row_begin, row_begin + num_rows) — row indices are snapshot-local
+  /// (see the retention renumbering note above).
+  Status ReadRows(size_t row_begin, size_t num_rows, linalg::Matrix* buffer) {
+    return reader_.ReadRows(row_begin, num_rows, buffer);
+  }
+
+ private:
+  explicit RollingStoreSnapshotReader(ShardedStoreReader reader)
+      : reader_(std::move(reader)) {}
+
+  ShardedStoreReader reader_;
+};
+
+}  // namespace data
+}  // namespace randrecon
+
+#endif  // RANDRECON_DATA_ROLLING_STORE_H_

@@ -173,6 +173,56 @@ TEST_F(FailpointTest, BadSpecsAreRejected) {
             StatusCode::kNotFound);
 }
 
+TEST_F(FailpointTest, LenientSpecWarnsOnMalformedClausesAndArmsTheRest) {
+  // The RANDRECON_FAILPOINTS environment path: a malformed clause gets
+  // an RR_LOG(kWarning) naming the problem and is SKIPPED — the valid
+  // clauses around it still arm. Silent ignoring would make a typo'd
+  // fault-injection run indistinguishable from a passing one.
+  testing::internal::CaptureStderr();
+  const size_t skipped = ArmFailpointsFromSpecLenient(
+      "test.point=explode;test.other=error;=error");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_FALSE(test_point.armed());  // Bad action: skipped.
+  EXPECT_TRUE(other_point.armed());  // Valid neighbor: armed.
+  EXPECT_NE(captured.find("RANDRECON_FAILPOINTS"), std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("clause skipped"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("explode"), std::string::npos) << captured;
+}
+
+TEST_F(FailpointTest, LenientSpecWarnsOnUnknownNamesWhenNotPending) {
+  testing::internal::CaptureStderr();
+  const size_t skipped =
+      ArmFailpointsFromSpecLenient("no.such.failpoint=error",
+                                   /*allow_pending=*/false);
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_NE(captured.find("no.such.failpoint"), std::string::npos) << captured;
+}
+
+TEST_F(FailpointTest, UnclaimedPendingFailpointsAreReportedByName) {
+  // allow_pending mimics env-at-startup: the unknown name parks as
+  // pending (maybe a later-registering TU claims it) with NO immediate
+  // warning...
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(ArmFailpointsFromSpecLenient("zz.never.registered=crash@3",
+                                         /*allow_pending=*/true),
+            0u);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  const std::vector<std::string> unclaimed = UnclaimedPendingFailpoints();
+  ASSERT_EQ(unclaimed.size(), 1u);
+  EXPECT_EQ(unclaimed[0], "zz.never.registered");
+  // ...and the registry's atexit hook surfaces it as a warning so a
+  // typo'd RANDRECON_FAILPOINTS never dies silently.
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(WarnUnclaimedPendingFailpoints(), 1u);
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_NE(captured.find("zz.never.registered"), std::string::npos)
+      << captured;
+  EXPECT_NE(captured.find("not registered"), std::string::npos) << captured;
+}
+
 TEST_F(FailpointTest, DisarmAllClearsEverything) {
   ASSERT_TRUE(
       ArmFailpointsFromSpec("test.point=error;test.other=error").ok());

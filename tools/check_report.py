@@ -5,10 +5,12 @@ Usage: check_report.py report.json [report2.json ...]
 
 Checks every report against the schema_version-1 layout — required keys,
 value types, histogram invariants, span-tree topology — and, for tools
-whose sections it knows (sweep_attack, convert_csv), cross-checks the
-telemetry counters against the tool's own job accounting: every job,
-retry and excluded shard must be counted exactly once. Stdlib only, so
-CI can run it on a bare python3.
+whose sections it knows (sweep_attack, convert_csv, ingest_load),
+cross-checks the telemetry counters against the tool's own accounting:
+every job, retry and excluded shard counted exactly once, and for
+ingest runs the overload-safety identity shed + appended == offered
+(batch- and row-wise, with every shed attributed to a cause). Stdlib
+only, so CI can run it on a bare python3.
 
 Exit status: 0 iff every report validates; failures name the report and
 the violated invariant.
@@ -142,6 +144,86 @@ def check_sweep_attack(report):
     require(hist is not None and hist["count"] == len(jobs),
             "pipeline.job_wall_nanos must hold one sample per job")
 
+    # Snapshot provenance (rolling stores): every parsed manifest the
+    # sweep attacked is pinned by path + row count.
+    snapshots = report.get("snapshots")
+    if snapshots is not None:
+        require(isinstance(snapshots, list), "'snapshots' must be an array")
+        for i, snap in enumerate(snapshots):
+            for key, kind in [("manifest", str), ("rows", int),
+                              ("shards", int)]:
+                require(isinstance(snap.get(key), kind),
+                        f"snapshot {i} needs {kind.__name__} '{key}'")
+            require(snap["rows"] >= 0 and snap["shards"] >= 1,
+                    f"snapshot {i} must name at least one shard")
+
+
+def check_ingest_load(report):
+    """The overload-safety contract (docs/ARCHITECTURE.md contract 8):
+    every offered batch is appended or shed — never dropped silently,
+    never blocked forever — and the telemetry agrees with the tool's
+    own accounting, batch-wise and row-wise."""
+    config = report["config"]
+    counters = report["counters"]
+    gauges = report["gauges"]
+    for key in ["store", "producers", "batches_offered", "batches_appended",
+                "batches_shed", "rows_offered", "rows_appended", "rows_shed",
+                "published_rows", "published_shards"]:
+        require(key in config, f"ingest_load report needs config.{key}")
+
+    # The accounting identity, from the tool's own view...
+    require(config["batches_offered"]
+            == config["batches_appended"] + config["batches_shed"],
+            "config: offered != appended + shed (batches)")
+    require(config["rows_offered"]
+            == config["rows_appended"] + config["rows_shed"],
+            "config: offered != appended + shed (rows)")
+    # ...and from the process-global ingest.* counters, which must agree.
+    for name in ["ingest.offered", "ingest.appended", "ingest.shed",
+                 "ingest.rows_offered", "ingest.rows_appended",
+                 "ingest.rows_shed", "ingest.rotations",
+                 "ingest.manifest_publishes"]:
+        require(name in counters, f"ingest_load report needs counter {name}")
+    require(counters["ingest.offered"]
+            == counters["ingest.appended"] + counters["ingest.shed"],
+            "counters: ingest.offered != ingest.appended + ingest.shed")
+    require(counters["ingest.rows_offered"]
+            == counters["ingest.rows_appended"] + counters["ingest.rows_shed"],
+            "counters: ingest row identity violated")
+    for batch_key, counter in [("batches_offered", "ingest.offered"),
+                               ("batches_appended", "ingest.appended"),
+                               ("batches_shed", "ingest.shed"),
+                               ("rows_appended", "ingest.rows_appended")]:
+        require(config[batch_key] == counters[counter],
+                f"config.{batch_key} != counter {counter}")
+    # Sheds are attributed to exactly one cause.
+    shed_causes = (counters.get("ingest.shed_admission", 0)
+                   + counters.get("ingest.shed_expired", 0)
+                   + counters.get("ingest.shed_store_error", 0))
+    require(shed_causes == counters["ingest.shed"],
+            "shed-cause counters do not sum to ingest.shed")
+
+    # The queue fully drained (Close's contract) and the published
+    # gauge matches what the tool reported.
+    require(gauges.get("ingest.queue_depth") == 0,
+            "ingest.queue_depth must be 0 after Close")
+    require(gauges.get("ingest.published_rows") == config["published_rows"],
+            "ingest.published_rows gauge != config.published_rows")
+    require(config["rows_appended"] == config["published_rows"],
+            "appended rows must all be published at Close")
+
+    # Append latency: one sample per appended batch, plus at most the
+    # store-error batches that failed inside Append before the error
+    # stuck.
+    hist = report["histograms"].get("ingest.append_nanos")
+    require(hist is not None,
+            "ingest_load report needs histogram ingest.append_nanos")
+    require(hist["count"] >= config["batches_appended"],
+            "ingest.append_nanos undercounts appended batches")
+    require(hist["count"] - config["batches_appended"]
+            <= counters.get("ingest.shed_store_error", 0),
+            "ingest.append_nanos holds samples no batch accounts for")
+
 
 def check_convert_csv(report):
     config = report["config"]
@@ -164,6 +246,8 @@ def check_report(path):
         check_sweep_attack(report)
     elif tool == "convert_csv":
         check_convert_csv(report)
+    elif tool == "ingest_load":
+        check_ingest_load(report)
     return tool
 
 
