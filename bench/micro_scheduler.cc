@@ -1,0 +1,275 @@
+// Attack-scheduler cycle latency vs a direct full recompute.
+//
+// The AttackScheduler's value proposition is that a scheduled cycle is
+// the SAME attack as an offline sweep — pin, recompute, publish — so
+// its cost must stay within a small factor of the bare
+// StreamingAttackPipeline run over the same manifest. This benchmark
+// builds a rolling store once, times
+//
+//   direct     — ShardedRecordSource::Open + StreamingAttackPipeline::Run
+//                (what sweep_attack does per manifest job), and
+//   scheduled  — AttackScheduler::RunCycleNow() (snapshot pin + the same
+//                attack + versioned report publish),
+//
+// and gates two things:
+//
+//   1. Bitwise equality (machine-independent, exact): the scheduled
+//      cycle's eigenvalues / mean / rmse memcmp-equal the direct run's.
+//      This is the contract check that scheduling never perturbs
+//      numerics, run at benchmark scale rather than unit-test scale.
+//   2. Latency: the best scheduled cycle stays under 2x the best direct
+//      run plus a fixed slack for the publish I/O. Pinning a snapshot
+//      and rendering one JSON report must never dominate the attack.
+//
+// Flags: --smoke=true shrinks the store for CI; --seed, --shards,
+// --json=PATH (default BENCH_scheduler.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "data/rolling_store.h"
+#include "data/shard_store.h"
+#include "linalg/matrix.h"
+#include "pipeline/attack_scheduler.h"
+#include "pipeline/chunk_sink.h"
+#include "pipeline/record_source.h"
+#include "stats/rng.h"
+
+namespace randrecon {
+namespace bench {
+namespace {
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "FAIL: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::vector<std::string> ColumnNames(size_t cols) {
+  std::vector<std::string> names;
+  names.reserve(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    names.push_back("col" + std::to_string(c));
+  }
+  return names;
+}
+
+void RemoveDirRecursive(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  while (struct dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::remove((dir + "/" + name).c_str());
+  }
+  ::closedir(handle);
+  ::rmdir(dir.c_str());
+}
+
+/// Builds a sealed rolling store of `shards` full shards.
+void BuildStore(const std::string& manifest_path, size_t shards,
+                size_t shard_rows, size_t cols, uint64_t seed) {
+  data::RollingStoreOptions options;
+  options.shard_rows = shard_rows;
+  options.block_rows = 256;
+  auto created = data::RollingShardedStoreWriter::Create(
+      manifest_path, ColumnNames(cols), options);
+  if (!created.ok()) Die("store create: " + created.status().ToString());
+  data::RollingShardedStoreWriter writer = std::move(created).value();
+  for (size_t s = 0; s < shards; ++s) {
+    stats::Rng rng(seed * 1000003ull + s);
+    const linalg::Matrix records = rng.GaussianMatrix(shard_rows, cols);
+    const Status appended = writer.Append(records, shard_rows);
+    if (!appended.ok()) Die("store append: " + appended.ToString());
+  }
+  const Status closed = writer.Close();
+  if (!closed.ok()) Die("store close: " + closed.ToString());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace randrecon
+
+int main(int argc, char** argv) {
+  using namespace randrecon;
+  using bench::BenchResult;
+  using bench::Die;
+
+  Result<Flags> parsed = Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  const Flags& flags = parsed.value();
+  const auto smoke = flags.GetBool("smoke", false);
+  const auto seed = flags.GetInt("seed", 7);
+  const auto shards_flag = flags.GetInt("shards", 0);
+  const std::string json_path = flags.GetString("json", "BENCH_scheduler.json");
+  if (!smoke.ok() || !seed.ok() || !shards_flag.ok() ||
+      shards_flag.value() < 0) {
+    std::fprintf(stderr, "bad flag value\n");
+    return 2;
+  }
+
+  const size_t shards = shards_flag.value() > 0
+                            ? static_cast<size_t>(shards_flag.value())
+                            : (smoke.value() ? 6 : 24);
+  const size_t shard_rows = smoke.value() ? 256 : 2048;
+  const size_t cols = 8;
+  const size_t reps = smoke.value() ? 3 : 5;
+  const double sigma = 0.5;
+  const uint64_t root_seed = static_cast<uint64_t>(seed.value());
+  const uint64_t total_rows = static_cast<uint64_t>(shards) * shard_rows;
+
+  const std::string manifest_path =
+      std::string("micro_scheduler") + data::kShardManifestExtension;
+  const std::string report_dir = "micro_scheduler_reports";
+  data::RemoveShardedStoreFiles(manifest_path);
+  bench::RemoveDirRecursive(report_dir);
+  metrics::ResetAllMetrics();
+
+  bench::BuildStore(manifest_path, shards, shard_rows, cols, root_seed);
+
+  pipeline::StreamingAttackOptions attack;
+  attack.chunk_rows = 4096;
+  const perturb::NoiseModel noise =
+      perturb::NoiseModel::IndependentGaussian(cols, sigma);
+
+  // ---- Direct recompute: the sweep_attack whole-manifest job. --------
+  pipeline::StreamingAttackReport direct_report;
+  double direct_best = 1e300;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Stopwatch stopwatch;
+    auto opened = pipeline::ShardedRecordSource::Open(
+        manifest_path, data::ColumnStoreReadOptions());
+    if (!opened.ok()) Die("direct open: " + opened.status().ToString());
+    pipeline::ShardedRecordSource source = std::move(opened).value();
+    pipeline::NullChunkSink sink;
+    pipeline::StreamingAttackPipeline pipeline(attack);
+    auto run = pipeline.Run(&source, noise, &sink);
+    if (!run.ok()) Die("direct run: " + run.status().ToString());
+    const double elapsed = stopwatch.ElapsedSeconds();
+    if (elapsed < direct_best) direct_best = elapsed;
+    direct_report = std::move(run).value();
+  }
+
+  // ---- Scheduled cycle: pin + the same attack + versioned publish. ---
+  pipeline::AttackSchedulerOptions scheduler_options;
+  scheduler_options.sigma = sigma;
+  scheduler_options.attack = attack;
+  scheduler_options.attack_unchanged = true;  // Re-attack the same store.
+  scheduler_options.report_dir = report_dir;
+  auto created =
+      pipeline::AttackScheduler::Create(manifest_path, scheduler_options);
+  if (!created.ok()) Die("scheduler create: " + created.status().ToString());
+  std::unique_ptr<pipeline::AttackScheduler> scheduler =
+      std::move(created).value();
+
+  pipeline::SchedulerCycleResult last_cycle;
+  double scheduled_best = 1e300;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Stopwatch stopwatch;
+    pipeline::SchedulerCycleResult cycle = scheduler->RunCycleNow();
+    const double elapsed = stopwatch.ElapsedSeconds();
+    if (cycle.outcome != pipeline::CycleOutcome::kOk) {
+      Die(std::string("scheduled cycle ended ") +
+          pipeline::CycleOutcomeName(cycle.outcome) + ": " +
+          cycle.status.ToString());
+    }
+    if (cycle.version != rep + 1) Die("report versions are not contiguous");
+    if (elapsed < scheduled_best) scheduled_best = elapsed;
+    last_cycle = std::move(cycle);
+  }
+  if (scheduler->reports_published() != reps ||
+      scheduler->cycles_ok() != scheduler->cycles()) {
+    Die("cycle accounting identity broken");
+  }
+
+  // ---- Gate 1 (machine-independent): bitwise equality. ---------------
+  if (last_cycle.report.num_records != direct_report.num_records ||
+      last_cycle.report.num_components != direct_report.num_components ||
+      last_cycle.report.eigenvalues.size() !=
+          direct_report.eigenvalues.size() ||
+      last_cycle.report.mean.size() != direct_report.mean.size()) {
+    Die("scheduled and direct runs disagree on shape");
+  }
+  const double scheduled_rmse = last_cycle.report.rmse_vs_disguised;
+  const double direct_rmse = direct_report.rmse_vs_disguised;
+  if (std::memcmp(last_cycle.report.eigenvalues.data(),
+                  direct_report.eigenvalues.data(),
+                  direct_report.eigenvalues.size() * sizeof(double)) != 0 ||
+      std::memcmp(last_cycle.report.mean.data(), direct_report.mean.data(),
+                  direct_report.mean.size() * sizeof(double)) != 0 ||
+      std::memcmp(&scheduled_rmse, &direct_rmse, sizeof(double)) != 0) {
+    Die("scheduled attack output is not bitwise equal to the direct run");
+  }
+
+  // ---- Gate 2: a cycle never dominates the attack it wraps. ----------
+  // 2x covers the snapshot pin + report render/write; the absolute
+  // slack covers descheduling on loaded CI runners, not real work.
+  const double latency_gate = 2.0 * direct_best + 0.25;
+  const double overhead_ratio =
+      direct_best > 0.0 ? scheduled_best / direct_best : 0.0;
+  std::printf("direct     best %8.2fms  %12.0f rows/s\n", direct_best * 1e3,
+              total_rows / direct_best);
+  std::printf("scheduled  best %8.2fms  %12.0f rows/s  (%.2fx direct)\n",
+              scheduled_best * 1e3, total_rows / scheduled_best,
+              overhead_ratio);
+  if (scheduled_best > latency_gate) {
+    std::fprintf(stderr,
+                 "FAIL: scheduled cycle %.1fms above the %.1fms gate "
+                 "(2x direct + 250ms slack)\n",
+                 scheduled_best * 1e3, latency_gate * 1e3);
+    return 1;
+  }
+
+  std::vector<BenchResult> results;
+  {
+    BenchResult result;
+    result.name = "direct_recompute";
+    result.elapsed_seconds = direct_best;
+    result.records_per_second = total_rows / direct_best;
+    result.metrics = {{"reps", static_cast<double>(reps)}};
+    results.push_back(result);
+  }
+  {
+    BenchResult result;
+    result.name = "scheduler_cycle";
+    result.elapsed_seconds = scheduled_best;
+    result.records_per_second = total_rows / scheduled_best;
+    result.metrics = {
+        {"reps", static_cast<double>(reps)},
+        {"overhead_vs_direct", overhead_ratio},
+        {"reports_published",
+         static_cast<double>(scheduler->reports_published())},
+    };
+    results.push_back(result);
+  }
+  const bench::BenchConfig config = {
+      {"shards", std::to_string(shards)},
+      {"shard_rows", std::to_string(shard_rows)},
+      {"cols", std::to_string(cols)},
+      {"sigma", "0.5"},
+      {"chunk_rows", std::to_string(attack.chunk_rows)},
+      {"seed", std::to_string(root_seed)},
+      {"smoke", smoke.value() ? "true" : "false"},
+  };
+  const Status written =
+      bench::WriteBenchJson(json_path, "micro_scheduler", config, results);
+  if (!written.ok()) Die("bench json: " + written.ToString());
+  std::printf("bench json written to %s\n", json_path.c_str());
+
+  scheduler.reset();
+  data::RemoveShardedStoreFiles(manifest_path);
+  bench::RemoveDirRecursive(report_dir);
+  return 0;
+}

@@ -3,10 +3,21 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 
 namespace randrecon {
 namespace report {
+namespace {
+
+// The report publication seams (common/failpoint.h): a report rides the
+// same write-temp → rename protocol as every store file, and these two
+// points let tests (and the CI fault matrix) prove a full disk or EIO
+// at either step leaves neither a truncated report nor a stray temp.
+Failpoint fp_report_write("report.write");    ///< Before the temp write.
+Failpoint fp_report_rename("report.rename");  ///< Before the rename.
+
+}  // namespace
 
 std::string JsonEscape(const std::string& text) {
   std::string escaped;
@@ -100,6 +111,7 @@ std::string RunReportBuilder::ToJson() const {
 
 Status RunReportBuilder::WriteFile(const std::string& path) const {
   const std::string temp_path = path + ".tmp";
+  RR_FAILPOINT(fp_report_write);
   {
     std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
     if (!file.is_open()) {
@@ -113,10 +125,17 @@ Status RunReportBuilder::WriteFile(const std::string& path) const {
       return Status::IoError("cannot write report to '" + temp_path + "'");
     }
   }
-  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
-    std::remove(temp_path.c_str());
-    return Status::IoError("cannot rename report '" + temp_path + "' to '" +
-                           path + "'");
+  const Status renamed = [&]() -> Status {
+    RR_FAILPOINT(fp_report_rename);
+    if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+      return Status::IoError("cannot rename report '" + temp_path + "' to '" +
+                             path + "'");
+    }
+    return Status::OK();
+  }();
+  if (!renamed.ok()) {
+    std::remove(temp_path.c_str());  // A failed publish leaves no temp.
+    return renamed;
   }
   return Status::OK();
 }

@@ -350,12 +350,39 @@ Result<RollingStoreSnapshotReader> RollingStoreSnapshotReader::Open(
     const std::string& manifest_path, ColumnStoreReadOptions store_options) {
   RR_ASSIGN_OR_RETURN(ShardedStoreReader reader,
                       ShardedStoreReader::Open(manifest_path, store_options));
+  return Pin(std::move(reader), manifest_path);
+}
+
+Result<RollingStoreSnapshotReader> RollingStoreSnapshotReader::Pin(
+    ShardedStoreReader reader, const std::string& manifest_path) {
   // Pin: open + validate every shard NOW. From here the snapshot can
   // never fail on a shard open — retention may unlink files under us,
   // but the mmaps hold the sealed bytes until this reader dies.
   for (size_t s = 0; s < reader.num_shards(); ++s) {
-    RR_ASSIGN_OR_RETURN(ColumnStoreReader * shard, reader.shard(s));
-    (void)shard;
+    Result<ColumnStoreReader*> shard = reader.shard(s);
+    if (!shard.ok()) {
+      // A shard the manifest names but the pin cannot validate has two
+      // causes with opposite semantics: real damage (propagate), or the
+      // parse→pin window raced a concurrent writer's republish and
+      // retention already removed the shard. Re-reading the manifest
+      // tells them apart — a republish changed its trailing hash, and
+      // the failure is then transient by protocol (reopening observes
+      // the newer snapshot), so it surfaces as the retryable-transient
+      // code instead of the shard's own IoError.
+      auto current = ReadShardManifest(manifest_path);
+      if (current.ok() &&
+          current.value().manifest_hash != reader.manifest().manifest_hash) {
+        return Status::Unavailable(
+            RollingPrefix(manifest_path) +
+            "snapshot raced a manifest republish: shard " +
+            std::to_string(s) + " ('" +
+            reader.manifest().shards[s].relative_path +
+            "') was retired before it could be pinned (" +
+            shard.status().message() +
+            ") — retrying opens the newer snapshot");
+      }
+      return shard.status();
+    }
   }
   m_snapshots_opened.Add(1);
   return RollingStoreSnapshotReader(std::move(reader));

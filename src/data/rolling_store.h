@@ -205,10 +205,25 @@ class RollingShardedStoreWriter {
 class RollingStoreSnapshotReader {
  public:
   /// Fails like ShardedStoreReader::Open, or with the first shard that
-  /// does not validate — a snapshot is all-or-nothing.
+  /// does not validate — a snapshot is all-or-nothing. One failure is
+  /// special-cased: when a shard named by the parsed manifest fails to
+  /// pin because a concurrent writer republished (and retention removed
+  /// the shard) between the manifest parse and the pin, the error is a
+  /// retryable Status::Unavailable naming the shard — reopening simply
+  /// observes the newer snapshot. The distinction is made by re-reading
+  /// the manifest and comparing manifest_hash: an UNCHANGED manifest
+  /// naming an unopenable shard is real damage and propagates verbatim.
   static Result<RollingStoreSnapshotReader> Open(
       const std::string& manifest_path,
       ColumnStoreReadOptions store_options = {});
+
+  /// The pin half of Open over an already-parsed reader, exposed so the
+  /// parse→pin race window can be exercised deterministically (the
+  /// regression test mutates the store between the two halves).
+  /// `manifest_path` is re-read on a pin failure to classify it (see
+  /// Open).
+  static Result<RollingStoreSnapshotReader> Pin(
+      ShardedStoreReader reader, const std::string& manifest_path);
 
   RollingStoreSnapshotReader(RollingStoreSnapshotReader&&) = default;
   RollingStoreSnapshotReader& operator=(RollingStoreSnapshotReader&&) =
@@ -231,6 +246,12 @@ class RollingStoreSnapshotReader {
   Status ReadRows(size_t row_begin, size_t num_rows, linalg::Matrix* buffer) {
     return reader_.ReadRows(row_begin, num_rows, buffer);
   }
+
+  /// The pinned underlying reader — for consumers (the pipeline's
+  /// snapshot record source) that iterate shard blocks zero-copy.
+  /// Every shard is already open and validated; shard(s) cannot fail
+  /// on an open.
+  ShardedStoreReader& store_reader() { return reader_; }
 
  private:
   explicit RollingStoreSnapshotReader(ShardedStoreReader reader)

@@ -199,6 +199,10 @@ uint64_t ComputeShardSealDigest(const ColumnStoreReader& reader) {
   return ColumnStoreHash(words.data(), words.size() * sizeof(uint64_t));
 }
 
+std::string ManifestHashHex(uint64_t manifest_hash) {
+  return HexU64(manifest_hash);
+}
+
 std::string ShardFileName(const std::string& stem, size_t shard_index) {
   char suffix[32];
   std::snprintf(suffix, sizeof(suffix), ".shard-%05zu", shard_index);
@@ -348,6 +352,7 @@ Result<ShardManifest> ReadShardManifest(const std::string& manifest_path) {
         std::to_string(offset + sizeof(uint64_t)) +
         " — trailing bytes or truncated entry table");
   }
+  manifest.manifest_hash = stored_hash;
   RR_RETURN_NOT_OK(ValidateManifestStructure(manifest, prefix));
   m_manifests_read.Add(1);
   return manifest;

@@ -82,7 +82,19 @@ struct ShardManifest {
   uint64_t num_records = 0;
   std::vector<std::string> column_names;
   std::vector<ShardManifestEntry> shards;
+  /// The manifest file's own trailing RRH64 checksum (docs/FORMAT.md
+  /// §7.3) — a content digest of the ENTIRE published snapshot
+  /// (schema, row spans, every shard's seal digest), so two manifests
+  /// are byte-identical iff their hashes match. Populated by
+  /// ReadShardManifest; ignored by WriteShardManifest (which computes
+  /// the hash from the serialized image). The attack scheduler uses it
+  /// as the snapshot identity in versioned report series.
+  uint64_t manifest_hash = 0;
 };
+
+/// `manifest_hash` rendered the way reports and errors spell digests:
+/// 16 lowercase hex digits, "0x"-prefixed.
+std::string ManifestHashHex(uint64_t manifest_hash);
 
 /// The per-shard seal digest of the manifest format: RRH64 over the
 /// little-endian u64 sequence [header_hash, block_hash 0, 1, ...] of a

@@ -127,6 +127,47 @@ Result<size_t> ShardedRecordSource::NextBlockColumns(
   }
 }
 
+Result<size_t> SnapshotRecordSource::NextChunk(linalg::Matrix* buffer) {
+  RR_CHECK_EQ(buffer->cols(), snapshot_.num_attributes())
+      << "SnapshotRecordSource: chunk buffer width mismatch";
+  RR_FAILPOINT(fp_next_chunk);
+  const size_t rows =
+      std::min(buffer->rows(), snapshot_.num_records() - next_row_);
+  if (rows > 0) {
+    RR_RETURN_NOT_OK(snapshot_.ReadRows(next_row_, rows, buffer));
+    next_row_ += rows;
+  }
+  return rows;
+}
+
+Result<size_t> SnapshotRecordSource::NextBlockColumns(
+    std::vector<const double*>* columns) {
+  // Identical enumeration to ShardedRecordSource::NextBlockColumns —
+  // the bitwise contract between a scheduled snapshot attack and an
+  // offline sweep over the same manifest depends on the two sources
+  // serving the same ragged block sequence.
+  data::ShardedStoreReader& reader = snapshot_.store_reader();
+  for (;;) {
+    if (block_shard_ == reader.num_shards()) return size_t{0};
+    RR_ASSIGN_OR_RETURN(data::ColumnStoreReader * shard,
+                        reader.shard(block_shard_));
+    if (block_in_shard_ == shard->num_blocks()) {
+      ++block_shard_;
+      block_in_shard_ = 0;
+      continue;
+    }
+    const size_t m = shard->num_attributes();
+    columns->resize(m);
+    for (size_t j = 0; j < m; ++j) {
+      RR_ASSIGN_OR_RETURN((*columns)[j],
+                          shard->BlockColumn(block_in_shard_, j));
+    }
+    const size_t rows = shard->rows_in_block(block_in_shard_);
+    ++block_in_shard_;
+    return rows;
+  }
+}
+
 Result<MvnRecordSource> MvnRecordSource::Create(
     const linalg::Vector& mean, const linalg::Matrix& covariance,
     size_t num_records, uint64_t seed, GeneratorMode mode) {

@@ -36,6 +36,7 @@
 #include "common/result.h"
 #include "data/column_store.h"
 #include "data/csv.h"
+#include "data/rolling_store.h"
 #include "data/shard_store.h"
 #include "linalg/matrix.h"
 #include "perturb/schemes.h"
@@ -253,6 +254,52 @@ class ShardedRecordSource final : public RecordSource,
       : reader_(std::move(reader)) {}
 
   data::ShardedStoreReader reader_;
+  size_t next_row_ = 0;
+  size_t block_shard_ = 0;
+  size_t block_in_shard_ = 0;
+};
+
+/// Streams a PINNED rolling-store snapshot
+/// (data::RollingStoreSnapshotReader) — the attack scheduler's input.
+/// Serves the exact record order and block geometry ShardedRecordSource
+/// serves over the same manifest, so an attack through this source is
+/// bitwise identical to one through ShardedRecordSource::Open on the
+/// same published snapshot — but because every shard is pinned up
+/// front, a concurrent writer's rotations and retention can never fail
+/// a read mid-attack. Construct from RollingStoreSnapshotReader::Open
+/// (or ::Pin); takes ownership of the snapshot.
+class SnapshotRecordSource final : public RecordSource,
+                                   public ColumnarBlockStream {
+ public:
+  explicit SnapshotRecordSource(data::RollingStoreSnapshotReader snapshot)
+      : snapshot_(std::move(snapshot)) {}
+
+  const std::vector<std::string>& attribute_names() const {
+    return snapshot_.attribute_names();
+  }
+  size_t num_records() const { return snapshot_.num_records(); }
+  size_t num_shards() const { return snapshot_.num_shards(); }
+  const data::ShardManifest& manifest() const { return snapshot_.manifest(); }
+  size_t num_attributes() const override {
+    return snapshot_.num_attributes();
+  }
+  Status Reset() override {
+    next_row_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> NextChunk(linalg::Matrix* buffer) override;
+
+  ColumnarBlockStream* columnar_blocks() override { return this; }
+  Status ResetBlocks() override {
+    block_shard_ = 0;
+    block_in_shard_ = 0;
+    return Status::OK();
+  }
+  Result<size_t> NextBlockColumns(
+      std::vector<const double*>* columns) override;
+
+ private:
+  data::RollingStoreSnapshotReader snapshot_;
   size_t next_row_ = 0;
   size_t block_shard_ = 0;
   size_t block_in_shard_ = 0;

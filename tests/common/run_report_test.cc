@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/failpoint.h"
 #include "common/metrics.h"
 
 namespace randrecon {
@@ -97,6 +98,50 @@ TEST_F(RunReportTest, WriteFileIsAtomicAndRereadable) {
   content << file.rdbuf();
   EXPECT_EQ(content.str(), builder.ToJson() + "\n");
   file.close();
+  std::remove(path.c_str());
+}
+
+TEST_F(RunReportTest, WriteFailpointFailsBeforeAnyFileExists) {
+  // A full disk / EIO at the temp-write step (report.write) leaves
+  // NEITHER the report nor a stray temp — the previous report, if any,
+  // is untouched.
+  const std::string path = "run_report_test_fp_write.json";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  ASSERT_TRUE(ArmFailpoint("report.write", FailpointAction::kError).ok());
+  RunReportBuilder builder("t");
+  builder.AddConfigInt("x", 1);
+  const Status written = builder.WriteFile(path);
+  DisarmAllFailpoints();
+  EXPECT_EQ(written.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::ifstream(path).is_open());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+}
+
+TEST_F(RunReportTest, RenameFailpointCleansTheTempAndSparesThePrevious) {
+  const std::string path = "run_report_test_fp_rename.json";
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  // A previous report is already published...
+  RunReportBuilder previous("t");
+  previous.AddConfigInt("x", 1);
+  ASSERT_TRUE(previous.WriteFile(path).ok());
+  // ...and the next publish dies at the rename step (report.rename):
+  // the temp is cleaned up and the previous report survives verbatim.
+  ASSERT_TRUE(ArmFailpoint("report.rename", FailpointAction::kError).ok());
+  RunReportBuilder next("t");
+  next.AddConfigInt("x", 2);
+  const Status written = next.WriteFile(path);
+  DisarmAllFailpoints();
+  EXPECT_EQ(written.code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").is_open());
+  std::ifstream file(path);
+  ASSERT_TRUE(file.is_open());
+  std::stringstream content;
+  content << file.rdbuf();
+  EXPECT_EQ(content.str(), previous.ToJson() + "\n");
+  // Disarmed, the same builder publishes cleanly over the old report.
+  ASSERT_TRUE(next.WriteFile(path).ok());
   std::remove(path.c_str());
 }
 

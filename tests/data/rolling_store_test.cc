@@ -439,6 +439,71 @@ TEST_F(RollingStoreTest, SnapshotPinnedBeforeACrashStillReadsAfterIt) {
 }
 
 // ---------------------------------------------------------------------------
+// The parse→pin race (regression): Open parses the manifest, then pins
+// shards. A writer that republishes + retires between the two halves
+// must surface as retryable Unavailable, not as damage.
+// ---------------------------------------------------------------------------
+
+TEST_F(RollingStoreTest, SnapshotPinRacingARepublishIsRetryableUnavailable) {
+  RollingStoreOptions options = SmallShards();
+  options.retain_shards = 1;
+  auto created = RollingShardedStoreWriter::Create(kPath, Names(), options);
+  ASSERT_TRUE(created.ok());
+  RollingShardedStoreWriter writer = std::move(created).value();
+  ASSERT_TRUE(AppendReference(&writer, 0, kShardRows).ok());
+  // Parse the manifest naming shard 0, pin nothing yet (shard opens are
+  // lazy) — the exposed half of the Open seam.
+  auto parsed = ShardedStoreReader::Open(kPath, SerialReadOptions());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The writer republishes: shard 1 lands, retention retires shard 0
+  // and unlinks its file out from under the parsed-but-unpinned reader.
+  ASSERT_TRUE(AppendReference(&writer, kShardRows, kShardRows).ok());
+  ASSERT_FALSE(FileExists(ShardFileName(ShardStemForManifest(kPath), 0)));
+  auto pinned = RollingStoreSnapshotReader::Pin(std::move(parsed).value(),
+                                                kPath);
+  ASSERT_FALSE(pinned.ok());
+  EXPECT_EQ(pinned.status().code(), StatusCode::kUnavailable)
+      << pinned.status().ToString();
+  EXPECT_TRUE(pinned.status().IsRetryable());
+  EXPECT_NE(pinned.status().message().find("raced a manifest republish"),
+            std::string::npos)
+      << pinned.status().ToString();
+  EXPECT_NE(pinned.status().message().find("shard 0"), std::string::npos)
+      << "the error must name the retired shard: "
+      << pinned.status().ToString();
+  // Retrying the open simply observes the newer snapshot.
+  auto fresh = RollingStoreSnapshotReader::Open(kPath, SerialReadOptions());
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh.value().num_records(), kShardRows);
+  ASSERT_TRUE(writer.Close().ok());
+}
+
+TEST_F(RollingStoreTest, UnchangedManifestDamagePropagatesVerbatim) {
+  auto created =
+      RollingShardedStoreWriter::Create(kPath, Names(), SmallShards());
+  ASSERT_TRUE(created.ok());
+  RollingShardedStoreWriter writer = std::move(created).value();
+  ASSERT_TRUE(AppendReference(&writer, 0, 2 * kShardRows).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto parsed = ShardedStoreReader::Open(kPath, SerialReadOptions());
+  ASSERT_TRUE(parsed.ok());
+  // Real damage: the manifest still names shard 0, and no republish
+  // explains the missing file — the original error must propagate, NOT
+  // be laundered into a retryable race.
+  ASSERT_EQ(std::remove(
+                ShardFileName(ShardStemForManifest(kPath), 0).c_str()),
+            0);
+  auto pinned = RollingStoreSnapshotReader::Pin(std::move(parsed).value(),
+                                                kPath);
+  ASSERT_FALSE(pinned.ok());
+  EXPECT_NE(pinned.status().code(), StatusCode::kUnavailable)
+      << pinned.status().ToString();
+  EXPECT_EQ(pinned.status().message().find("raced a manifest republish"),
+            std::string::npos)
+      << pinned.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
 // Concurrent writer + snapshot readers (TSan-clean by construction: the
 // filesystem is the only shared state).
 // ---------------------------------------------------------------------------

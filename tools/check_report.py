@@ -2,21 +2,36 @@
 """Validates a randrecon run report (docs/REPORT_SCHEMA.md).
 
 Usage: check_report.py report.json [report2.json ...]
+       check_report.py --series DIR [--manifest STORE.rrcm] [--sweep SWEEP.json]
 
 Checks every report against the schema_version-1 layout — required keys,
 value types, histogram invariants, span-tree topology — and, for tools
-whose sections it knows (sweep_attack, convert_csv, ingest_load),
-cross-checks the telemetry counters against the tool's own accounting:
-every job, retry and excluded shard counted exactly once, and for
-ingest runs the overload-safety identity shed + appended == offered
-(batch- and row-wise, with every shed attributed to a cause). Stdlib
-only, so CI can run it on a bare python3.
+whose sections it knows (sweep_attack, convert_csv, ingest_load,
+attack_scheduler), cross-checks the telemetry counters against the
+tool's own accounting: every job, retry and excluded shard counted
+exactly once, and for ingest runs the overload-safety identity
+shed + appended == offered (batch- and row-wise, with every shed
+attributed to a cause). Stdlib only, so CI can run it on a bare python3.
+
+--series DIR validates an AttackScheduler report directory as a whole:
+every report-NNNNNN.json individually, strictly increasing versions
+with no gap, exact row-delta chaining between surviving reports, the
+cycle-attribution identity inside every report_series block, and the
+latest.json pointer. With --manifest, the newest report's snapshot
+identity is checked against the store's actual manifest bytes (trailing
+RRH64 hash and row count). With --sweep, the newest report's
+whole-stream attack numbers must be EXACTLY equal (%.17g round-trips
+doubles, so float equality here is bitwise equality) to an offline
+sweep_attack report over the same manifest.
 
 Exit status: 0 iff every report validates; failures name the report and
 the violated invariant.
 """
 
 import json
+import os
+import re
+import struct
 import sys
 
 SCHEMA_VERSION = 1
@@ -225,6 +240,94 @@ def check_ingest_load(report):
             "ingest.append_nanos holds samples no batch accounts for")
 
 
+SERIES_KEYS = ["version", "manifest", "manifest_hash", "snapshot_rows",
+               "snapshot_shards", "rows_since_last_report", "prev_version",
+               "prev_rows", "outcome", "cycles", "cycles_ok",
+               "cycles_degraded", "cycles_failed", "skipped_no_manifest",
+               "skipped_unchanged", "overruns", "reports_published"]
+
+
+def check_attack_scheduler(report):
+    """One report of the scheduler's series: the per-job/exclusion shapes
+    it shares with sweep_attack, the report_series identity block, and
+    the within-report cycle-attribution arithmetic."""
+    config = report["config"]
+    jobs = report.get("jobs")
+    exclusions = report.get("exclusions")
+    series = report.get("report_series")
+    require(isinstance(jobs, list) and jobs,
+            "attack_scheduler report needs a non-empty 'jobs' array")
+    require(isinstance(exclusions, list),
+            "attack_scheduler report needs an 'exclusions' array")
+    require(isinstance(series, dict),
+            "attack_scheduler report needs a 'report_series' object")
+
+    for i, job in enumerate(jobs):
+        for key, kind in [("name", str), ("ok", bool), ("status", str),
+                          ("records", int), ("attributes", int),
+                          ("components", int), ("attempts", int)]:
+            require(isinstance(job.get(key), kind),
+                    f"job {i} needs {kind.__name__} '{key}'")
+    for i, excl in enumerate(exclusions):
+        for key, kind in [("manifest", str), ("shard_index", int),
+                          ("shard_path", str), ("row_begin", int),
+                          ("row_count", int), ("reason", str)]:
+            require(isinstance(excl.get(key), kind),
+                    f"exclusion {i} needs {kind.__name__} '{key}'")
+
+    for key in SERIES_KEYS:
+        require(key in series, f"report_series needs '{key}'")
+    require(re.fullmatch(r"0x[0-9a-f]{16}", series["manifest_hash"]),
+            f"manifest_hash {series['manifest_hash']!r} is not a "
+            f"0x-prefixed 16-digit hex digest")
+    require(series["version"] == config.get("version"),
+            "report_series.version != config.version")
+    require(series["version"] >= 1, "versions start at 1")
+    require(series["outcome"] in ("ok", "degraded"),
+            f"a published report's outcome must be ok or degraded, "
+            f"got {series['outcome']!r}")
+    require(config.get("degraded") == (series["outcome"] == "degraded"),
+            "config.degraded disagrees with report_series.outcome")
+
+    # The attribution identity, exact as of this report committing.
+    require(series["cycles"] == series["cycles_ok"]
+            + series["cycles_degraded"] + series["cycles_failed"],
+            "cycles != cycles_ok + cycles_degraded + cycles_failed")
+    require(series["reports_published"]
+            == series["cycles_ok"] + series["cycles_degraded"],
+            "reports_published != cycles_ok + cycles_degraded")
+    require(series["reports_published"] >= 1,
+            "a published report counts itself")
+
+    # The row-delta chain, within this report's own claims.
+    require(series["rows_since_last_report"]
+            == series["snapshot_rows"] - series["prev_rows"],
+            "rows_since_last_report != snapshot_rows - prev_rows")
+    require(series["prev_version"] < series["version"],
+            "prev_version must precede this version")
+    require(series["snapshot_shards"] >= 1,
+            "a published report names at least one shard")
+
+    # The whole-stream job leads; a degraded report's leader failed and
+    # at least one shard job succeeded.
+    failed = sum(1 for job in jobs if not job["ok"])
+    require(config.get("jobs_total") == len(jobs),
+            f"config.jobs_total {config.get('jobs_total')} != "
+            f"{len(jobs)} jobs listed")
+    require(config.get("jobs_failed") == failed,
+            f"config.jobs_failed {config.get('jobs_failed')} != "
+            f"{failed} failing jobs listed")
+    if series["outcome"] == "ok":
+        require(jobs[0]["ok"], "an ok report's whole-stream job must be ok")
+        require(jobs[0]["records"] == series["snapshot_rows"],
+                "whole-stream job records != snapshot_rows")
+    else:
+        require(not jobs[0]["ok"],
+                "a degraded report's whole-stream job must have failed")
+        require(any(job["ok"] for job in jobs[1:]),
+                "a degraded report needs at least one healthy shard job")
+
+
 def check_convert_csv(report):
     config = report["config"]
     counters = report["counters"]
@@ -248,15 +351,132 @@ def check_report(path):
         check_convert_csv(report)
     elif tool == "ingest_load":
         check_ingest_load(report)
+    elif tool == "attack_scheduler":
+        check_attack_scheduler(report)
     return tool
 
 
+def check_series(directory, manifest_path=None, sweep_path=None):
+    """The whole report directory: every report individually, strict
+    version order with no gap among the surviving files, exact row-delta
+    chaining, and the latest.json pointer. Optionally pins the newest
+    report to the store's actual manifest bytes and to an offline
+    sweep_attack run (exact float equality — %.17g round-trips)."""
+    versions = {}
+    for name in sorted(os.listdir(directory)):
+        match = re.fullmatch(r"report-(\d+)\.json", name)
+        if not match:
+            continue
+        path = os.path.join(directory, name)
+        tool = check_report(path)
+        require(tool == "attack_scheduler",
+                f"{name}: tool is {tool!r}, expected attack_scheduler")
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        series = report["report_series"]
+        require(series["version"] == int(match.group(1)),
+                f"{name}: report_series.version {series['version']} does "
+                f"not match the file name")
+        versions[series["version"]] = (name, series, report)
+    require(versions, f"{directory}: no report-NNNNNN.json files")
+
+    ordered = sorted(versions)
+    # Retention trims the OLD end only: surviving versions are contiguous.
+    require(ordered == list(range(ordered[0], ordered[-1] + 1)),
+            f"series has a version gap: {ordered}")
+    for version in ordered:
+        name, series, _ = versions[version]
+        prev = series["prev_version"]
+        require(prev < version, f"{name}: prev_version {prev} >= {version}")
+        if prev in versions:
+            _, prev_series, _ = versions[prev]
+            require(series["prev_rows"] == prev_series["snapshot_rows"],
+                    f"{name}: prev_rows {series['prev_rows']} != report "
+                    f"{prev}'s snapshot_rows "
+                    f"{prev_series['snapshot_rows']} — the row-delta "
+                    f"chain is broken")
+            require(series["manifest"] == prev_series["manifest"],
+                    f"{name}: manifest changed mid-series")
+
+    latest_path = os.path.join(directory, "latest.json")
+    with open(latest_path, "r", encoding="utf-8") as handle:
+        latest = json.load(handle)
+    require(latest.get("version") == ordered[-1],
+            f"latest.json points at {latest.get('version')}, newest "
+            f"report is {ordered[-1]}")
+    require(latest.get("path") == versions[ordered[-1]][0],
+            "latest.json path does not name the newest report file")
+
+    newest_name, newest_series, newest_report = versions[ordered[-1]]
+    if manifest_path is not None:
+        with open(manifest_path, "rb") as handle:
+            raw = handle.read()
+        require(len(raw) >= 24 and raw[:8] == b"RRSHMANF",
+                f"{manifest_path}: not a shard manifest")
+        num_records = struct.unpack_from("<Q", raw, 16)[0]
+        stored_hash = struct.unpack_from("<Q", raw, len(raw) - 8)[0]
+        require(int(newest_series["manifest_hash"], 16) == stored_hash,
+                f"{newest_name}: manifest_hash != the store manifest's "
+                f"own trailing hash — the report names a snapshot that "
+                f"is not the published one")
+        require(newest_series["snapshot_rows"] == num_records,
+                f"{newest_name}: snapshot_rows "
+                f"{newest_series['snapshot_rows']} != manifest rows "
+                f"{num_records}")
+
+    if sweep_path is not None:
+        require(check_report(sweep_path) == "sweep_attack",
+                f"{sweep_path}: --sweep needs a sweep_attack report")
+        with open(sweep_path, "r", encoding="utf-8") as handle:
+            sweep = json.load(handle)
+        scheduled = newest_report["jobs"][0]
+        offline = sweep["jobs"][0]
+        require(scheduled["ok"] and offline["ok"],
+                "bitwise comparison needs both whole-stream jobs ok")
+        for key in ["records", "attributes", "components",
+                    "rmse_vs_disguised"]:
+            require(scheduled[key] == offline[key],
+                    f"{newest_name}: scheduled {key} {scheduled[key]!r} != "
+                    f"offline sweep {key} {offline[key]!r} — the "
+                    f"scheduler changed the numbers")
+    return len(ordered)
+
+
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    if "--series" in args:
+        values = {}
+        rest = []
+        i = 0
+        while i < len(args):
+            if args[i] in ("--series", "--manifest", "--sweep"):
+                if i + 1 >= len(args):
+                    print(f"{args[i]} needs a value", file=sys.stderr)
+                    return 2
+                values[args[i]] = args[i + 1]
+                i += 2
+            else:
+                rest.append(args[i])
+                i += 1
+        if rest:
+            print(f"unexpected arguments with --series: {rest}",
+                  file=sys.stderr)
+            return 2
+        directory = values["--series"]
+        try:
+            count = check_series(directory, values.get("--manifest"),
+                                 values.get("--sweep"))
+            print(f"{directory}: OK ({count} report(s) in series)")
+            return 0
+        except (ReportError, OSError, json.JSONDecodeError, KeyError) \
+                as error:
+            print(f"{directory}: FAIL: {error}", file=sys.stderr)
+            return 1
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failures = 0
-    for path in argv[1:]:
+    for path in args:
         try:
             tool = check_report(path)
             print(f"{path}: OK ({tool})")
