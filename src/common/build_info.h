@@ -1,0 +1,53 @@
+#ifndef RANDRECON_COMMON_BUILD_INFO_H_
+#define RANDRECON_COMMON_BUILD_INFO_H_
+
+/// \file
+/// Build provenance, stamped once at compile/configure time and surfaced
+/// everywhere a run leaves a trace: the RR_LOG startup banner, the
+/// `build_info` block of every run report (docs/REPORT_SCHEMA.md, schema
+/// v2), and the stats server's /statusz endpoint. When a report or a
+/// scrape shows a surprising number, the first question is always "which
+/// binary produced this?" — this answers it without a shell.
+///
+/// The git describe / compiler-flag strings are injected by CMake as
+/// compile definitions scoped to build_info.cc only, so touching a flag
+/// re-stamps one translation unit instead of the world.
+
+#include <string>
+
+namespace randrecon {
+
+/// Immutable facts about this binary. All pointers are string literals
+/// (or CMake-stamped macros) with static storage duration.
+struct BuildInfo {
+  const char* git_describe;   ///< `git describe --always --dirty` at configure.
+  const char* compiler;       ///< Compiler identification (__VERSION__).
+  const char* flags;          ///< CXX flags the library was built with.
+  const char* build_type;     ///< CMAKE_BUILD_TYPE ("Release", ...).
+  const char* simd_compiled;  ///< Widest SIMD ISA the kernels compiled to.
+  const char* simd_dispatch;  ///< Philox engine runtime dispatch would pick
+                              ///< ("avx512" / "avx2" / "scalar"; honours
+                              ///< RANDRECON_NO_SIMD). Pinned equal to
+                              ///< stats::philox_internal::ActiveEngine() by
+                              ///< tests/common/build_info_test.cc.
+  bool metrics_disabled;      ///< True iff -DRANDRECON_DISABLE_METRICS.
+};
+
+/// The process-wide build info (Meyers singleton; simd_dispatch is
+/// resolved on first call and then frozen, mirroring philox's policy).
+const BuildInfo& GetBuildInfo();
+
+/// The build info as a flat JSON object, e.g.
+/// {"git_describe":"1a2b3c4","compiler":"...","flags":"...",
+///  "build_type":"Release","simd_compiled":"avx2",
+///  "simd_dispatch":"avx2","metrics_disabled":false}.
+/// Key order is fixed; run reports and /statusz embed this verbatim.
+std::string BuildInfoJson();
+
+/// Emits the one-line startup banner through RR_LOG(kInfo). Daemons call
+/// this once at startup so every log stream self-identifies its binary.
+void LogBuildInfoBanner();
+
+}  // namespace randrecon
+
+#endif  // RANDRECON_COMMON_BUILD_INFO_H_

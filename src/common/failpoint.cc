@@ -72,6 +72,15 @@ class FailpointRegistry {
     return names;  // std::map iterates sorted.
   }
 
+  std::vector<std::string> ListArmed() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    for (const auto& entry : by_name_) {
+      if (entry.second->armed()) names.push_back(entry.first);
+    }
+    return names;  // std::map iterates sorted.
+  }
+
   uint64_t HitCount(const std::string& name) {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto found = by_name_.find(name);
@@ -302,6 +311,10 @@ void DisarmAllFailpoints() { FailpointRegistry::Instance().DisarmAll(); }
 
 std::vector<std::string> ListFailpoints() {
   return FailpointRegistry::Instance().List();
+}
+
+std::vector<std::string> ListArmedFailpoints() {
+  return FailpointRegistry::Instance().ListArmed();
 }
 
 uint64_t FailpointHitCount(const std::string& name) {

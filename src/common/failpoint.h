@@ -135,6 +135,11 @@ void DisarmAllFailpoints();
 /// Every registered failpoint name, sorted.
 std::vector<std::string> ListFailpoints();
 
+/// The subset of registered names currently armed, sorted — what the
+/// stats server's /statusz reports so an operator can tell at a glance
+/// whether a live daemon is running under injected faults.
+std::vector<std::string> ListArmedFailpoints();
+
 /// Armed-hit count of `name` since it was last armed (0 if unregistered
 /// or never armed).
 uint64_t FailpointHitCount(const std::string& name);

@@ -19,6 +19,8 @@
 #ifndef RANDRECON_COMMON_LOGGING_H_
 #define RANDRECON_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -70,5 +72,43 @@ class LogMessage {
 #define RR_LOG(level)                                           \
   ::randrecon::internal::LogMessage(::randrecon::LogLevel::level, __FILE__, \
                                     __LINE__)
+
+// ---------------------------------------------------------------------------
+// Rate-limited logging for hot paths (shed/retry sites that can fire
+// thousands of times per second under overload). Each STATEMENT gets its
+// own relaxed-atomic occurrence counter, so the limit is per call site,
+// shared across all threads hitting it, and costs one uncontended
+// fetch_add when suppressed — cheap enough for the ingest shed path.
+//
+//   RR_LOG_EVERY_N(kWarning, 64) << "batch shed";  // occurrences 1, 65, ...
+//   RR_LOG_FIRST_N(kWarning, 4) << "stale latest"; // occurrences 1..4 only
+//
+// Emitted lines carry an "[occurrence K]" prefix so a reader (or a test)
+// can recover how many events the suppressed gaps hide. Like glog's
+// LOG_EVERY_N, these expand to multiple statements: inside an if/else or
+// loop body they need braces.
+// ---------------------------------------------------------------------------
+
+#define RR_LOG_RATE_CONCAT_INNER(a, b) a##b
+#define RR_LOG_RATE_CONCAT(a, b) RR_LOG_RATE_CONCAT_INNER(a, b)
+#define RR_LOG_RATE_COUNTER RR_LOG_RATE_CONCAT(rr_log_occurrences_, __LINE__)
+
+/// Logs the 1st, (n+1)th, (2n+1)th, ... execution of this statement.
+#define RR_LOG_EVERY_N(level, n)                                          \
+  static ::std::atomic<uint64_t> RR_LOG_RATE_COUNTER{0};                  \
+  if (const uint64_t rr_log_occurrence =                                  \
+          RR_LOG_RATE_COUNTER.fetch_add(1, ::std::memory_order_relaxed) + \
+          1;                                                              \
+      (rr_log_occurrence - 1) % static_cast<uint64_t>(n) == 0)            \
+  RR_LOG(level) << "[occurrence " << rr_log_occurrence << "] "
+
+/// Logs only the first n executions of this statement, then goes silent.
+#define RR_LOG_FIRST_N(level, n)                                          \
+  static ::std::atomic<uint64_t> RR_LOG_RATE_COUNTER{0};                  \
+  if (const uint64_t rr_log_occurrence =                                  \
+          RR_LOG_RATE_COUNTER.fetch_add(1, ::std::memory_order_relaxed) + \
+          1;                                                              \
+      rr_log_occurrence <= static_cast<uint64_t>(n))                      \
+  RR_LOG(level) << "[occurrence " << rr_log_occurrence << "] "
 
 #endif  // RANDRECON_COMMON_LOGGING_H_

@@ -55,16 +55,8 @@ class MetricsRegistry {
     }
     snapshot.histograms.reserve(histograms_.size());
     for (const auto& entry : histograms_) {
-      const Histogram& h = *entry.second;
-      HistogramSnapshot hs;
+      HistogramSnapshot hs = entry.second->ConsistentSnapshot();
       hs.name = entry.first;
-      hs.count = h.Count();
-      hs.sum = h.Sum();
-      hs.min = h.Min();
-      hs.max = h.Max();
-      hs.p50 = h.ValueAtPercentile(50.0);
-      hs.p95 = h.ValueAtPercentile(95.0);
-      hs.p99 = h.ValueAtPercentile(99.0);
       snapshot.histograms.push_back(std::move(hs));
     }
     return snapshot;
@@ -171,8 +163,14 @@ uint64_t Histogram::BucketCount(size_t bucket) const {
   return buckets_[bucket].load(std::memory_order_relaxed);
 }
 
-uint64_t Histogram::ValueAtPercentile(double percentile) const {
-  const uint64_t count = Count();
+namespace {
+
+/// Percentile over an already-captured bucket array — the shared core of
+/// ValueAtPercentile (live reads) and ConsistentSnapshot (torn-free
+/// capture). `count`/`min`/`max` must come from the same capture.
+uint64_t PercentileFromBuckets(const uint64_t* buckets, uint64_t count,
+                               uint64_t min, uint64_t max,
+                               double percentile) {
   if (count == 0) return 0;
   percentile = std::min(100.0, std::max(0.0, percentile));
   // Rank of the requested sample, 1-based: p50 of 3 samples is sample 2.
@@ -181,13 +179,54 @@ uint64_t Histogram::ValueAtPercentile(double percentile) const {
                                          static_cast<double>(count))));
   uint64_t cumulative = 0;
   for (size_t bucket = 0; bucket < kHistogramBuckets; ++bucket) {
-    cumulative += buckets_[bucket].load(std::memory_order_relaxed);
+    cumulative += buckets[bucket];
     if (cumulative >= rank) {
       // Bucket resolution, but never outside what was actually seen.
-      return std::min(std::max(BucketUpperBound(bucket), Min()), Max());
+      return std::min(std::max(Histogram::BucketUpperBound(bucket), min),
+                      max);
     }
   }
-  return Max();  // Racing recorders moved the total; report the extremum.
+  return max;  // Racing recorders moved the total; report the extremum.
+}
+
+}  // namespace
+
+uint64_t Histogram::ValueAtPercentile(double percentile) const {
+  uint64_t buckets[kHistogramBuckets];
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return PercentileFromBuckets(buckets, Count(), Min(), Max(), percentile);
+}
+
+HistogramSnapshot Histogram::ConsistentSnapshot() const {
+  HistogramSnapshot hs;
+  // Bounded retry: a capture bracketed by two equal count reads saw no
+  // Record complete inside it (a racing Record that bumped a bucket but
+  // not yet count_ can still tear — Record's fields are independent
+  // relaxed adds — but the window shrinks from "whole capture" to "one
+  // instruction pair"). Under a sustained storm every attempt may
+  // differ; after kAttempts we keep the last capture, whose slack is
+  // monotone and bounded by the number of in-flight recorders.
+  constexpr int kAttempts = 4;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    const uint64_t count_before = count_.load(std::memory_order_acquire);
+    hs.sum = sum_.load(std::memory_order_relaxed);
+    hs.min = Min();
+    hs.max = Max();
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      hs.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    hs.count = count_.load(std::memory_order_acquire);
+    if (hs.count == count_before) break;
+  }
+  hs.p50 = PercentileFromBuckets(hs.buckets.data(), hs.count, hs.min, hs.max,
+                                 50.0);
+  hs.p95 = PercentileFromBuckets(hs.buckets.data(), hs.count, hs.min, hs.max,
+                                 95.0);
+  hs.p99 = PercentileFromBuckets(hs.buckets.data(), hs.count, hs.min, hs.max,
+                                 99.0);
+  return hs;
 }
 
 MetricsSnapshot Snapshot() { return MetricsRegistry::Instance().Snapshot(); }

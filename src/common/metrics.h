@@ -31,6 +31,7 @@
 #ifndef RANDRECON_COMMON_METRICS_H_
 #define RANDRECON_COMMON_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -105,6 +106,8 @@ class Gauge {
 /// percentiles need.
 constexpr size_t kHistogramBuckets = 64;
 
+struct HistogramSnapshot;
+
 /// Log-bucketed histogram of non-negative integer samples (typically
 /// nanoseconds). Record is a handful of relaxed atomic ops; count and
 /// sum are EXACT under any concurrency (integer adds commute — pinned
@@ -139,6 +142,21 @@ class Histogram {
   /// sample, clamped to [Min(), Max()]. 0 when empty.
   uint64_t ValueAtPercentile(double percentile) const;
 
+  /// A self-consistent snapshot: count, sum, min, max and the full
+  /// bucket array are captured together, with the capture retried
+  /// (bounded) until two successive count reads agree, and the
+  /// percentiles computed from the CAPTURED buckets — not from live
+  /// re-reads like the individual accessors. Under a sustained
+  /// concurrent Record storm the bounded retry can still give up with a
+  /// small tear, but the residual slack is monotone: every field of a
+  /// later snapshot is >= (count/sum/max, buckets per-entry) or <=
+  /// (min, once nonzero) the same field of an earlier one, which is
+  /// exactly the tolerance tools/check_timeseries.py validates and
+  /// tests/common/metrics_test.cc pins (|sum - count| bounded by the
+  /// number of in-flight recorders for an all-ones workload). At
+  /// quiesce the snapshot is exact.
+  HistogramSnapshot ConsistentSnapshot() const;
+
   const char* name() const { return name_; }
 
  private:
@@ -171,6 +189,11 @@ struct HistogramSnapshot {
   uint64_t p50 = 0;
   uint64_t p95 = 0;
   uint64_t p99 = 0;
+  /// Per-bucket counts captured with the scalars (see kHistogramBuckets
+  /// for the bucket geometry). Run-report JSON omits these; the stats
+  /// server's /metricsz renders them as cumulative Prometheus
+  /// `le` buckets.
+  std::array<uint64_t, kHistogramBuckets> buckets{};
 };
 
 /// Every registered instrument's current value, sorted by name.

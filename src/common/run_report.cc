@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/build_info.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 
@@ -89,7 +90,8 @@ void RunReportBuilder::SetSpans(std::vector<trace::Span> spans) {
 std::string RunReportBuilder::ToJson() const {
   std::string json = "{\"schema_version\":" +
                      std::to_string(kRunReportSchemaVersion) + ",\"tool\":\"" +
-                     JsonEscape(tool_) + "\",\"config\":{";
+                     JsonEscape(tool_) + "\",\"build_info\":" +
+                     BuildInfoJson() + ",\"config\":{";
   bool first = true;
   for (const auto& entry : config_) {
     if (!first) json.append(",");

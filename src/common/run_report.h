@@ -27,8 +27,9 @@ namespace randrecon {
 namespace report {
 
 /// Bumped whenever the report layout changes incompatibly
-/// (docs/REPORT_SCHEMA.md records the history).
-constexpr int kRunReportSchemaVersion = 1;
+/// (docs/REPORT_SCHEMA.md records the history; v2 added the
+/// "build_info" provenance block).
+constexpr int kRunReportSchemaVersion = 2;
 
 /// JSON-escapes `text` (quotes, backslashes, control characters) —
 /// shared by everything that renders user-controlled strings (paths,
@@ -64,7 +65,8 @@ class RunReportBuilder {
   void SetSpans(std::vector<trace::Span> spans);
 
   /// The full document (see docs/REPORT_SCHEMA.md):
-  ///   {"schema_version":1,"tool":"...","config":{...},
+  ///   {"schema_version":2,"tool":"...","build_info":{...},
+  ///    "config":{...},
   ///    "counters":{...},"gauges":{...},"histograms":{...},
   ///    "spans":[...], <sections...>}
   std::string ToJson() const;

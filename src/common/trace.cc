@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <memory>
 #include <mutex>
 
@@ -265,6 +266,53 @@ TraceSpan::TraceSpan(const char* name, metrics::Histogram* latency)
   slot_ = static_cast<int>(buffer.spans.size());
   buffer.spans.push_back(record);
   buffer.open_stack.push_back(slot_);
+}
+
+namespace {
+
+/// The /tracez ring (see trace.h). A plain mutex + deque: pushes are
+/// per work unit and scrapes are rare, so contention is irrelevant.
+struct RecentCaptureRing {
+  std::mutex mutex;
+  uint64_t next_id = 1;
+  std::deque<RecentCapture> captures;  // Oldest first.
+};
+
+RecentCaptureRing& Ring() {
+  static RecentCaptureRing* ring = new RecentCaptureRing();
+  return *ring;
+}
+
+}  // namespace
+
+void PushRecentCapture(std::string label, std::vector<Span> spans) {
+  const uint64_t now = NowNanos();
+  RecentCaptureRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  RecentCapture capture;
+  capture.id = ring.next_id++;
+  capture.label = std::move(label);
+  capture.captured_nanos = now;
+  capture.spans = std::move(spans);
+  ring.captures.push_back(std::move(capture));
+  while (ring.captures.size() > kRecentCaptureRing) {
+    ring.captures.pop_front();
+  }
+}
+
+std::vector<RecentCapture> RecentCaptures(size_t max) {
+  RecentCaptureRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  std::vector<RecentCapture> newest_first(ring.captures.rbegin(),
+                                          ring.captures.rend());
+  if (max != 0 && newest_first.size() > max) newest_first.resize(max);
+  return newest_first;
+}
+
+void ClearRecentCaptures() {
+  RecentCaptureRing& ring = Ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.captures.clear();
 }
 
 TraceSpan::~TraceSpan() { Finish(); }

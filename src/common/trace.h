@@ -99,6 +99,35 @@ std::vector<Span> StopTracing();
 ///     "parent":-1,"thread":0}, ...]
 std::string SpanTreeJson(const std::vector<Span>& spans);
 
+// ---------------------------------------------------------------------------
+// Recent-capture ring — the substrate of the stats server's /tracez.
+// A daemon that traces a unit of work (e.g. one scheduler cycle) pushes
+// the finished span tree here; the ring keeps the newest
+// kRecentCaptureRing captures so a live scrape can always show "what
+// did the last few cycles do" without unbounded memory. Mutex-guarded:
+// pushes happen per cycle (not per span), never on a hot path.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kRecentCaptureRing = 16;
+
+/// One finished capture retained for /tracez.
+struct RecentCapture {
+  uint64_t id = 0;  ///< Monotone push sequence (1-based, process-wide).
+  std::string label;
+  uint64_t captured_nanos = 0;  ///< NowNanos() at push.
+  std::vector<Span> spans;
+};
+
+/// Retains a finished capture (typically the StopTracing() result of one
+/// work unit), evicting the oldest beyond kRecentCaptureRing.
+void PushRecentCapture(std::string label, std::vector<Span> spans);
+
+/// Newest-first retained captures; `max` = 0 returns all retained.
+std::vector<RecentCapture> RecentCaptures(size_t max = 0);
+
+/// Empties the ring (tests).
+void ClearRecentCaptures();
+
 /// RAII scoped timer. `name` must outlive the span (string literals).
 /// When `latency` is non-null the span's duration is Record()ed into it
 /// on destruction — tracing on or off — which is how the per-stage

@@ -1,0 +1,257 @@
+#include "net/metrics_recorder.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "data/file_io.h"
+
+namespace randrecon {
+namespace net {
+namespace {
+
+// Publication seams, mirroring report.write/report.rename: the CI fault
+// matrix and the recorder tests prove a fault at either step leaves the
+// previously published series intact and no stray temp behind.
+Failpoint fp_recorder_write("recorder.write");      ///< Before the temp write.
+Failpoint fp_recorder_publish("recorder.publish");  ///< Before the rename.
+
+// The recorder's own instruments. Incremented strictly AFTER a sample's
+// snapshot is captured — the reconciliation contract in the header
+// depends on the final sample not observing its own bookkeeping.
+metrics::Counter m_samples("recorder.samples");
+metrics::Counter m_publish_failures("recorder.publish_failures");
+metrics::Counter m_files_published("recorder.files_published");
+
+/// "metrics-000007.jsonl" -> 7. False for anything else.
+bool ParseSeriesIndex(const char* name, uint64_t* index) {
+  unsigned long long parsed = 0;
+  int consumed = 0;
+  if (std::sscanf(name, "metrics-%6llu.jsonl%n", &parsed, &consumed) != 1) {
+    return false;
+  }
+  if (name[consumed] != '\0') return false;
+  *index = parsed;
+  return true;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+MetricsRecorder::MetricsRecorder(Options options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<MetricsRecorder>> MetricsRecorder::Create(
+    Options options) {
+  if (options.series_dir.empty()) {
+    return Status::InvalidArgument("MetricsRecorder: series_dir is required");
+  }
+  if (options.interval_nanos == 0) {
+    return Status::InvalidArgument(
+        "MetricsRecorder: interval_nanos must be > 0");
+  }
+  if (options.samples_per_file == 0) {
+    return Status::InvalidArgument(
+        "MetricsRecorder: samples_per_file must be > 0");
+  }
+  if (::mkdir(options.series_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("MetricsRecorder: cannot create series dir '" +
+                           options.series_dir + "': " + std::strerror(errno));
+  }
+  std::unique_ptr<MetricsRecorder> recorder(
+      new MetricsRecorder(std::move(options)));
+  // Continue the file-index sequence after any previous run — published
+  // history is never appended to or overwritten.
+  DIR* dir = ::opendir(recorder->options_.series_dir.c_str());
+  if (dir == nullptr) {
+    return Status::IoError("MetricsRecorder: cannot scan series dir '" +
+                           recorder->options_.series_dir +
+                           "': " + std::strerror(errno));
+  }
+  uint64_t max_index = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    uint64_t index = 0;
+    if (ParseSeriesIndex(entry->d_name, &index) && index > max_index) {
+      max_index = index;
+    }
+  }
+  ::closedir(dir);
+  recorder->file_index_ = max_index + 1;
+  recorder->oldest_index_ = recorder->file_index_;
+  recorder->next_due_nanos_ =
+      trace::NowNanos() + recorder->options_.interval_nanos;
+  return recorder;
+}
+
+MetricsRecorder::~MetricsRecorder() { Stop(); }
+
+std::string MetricsRecorder::FilePath(uint64_t index) const {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "metrics-%06llu.jsonl",
+                static_cast<unsigned long long>(index));
+  return JoinPath(options_.series_dir, buffer);
+}
+
+bool MetricsRecorder::Tick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return false;
+  const uint64_t now = trace::NowNanos();
+  if (now < next_due_nanos_) return false;
+  // Re-arm relative to NOW, not the missed slots: after a clock jump
+  // (fake-clock tests advance in big steps) the series records one
+  // sample of current state, not a backfill of identical ones.
+  next_due_nanos_ = now + options_.interval_nanos;
+  const Status sampled = SampleNowLocked();
+  if (!sampled.ok()) {
+    RR_LOG_EVERY_N(kWarning, 16)
+        << "MetricsRecorder: sample publish failed: " << sampled.ToString();
+  }
+  return true;
+}
+
+Status MetricsRecorder::SampleNow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return SampleNowLocked();
+}
+
+Status MetricsRecorder::SampleNowLocked() {
+  // Snapshot FIRST; bump bookkeeping after the publish. See the
+  // reconciliation contract in the header.
+  const uint64_t now = trace::NowNanos();
+  const std::string metrics_json = metrics::SnapshotJson();
+  ++seq_;
+  std::string line = "{\"seq\":" + std::to_string(seq_) +
+                     ",\"t_nanos\":" + std::to_string(now) + ",";
+  line.append(metrics_json.substr(1));  // Splice {"counters":... members.
+  line.append("\n");
+  current_lines_.append(line);
+  ++current_samples_;
+  const Status published = PublishLocked();
+  if (!published.ok()) {
+    m_publish_failures.Add(1);
+    return published;
+  }
+  m_samples.Add(1);
+  if (current_samples_ >= options_.samples_per_file) {
+    // Rotate: the published file is final; the next sample opens the
+    // next index.
+    ++file_index_;
+    current_lines_.clear();
+    current_samples_ = 0;
+    m_files_published.Add(1);
+    RetireLocked();
+  }
+  return Status::OK();
+}
+
+Status MetricsRecorder::PublishLocked() {
+  const std::string path = FilePath(file_index_);
+  const std::string temp_path = data::TempPathFor(path);
+  RR_FAILPOINT(fp_recorder_write);
+  {
+    std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) {
+      return Status::IoError("MetricsRecorder: cannot create temp '" +
+                             temp_path + "'");
+    }
+    file << current_lines_;
+    file.flush();
+    if (!file.good()) {
+      std::remove(temp_path.c_str());
+      return Status::IoError("MetricsRecorder: cannot write temp '" +
+                             temp_path + "'");
+    }
+  }
+  const Status published = [&]() -> Status {
+    RR_RETURN_NOT_OK(data::FsyncFile(temp_path));
+    RR_FAILPOINT(fp_recorder_publish);
+    RR_RETURN_NOT_OK(data::AtomicRename(temp_path, path));
+    return data::FsyncParentDirectory(path);
+  }();
+  if (!published.ok()) {
+    std::remove(temp_path.c_str());  // A failed publish leaves no temp.
+    return published;
+  }
+  return Status::OK();
+}
+
+void MetricsRecorder::RetireLocked() {
+  if (options_.retain_files == 0) return;
+  // file_index_ already points at the NEXT (unwritten) file; published
+  // files are [oldest_index_, file_index_ - 1].
+  while (file_index_ - oldest_index_ > options_.retain_files) {
+    const std::string victim = FilePath(oldest_index_);
+    if (std::remove(victim.c_str()) != 0 && errno != ENOENT) {
+      RR_LOG_FIRST_N(kWarning, 4)
+          << "MetricsRecorder: cannot retire '" << victim
+          << "': " << std::strerror(errno);
+      return;  // Retry on the next rotation.
+    }
+    ++oldest_index_;
+  }
+}
+
+void MetricsRecorder::Start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(thread_mutex_);
+        if (stop_requested_) return;
+      }
+      Tick();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+}
+
+void MetricsRecorder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    stop_requested_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+Status MetricsRecorder::Close() {
+  Stop();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return Status::OK();
+  const Status final_sample = SampleNowLocked();
+  closed_ = true;
+  return final_sample;
+}
+
+uint64_t MetricsRecorder::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+std::vector<std::string> MetricsRecorder::PublishedFiles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> files;
+  for (uint64_t index = oldest_index_; index <= file_index_; ++index) {
+    // The current file exists only once it has at least one sample.
+    if (index == file_index_ && current_samples_ == 0) break;
+    files.push_back(FilePath(index));
+  }
+  return files;
+}
+
+}  // namespace net
+}  // namespace randrecon

@@ -1,0 +1,378 @@
+#include "net/stats_server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/build_info.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/run_report.h"
+#include "common/trace.h"
+
+namespace randrecon {
+namespace net {
+namespace {
+
+// The server's own instruments — they ride the same registry they
+// serve, so a scrape can see how much it is being scraped.
+metrics::Counter m_connections("net.connections");
+metrics::Counter m_requests("net.requests");
+metrics::Counter m_http_errors("net.http_errors");
+
+/// Reads until `terminator` appears, EOF, error, or `cap` bytes.
+/// Returns what was read (possibly short on EOF/error — the caller
+/// validates).
+std::string RecvUntil(int fd, const std::string& terminator, size_t cap) {
+  std::string data;
+  char buffer[1024];
+  while (data.size() < cap &&
+         data.find(terminator) == std::string::npos) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // EOF, timeout or error: parse what we have.
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  return data;
+}
+
+/// Writes all of `data` (short writes retried).
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // Peer went away; nothing to salvage.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// "ingest.rows_shed" -> "randrecon_ingest_rows_shed": Prometheus metric
+/// names admit [a-zA-Z0-9_:] only.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "randrecon_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpListener
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port) {
+  std::unique_ptr<TcpListener> listener(new TcpListener());
+  listener->listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener->listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(listener->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+             sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(listener->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Status::IoError(std::string("bind 127.0.0.1:") +
+                           std::to_string(port) + ": " +
+                           std::strerror(errno));
+  }
+  if (listen(listener->listen_fd_, /*backlog=*/64) != 0) {
+    return Status::IoError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listener->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  &addr_len) != 0) {
+    return Status::IoError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  listener->port_ = ntohs(addr.sin_port);
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::IoError(std::string("pipe: ") + std::strerror(errno));
+  }
+  listener->wake_read_fd_ = pipe_fds[0];
+  listener->wake_write_fd_ = pipe_fds[1];
+  return listener;
+}
+
+TcpListener::~TcpListener() {
+  Close();
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+}
+
+void TcpListener::Close() {
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+Result<int> TcpListener::Accept() {
+  pollfd fds[2];
+  fds[0].fd = listen_fd_;
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_read_fd_;
+  fds[1].events = POLLIN;
+  for (;;) {
+    fds[0].revents = 0;
+    fds[1].revents = 0;
+    const int ready = poll(fds, 2, /*timeout_ms=*/-1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("poll: ") + std::strerror(errno));
+    }
+    // A wake wins over a pending connection: shutdown is immediate.
+    if (fds[1].revents != 0) {
+      return Status::Unavailable("listener woken for shutdown");
+    }
+    if (fds[0].revents != 0) {
+      const int client = accept(listen_fd_, nullptr, nullptr);
+      if (client < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return Status::IoError(std::string("accept: ") +
+                               std::strerror(errno));
+      }
+      return client;
+    }
+  }
+}
+
+void TcpListener::Wake() {
+  const char byte = 'w';
+  // Best effort: a full pipe already guarantees a pending wake.
+  (void)!write(wake_write_fd_, &byte, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+// ---------------------------------------------------------------------------
+
+std::string PrometheusText(const metrics::MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const metrics::CounterSnapshot& counter : snapshot.counters) {
+    const std::string name = PrometheusName(counter.name);
+    out.append("# TYPE " + name + " counter\n");
+    out.append(name + " " + std::to_string(counter.value) + "\n");
+  }
+  for (const metrics::GaugeSnapshot& gauge : snapshot.gauges) {
+    const std::string name = PrometheusName(gauge.name);
+    out.append("# TYPE " + name + " gauge\n");
+    out.append(name + " " + std::to_string(gauge.value) + "\n");
+  }
+  for (const metrics::HistogramSnapshot& histogram : snapshot.histograms) {
+    const std::string name = PrometheusName(histogram.name);
+    out.append("# TYPE " + name + " histogram\n");
+    // Cumulative `le` buckets at the log-bucket upper bounds. Emitting
+    // every one of the 64 buckets would be noise; stop at the highest
+    // non-empty bucket, then +Inf. The +Inf value (and _count) is the
+    // bucket total itself, so sum(buckets) == _count always holds in
+    // the exposition even if the scalar count was torn mid-capture.
+    size_t highest = 0;
+    uint64_t total = 0;
+    for (size_t b = 0; b < metrics::kHistogramBuckets; ++b) {
+      total += histogram.buckets[b];
+      if (histogram.buckets[b] != 0) highest = b;
+    }
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b <= highest && total != 0; ++b) {
+      cumulative += histogram.buckets[b];
+      const uint64_t upper = metrics::Histogram::BucketUpperBound(b);
+      if (upper == ~uint64_t{0}) break;  // The unbounded bucket IS +Inf.
+      out.append(name + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
+                 std::to_string(cumulative) + "\n");
+    }
+    out.append(name + "_bucket{le=\"+Inf\"} " + std::to_string(total) +
+               "\n");
+    out.append(name + "_sum " + std::to_string(histogram.sum) + "\n");
+    out.append(name + "_count " + std::to_string(total) + "\n");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StatsServer
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<StatsServer>> StatsServer::Start(Options options) {
+  std::unique_ptr<StatsServer> server(new StatsServer());
+  auto listener = TcpListener::Listen(options.port);
+  RR_RETURN_NOT_OK(listener.status());
+  server->listener_ = std::move(listener).value();
+  server->start_nanos_ = trace::NowNanos();
+  server->thread_ = std::thread([raw = server.get()] { raw->Serve(); });
+  return server;
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+void StatsServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  listener_->Wake();
+  if (thread_.joinable()) thread_.join();
+  // Release the port: a stopped server refuses connects instead of
+  // parking them in the kernel backlog.
+  listener_->Close();
+}
+
+void StatsServer::AddStatusSection(const std::string& key,
+                                   std::function<std::string()> render_json) {
+  std::lock_guard<std::mutex> lock(sections_mutex_);
+  sections_.emplace_back(key, std::move(render_json));
+}
+
+void StatsServer::Serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    Result<int> client = listener_->Accept();
+    if (!client.ok()) {
+      if (client.status().code() == StatusCode::kUnavailable) return;
+      RR_LOG_EVERY_N(kWarning, 16)
+          << "stats server accept: " << client.status().ToString();
+      continue;
+    }
+    m_connections.Add(1);
+    HandleConnection(client.value());
+  }
+}
+
+void StatsServer::HandleConnection(int fd) {
+  // A stuck client must not wedge the (serial) serving thread.
+  timeval timeout;
+  timeout.tv_sec = 2;
+  timeout.tv_usec = 0;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  const std::string request = RecvUntil(fd, "\r\n\r\n", /*cap=*/8192);
+  int status = 200;
+  std::string reason = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  const size_t line_end = request.find("\r\n");
+  const std::string first_line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = first_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : first_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    status = 400;
+    reason = "Bad Request";
+    body = "malformed request line\n";
+  } else if (first_line.substr(0, sp1) != "GET") {
+    status = 405;
+    reason = "Method Not Allowed";
+    body = "only GET is served\n";
+  } else {
+    m_requests.Add(1);
+    const std::string target = first_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    Route(target, &status, &reason, &content_type, &body);
+  }
+  if (status != 200) m_http_errors.Add(1);
+  std::string response = "HTTP/1.1 " + std::to_string(status) + " " +
+                         reason + "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  response += body;
+  SendAll(fd, response);
+  close(fd);
+}
+
+void StatsServer::Route(const std::string& target, int* status,
+                        std::string* reason, std::string* content_type,
+                        std::string* body) {
+  // Strip a query string: /varz?x=y routes as /varz.
+  const std::string path = target.substr(0, target.find('?'));
+  if (path == "/healthz") {
+    *body = "ok\n";
+  } else if (path == "/varz") {
+    *content_type = "application/json";
+    *body = metrics::SnapshotJson() + "\n";
+  } else if (path == "/metricsz") {
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    *body = PrometheusText(metrics::Snapshot());
+  } else if (path == "/statusz") {
+    *content_type = "application/json";
+    *body = StatuszJson() + "\n";
+  } else if (path == "/tracez") {
+    *content_type = "application/json";
+    *body = TracezJson() + "\n";
+  } else if (path == "/") {
+    *body = "randrecon stats server: /healthz /varz /metricsz /statusz "
+            "/tracez\n";
+  } else {
+    *status = 404;
+    *reason = "Not Found";
+    *body = "unknown endpoint '" + path + "'\n";
+  }
+}
+
+std::string StatsServer::StatuszJson() {
+  const uint64_t now = trace::NowNanos();
+  std::string json = "{\"build_info\":" + BuildInfoJson();
+  json.append(",\"start_nanos\":" + std::to_string(start_nanos_));
+  json.append(",\"now_nanos\":" + std::to_string(now));
+  json.append(",\"uptime_nanos\":" +
+              std::to_string(now >= start_nanos_ ? now - start_nanos_ : 0));
+  json.append(",\"armed_failpoints\":[");
+  bool first = true;
+  for (const std::string& name : ListArmedFailpoints()) {
+    if (!first) json.append(",");
+    first = false;
+    json.append("\"" + report::JsonEscape(name) + "\"");
+  }
+  json.append("],\"failpoint_env_spec\":\"" +
+              report::JsonEscape(FailpointEnvSpec()) + "\"");
+  json.append(",\"sections\":{");
+  {
+    std::lock_guard<std::mutex> lock(sections_mutex_);
+    first = true;
+    for (const auto& section : sections_) {
+      if (!first) json.append(",");
+      first = false;
+      json.append("\"" + report::JsonEscape(section.first) +
+                  "\":" + section.second());
+    }
+  }
+  json.append("}}");
+  return json;
+}
+
+std::string StatsServer::TracezJson() {
+  std::string json = "{\"ring_capacity\":" +
+                     std::to_string(trace::kRecentCaptureRing) +
+                     ",\"captures\":[";
+  bool first = true;
+  for (const trace::RecentCapture& capture : trace::RecentCaptures()) {
+    if (!first) json.append(",");
+    first = false;
+    json.append("{\"id\":" + std::to_string(capture.id) + ",\"label\":\"" +
+                report::JsonEscape(capture.label) + "\",\"captured_nanos\":" +
+                std::to_string(capture.captured_nanos) + ",\"spans\":" +
+                trace::SpanTreeJson(capture.spans) + "}");
+  }
+  json.append("]}");
+  return json;
+}
+
+}  // namespace net
+}  // namespace randrecon

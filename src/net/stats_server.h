@@ -1,0 +1,160 @@
+#ifndef RANDRECON_NET_STATS_SERVER_H_
+#define RANDRECON_NET_STATS_SERVER_H_
+
+/// \file
+/// The live introspection plane: a minimal, dependency-free HTTP/1.1
+/// server exposing the telemetry the run reports only show post-mortem.
+/// This is deliberately the repo's FIRST network surface, split into a
+/// reusable listener/connection layer (TcpListener: bind + poll-accept
+/// + self-pipe shutdown) and the stats protocol on top, so the
+/// ROADMAP's distributed-execution RecordSource can reuse the transport
+/// without inheriting the HTTP routing.
+///
+/// Endpoints (all GET, Connection: close, one response per connection):
+///   /healthz   "ok" — liveness probe.
+///   /varz      metrics::SnapshotJson() verbatim.
+///   /metricsz  Prometheus text exposition v0.0.4 rendered from the
+///              same registry (log-bucket histograms as cumulative
+///              `le` buckets — see PrometheusText below).
+///   /statusz   JSON: build info, uptime, armed failpoints, plus any
+///              daemon-registered sections (ingest/scheduler state).
+///   /tracez    JSON: the trace::RecentCaptures() ring (most recent
+///              finished span trees, newest first).
+///
+/// Determinism contract 10 (docs/OBSERVABILITY.md): serving observes,
+/// it never perturbs. Handlers only read — registry snapshots, status
+/// closures, the trace ring — so an attack cycle under active scrape
+/// load is bitwise identical to an unscraped one (pinned by
+/// tests/net/scrape_under_load_test.cc, run under TSan in CI).
+///
+/// Threading: Start() spawns one serving thread that accepts and
+/// handles connections serially — scrape traffic is humans and
+/// collectors, not load — and Stop() (or the destructor) wakes it via
+/// the self-pipe and joins. Handlers must therefore be cheap and
+/// non-blocking; status closures that need a daemon's mutex must hold
+/// it briefly (the daemons keep a dedicated status mutex for exactly
+/// this).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace randrecon {
+namespace net {
+
+/// The reusable transport: a bound, listening TCP socket with a
+/// poll()-based Accept that a Wake() from any thread unblocks (self-pipe
+/// trick — no racy cross-thread close). Loopback-only by design: this
+/// is an introspection port, not a public service.
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  /// port (read it back with port()).
+  static Result<std::unique_ptr<TcpListener>> Listen(uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The bound port (the ephemeral one when Listen got 0).
+  int port() const { return port_; }
+
+  /// Blocks until a connection arrives (returns its fd — caller closes)
+  /// or Wake() is called (returns Unavailable). IoError on accept
+  /// failure.
+  Result<int> Accept();
+
+  /// Unblocks the current (and every future) Accept. Idempotent,
+  /// callable from any thread.
+  void Wake();
+
+  /// Releases the listening socket: the port is free again and new
+  /// connects are refused instead of parking in the kernel backlog.
+  /// Only safe once no thread is blocked in Accept (Wake + join
+  /// first). Idempotent; the destructor calls it.
+  void Close();
+
+ private:
+  TcpListener() = default;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int port_ = 0;
+};
+
+/// Renders `snapshot` in Prometheus text exposition format v0.0.4.
+/// Dotted metric names become underscored with a "randrecon_" prefix
+/// ("ingest.rows_shed" -> "randrecon_ingest_rows_shed"); histograms
+/// emit cumulative buckets at the log-bucket upper bounds
+/// (le="0","1","3","7",... then le="+Inf"), `_sum`, and `_count`. The
+/// bucket array itself supplies the +Inf/_count total, so the rendered
+/// histogram is internally consistent even when a concurrent Record
+/// tore the scalar count (see Histogram::ConsistentSnapshot).
+std::string PrometheusText(const metrics::MetricsSnapshot& snapshot);
+
+/// The stats protocol over a TcpListener.
+class StatsServer {
+ public:
+  struct Options {
+    /// Port to bind (0 = ephemeral).
+    uint16_t port = 0;
+  };
+
+  /// Binds, then spawns the serving thread. The returned server is live:
+  /// curl http://127.0.0.1:<port()>/healthz answers immediately.
+  static Result<std::unique_ptr<StatsServer>> Start(Options options);
+
+  /// Stops and joins the serving thread (idempotent; destructor calls
+  /// it).
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  int port() const { return listener_->port(); }
+
+  /// Registers a /statusz section: the closure's returned JSON value is
+  /// embedded under "sections".`key` on every scrape. Closures must be
+  /// registered before traffic is expected to see them (registration is
+  /// not synchronized against in-flight scrapes) and must be safe to
+  /// call from the serving thread at any time.
+  void AddStatusSection(const std::string& key,
+                        std::function<std::string()> render_json);
+
+  void Stop();
+
+ private:
+  StatsServer() = default;
+
+  void Serve();
+  void HandleConnection(int fd);
+  /// Routes one request target to (status line suffix, content type,
+  /// body).
+  void Route(const std::string& target, int* status, std::string* reason,
+             std::string* content_type, std::string* body);
+  std::string StatuszJson();
+  std::string TracezJson();
+
+  std::unique_ptr<TcpListener> listener_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  uint64_t start_nanos_ = 0;
+  // Registration happens during daemon startup, before scraping; the
+  // mutex makes late registration merely unsynchronized-visible, not UB.
+  std::mutex sections_mutex_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      sections_;
+};
+
+}  // namespace net
+}  // namespace randrecon
+
+#endif  // RANDRECON_NET_STATS_SERVER_H_

@@ -216,6 +216,7 @@ Result<std::unique_ptr<AttackScheduler>> AttackScheduler::Create(
   // The first Tick after Create is immediately due (fake clock at t=0
   // included: next_due == now fires).
   scheduler->next_due_ = trace::NowNanos();
+  scheduler->UpdateStatusLocked();  // No concurrency yet: Create owns it.
   return scheduler;
 }
 
@@ -252,13 +253,30 @@ SchedulerCycleResult AttackScheduler::Tick() {
       }
     }
   }
-  if (!due) return SchedulerCycleResult{};
-  return RunCycleLocked();
+  if (!due) {
+    UpdateStatusLocked();  // Overruns may have advanced.
+    return SchedulerCycleResult{};
+  }
+  SchedulerCycleResult result = RunCycleTracedLocked();
+  UpdateStatusLocked();
+  return result;
 }
 
 SchedulerCycleResult AttackScheduler::RunCycleNow() {
   std::lock_guard<std::mutex> lock(mutex_);
-  return RunCycleLocked();
+  SchedulerCycleResult result = RunCycleTracedLocked();
+  UpdateStatusLocked();
+  return result;
+}
+
+SchedulerCycleResult AttackScheduler::RunCycleTracedLocked() {
+  if (!options_.trace_cycles) return RunCycleLocked();
+  trace::StartTracing();
+  SchedulerCycleResult result = RunCycleLocked();
+  trace::PushRecentCapture(
+      std::string("scheduler.cycle ") + CycleOutcomeName(result.outcome),
+      trace::StopTracing());
+  return result;
 }
 
 SchedulerCycleResult AttackScheduler::RunCycleLocked() {
@@ -524,8 +542,12 @@ Status AttackScheduler::PublishLocked(SchedulerCycleResult* result) {
 
   const Status latest = WriteLatestPointer(version);
   if (!latest.ok()) {
-    RR_LOG(kWarning) << "AttackScheduler: " << latest.message()
-                     << " — latest.json stays stale until the next publish";
+    // Repeats every publish while the condition persists; rate-limited
+    // so a long outage cannot melt stderr (the report series itself is
+    // unaffected — latest.json is a derived pointer).
+    RR_LOG_EVERY_N(kWarning, 16)
+        << "AttackScheduler: " << latest.message()
+        << " — latest.json stays stale until the next publish";
   }
   RetireReportsLocked();
   return Status::OK();
@@ -568,8 +590,9 @@ void AttackScheduler::RetireReportsLocked() {
     if (std::remove(path.c_str()) == 0) {
       m_reports_retired.Add(1);
     } else {
-      RR_LOG(kWarning) << "AttackScheduler: cannot retire report '" << path
-                       << "': " << std::strerror(errno);
+      RR_LOG_EVERY_N(kWarning, 16)
+          << "AttackScheduler: cannot retire report '" << path
+          << "': " << std::strerror(errno);
     }
   }
 }
@@ -660,6 +683,40 @@ uint64_t AttackScheduler::last_published_version() const {
 uint64_t AttackScheduler::next_version() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return next_version_;
+}
+
+void AttackScheduler::UpdateStatusLocked() {
+  std::string json = "{";
+  json.append("\"manifest\":\"" + report::JsonEscape(manifest_path_) + "\"");
+  json.append(",\"report_dir\":\"" +
+              report::JsonEscape(options_.report_dir) + "\"");
+  json.append(",\"cycles\":" + std::to_string(cycles_));
+  json.append(",\"cycles_ok\":" + std::to_string(cycles_ok_));
+  json.append(",\"cycles_degraded\":" + std::to_string(cycles_degraded_));
+  json.append(",\"cycles_failed\":" + std::to_string(cycles_failed_));
+  json.append(",\"skipped_no_manifest\":" +
+              std::to_string(skipped_no_manifest_));
+  json.append(",\"skipped_unchanged\":" + std::to_string(skipped_unchanged_));
+  json.append(",\"overruns\":" + std::to_string(overruns_));
+  json.append(",\"reports_published\":" + std::to_string(reports_published_));
+  json.append(",\"next_version\":" + std::to_string(next_version_));
+  json.append(",\"last_published_version\":" +
+              std::to_string(last_published_version_));
+  json.append(",\"last_report_rows\":" + std::to_string(last_report_rows_));
+  json.append(",\"last_manifest_hash\":\"" +
+              (have_last_report_ ? data::ManifestHashHex(last_manifest_hash_)
+                                 : std::string("")) +
+              "\"");
+  json.append(",\"have_last_report\":");
+  json.append(have_last_report_ ? "true" : "false");
+  json.append("}");
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  status_json_ = std::move(json);
+}
+
+std::string AttackScheduler::StatusJson() const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return status_json_;
 }
 
 }  // namespace pipeline

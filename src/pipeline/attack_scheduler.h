@@ -114,6 +114,14 @@ struct AttackSchedulerOptions {
   /// the one clock the fake cannot drive, since the daemon thread must
   /// actually wake up). Tick() callers pace themselves.
   uint64_t poll_nanos = 20ull * 1000 * 1000;
+  /// Trace every cycle into the process-global capture
+  /// (trace::StartTracing/StopTracing) and retain the finished span
+  /// tree in the /tracez ring (trace::PushRecentCapture). Claims the
+  /// one process-global capture for the cycle's duration — leave OFF
+  /// when the embedding tool runs its own StartTracing bracket.
+  /// Observation only: the attack math never reads trace state, so
+  /// cycle output stays bitwise identical either way.
+  bool trace_cycles = false;
   /// Shard-open options for the pinned snapshot (eager verification,
   /// block parallelism).
   data::ColumnStoreReadOptions store_options;
@@ -237,12 +245,26 @@ class AttackScheduler {
   uint64_t last_published_version() const;
   uint64_t next_version() const;
 
+  /// Momentary daemon state as a JSON object — the scheduler section of
+  /// the stats server's /statusz. Returns a CACHED rendering refreshed
+  /// at every cycle commit point, so a scrape never blocks behind a
+  /// cycle holding the scheduler mutex (cycles take attack-sized time).
+  std::string StatusJson() const;
+
  private:
   AttackScheduler(std::string manifest_path, AttackSchedulerOptions options);
 
   /// One cycle, mutex_ held: parse → skip checks → pin + attack →
   /// publish → retention.
   SchedulerCycleResult RunCycleLocked();
+
+  /// RunCycleLocked bracketed by the trace_cycles capture (no-op wrap
+  /// when the option is off).
+  SchedulerCycleResult RunCycleTracedLocked();
+
+  /// Re-renders the /statusz JSON from the series/counter fields
+  /// (mutex_ held) into the status cache.
+  void UpdateStatusLocked();
 
   /// Builds and publishes report `next_version_` for an attacked
   /// cycle; advances the series state on success.
@@ -279,6 +301,12 @@ class AttackScheduler {
   uint64_t skipped_unchanged_ = 0;
   uint64_t overruns_ = 0;
   uint64_t reports_published_ = 0;
+
+  /// The cached /statusz rendering (see StatusJson). Guarded by
+  /// status_mutex_, which is only ever held for a copy or a swap —
+  /// never across IO or an attack.
+  mutable std::mutex status_mutex_;
+  std::string status_json_ = "{}";
 
   /// Daemon thread state.
   std::mutex stop_mutex_;

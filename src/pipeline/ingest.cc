@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -137,13 +138,20 @@ Status IngestService::Offer(const linalg::Matrix& chunk, size_t num_rows,
     case QueueOpResult::kOk:
       return Status::OK();
     case QueueOpResult::kFull:
-    case QueueOpResult::kTimedOut:
+    case QueueOpResult::kTimedOut: {
       CountShed(num_rows);
       m_shed_admission.Add(1);
+      // Overload sheds thousands of batches per second; rate-limited so
+      // the shed path stays cheap and stderr stays readable (the exact
+      // totals live in the counters, not the log).
+      RR_LOG_EVERY_N(kWarning, 64)
+          << "ingest '" << manifest_path() << "': batch of " << num_rows
+          << " rows shed at admission (queue full)";
       return Status::Unavailable(
           "ingest '" + manifest_path() +
           "': queue full past the admission deadline — batch shed, retry "
           "with backoff");
+    }
     case QueueOpResult::kClosed:
       // Raced a Close() that won after our closed_ check. The batch was
       // counted offered, so it must be counted shed — never silent.
@@ -168,6 +176,9 @@ void IngestService::WriterLoop() {
         trace::NowNanos() >= batch.deadline_nanos) {
       CountShed(batch.num_rows);
       m_shed_expired.Add(1);
+      RR_LOG_EVERY_N(kWarning, 64)
+          << "ingest '" << manifest_path() << "': batch of "
+          << batch.num_rows << " rows shed — deadline expired in queue";
       continue;
     }
     // Once the store errored sticky, remaining batches shed (counted)
@@ -177,6 +188,11 @@ void IngestService::WriterLoop() {
       if (!error_.ok()) {
         CountShed(batch.num_rows);
         m_shed_store_error.Add(1);
+        // The sticky error repeats for every remaining batch; the first
+        // few lines say everything.
+        RR_LOG_FIRST_N(kWarning, 4)
+            << "ingest '" << manifest_path()
+            << "': batch shed — store already failed: " << error_.ToString();
         continue;
       }
     }
@@ -233,6 +249,27 @@ IngestStats IngestService::stats() const {
   stats.rows_appended = rows_appended_.load(std::memory_order_relaxed);
   stats.rows_shed = rows_shed_.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::string IngestService::StatusJson() const {
+  const IngestStats momentary = stats();
+  std::string json = "{";
+  json.append("\"queue_depth\":" + std::to_string(queue_.size()));
+  json.append(",\"queue_capacity\":" +
+              std::to_string(options_.queue_batches));
+  json.append(",\"closed\":");
+  json.append(closed_.load(std::memory_order_relaxed) ? "true" : "false");
+  json.append(",\"batches_offered\":" +
+              std::to_string(momentary.batches_offered));
+  json.append(",\"batches_appended\":" +
+              std::to_string(momentary.batches_appended));
+  json.append(",\"batches_shed\":" + std::to_string(momentary.batches_shed));
+  json.append(",\"rows_offered\":" + std::to_string(momentary.rows_offered));
+  json.append(",\"rows_appended\":" +
+              std::to_string(momentary.rows_appended));
+  json.append(",\"rows_shed\":" + std::to_string(momentary.rows_shed));
+  json.append("}");
+  return json;
 }
 
 }  // namespace pipeline

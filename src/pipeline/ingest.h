@@ -118,6 +118,12 @@ class IngestService {
   /// Exact once Close() returned; a momentary snapshot before that.
   IngestStats stats() const;
 
+  /// Momentary service state as a JSON object — the ingest section of
+  /// the stats server's /statusz. Reads only atomics and the queue's
+  /// own depth accessor, so it is safe (and non-perturbing) from the
+  /// serving thread while producers and the writer run full tilt.
+  std::string StatusJson() const;
+
   /// The manifest path snapshots attack.
   const std::string& manifest_path() const;
 

@@ -1,0 +1,79 @@
+#include "common/build_info.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.h"
+#include "stats/philox.h"
+
+namespace randrecon {
+namespace {
+
+TEST(BuildInfoTest, FieldsAreNonEmpty) {
+  const BuildInfo& info = GetBuildInfo();
+  EXPECT_NE(std::string(info.git_describe), "");
+  EXPECT_NE(std::string(info.compiler), "");
+  EXPECT_NE(std::string(info.build_type), "");
+  EXPECT_NE(std::string(info.simd_compiled), "");
+  EXPECT_NE(std::string(info.simd_dispatch), "");
+}
+
+TEST(BuildInfoTest, SingletonIsStable) {
+  EXPECT_EQ(&GetBuildInfo(), &GetBuildInfo());
+  EXPECT_EQ(GetBuildInfo().simd_dispatch, GetBuildInfo().simd_dispatch);
+}
+
+// build_info.cc duplicates philox's dispatch policy (common/ cannot
+// depend on stats/): this pin is what keeps the two from drifting.
+TEST(BuildInfoTest, SimdDispatchMatchesPhiloxActiveEngine) {
+  EXPECT_EQ(std::string(GetBuildInfo().simd_dispatch),
+            std::string(stats::philox_internal::ActiveEngine()));
+}
+
+TEST(BuildInfoTest, JsonHasEveryKeyInFixedOrder) {
+  const std::string json = BuildInfoJson();
+  const size_t git = json.find("\"git_describe\":");
+  const size_t compiler = json.find("\"compiler\":");
+  const size_t flags = json.find("\"flags\":");
+  const size_t build_type = json.find("\"build_type\":");
+  const size_t compiled = json.find("\"simd_compiled\":");
+  const size_t dispatch = json.find("\"simd_dispatch\":");
+  const size_t metrics = json.find("\"metrics_disabled\":");
+  ASSERT_NE(git, std::string::npos);
+  ASSERT_NE(compiler, std::string::npos);
+  ASSERT_NE(flags, std::string::npos);
+  ASSERT_NE(build_type, std::string::npos);
+  ASSERT_NE(compiled, std::string::npos);
+  ASSERT_NE(dispatch, std::string::npos);
+  ASSERT_NE(metrics, std::string::npos);
+  EXPECT_LT(git, compiler);
+  EXPECT_LT(compiler, flags);
+  EXPECT_LT(flags, build_type);
+  EXPECT_LT(build_type, compiled);
+  EXPECT_LT(compiled, dispatch);
+  EXPECT_LT(dispatch, metrics);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+#ifdef RANDRECON_DISABLE_METRICS
+  EXPECT_NE(json.find("\"metrics_disabled\":true"), std::string::npos);
+#else
+  EXPECT_NE(json.find("\"metrics_disabled\":false"), std::string::npos);
+#endif
+}
+
+TEST(BuildInfoTest, BannerNamesTheBinaryFacts) {
+  const LogLevel previous = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  LogBuildInfoBanner();
+  const std::string captured = testing::internal::GetCapturedStderr();
+  SetLogLevel(previous);
+  EXPECT_NE(captured.find("randrecon "), std::string::npos);
+  EXPECT_NE(captured.find(GetBuildInfo().git_describe), std::string::npos);
+  EXPECT_NE(captured.find("simd="), std::string::npos);
+  EXPECT_NE(captured.find(GetBuildInfo().simd_dispatch), std::string::npos);
+}
+
+}  // namespace
+}  // namespace randrecon

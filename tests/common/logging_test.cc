@@ -84,5 +84,73 @@ TEST_F(LoggingTest, ParseLogLevelRejectsJunk) {
   }
 }
 
+/// Lines of `captured` containing `needle`.
+size_t CountLines(const std::string& captured, const std::string& needle) {
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = captured.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+TEST_F(LoggingTest, LogEveryNEmitsOccurrences1Then5Then9) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i) {
+    RR_LOG_EVERY_N(kWarning, 4) << "every-n probe";
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(CountLines(captured, "every-n probe"), 3u);
+  EXPECT_NE(captured.find("[occurrence 1] every-n probe"),
+            std::string::npos);
+  EXPECT_NE(captured.find("[occurrence 5] every-n probe"),
+            std::string::npos);
+  EXPECT_NE(captured.find("[occurrence 9] every-n probe"),
+            std::string::npos);
+  EXPECT_EQ(captured.find("[occurrence 2]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, LogFirstNEmitsExactlyTheFirstN) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i) {
+    RR_LOG_FIRST_N(kWarning, 2) << "first-n probe";
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(CountLines(captured, "first-n probe"), 2u);
+  EXPECT_NE(captured.find("[occurrence 1] first-n probe"),
+            std::string::npos);
+  EXPECT_NE(captured.find("[occurrence 2] first-n probe"),
+            std::string::npos);
+  EXPECT_EQ(captured.find("[occurrence 3]"), std::string::npos);
+}
+
+// Each macro expansion gets its OWN counter (keyed by line), so two
+// rate-limited sites never steal each other's budget.
+TEST_F(LoggingTest, RateLimitCountersArePerSite) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 3; ++i) {
+    RR_LOG_FIRST_N(kWarning, 1) << "site A";
+    RR_LOG_FIRST_N(kWarning, 1) << "site B";
+  }
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(CountLines(captured, "site A"), 1u);
+  EXPECT_EQ(CountLines(captured, "site B"), 1u);
+}
+
+// A suppressed level still counts occurrences: when the level later
+// drops, the occurrence numbers stay truthful.
+TEST_F(LoggingTest, RateLimitedMacrosRespectLogLevel) {
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 8; ++i) {
+    RR_LOG_EVERY_N(kWarning, 2) << "suppressed probe";
+  }
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
 }  // namespace
 }  // namespace randrecon

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.h"
@@ -231,6 +233,84 @@ TEST_F(MetricsTest, ResetZeroesEverything) {
   EXPECT_EQ(test_gauge.Value(), 0);
   EXPECT_EQ(test_histogram.Count(), 0u);
   EXPECT_EQ(test_histogram.ValueAtPercentile(50), 0u);
+}
+
+// ---- ConsistentSnapshot.
+
+TEST_F(MetricsTest, ConsistentSnapshotMatchesQuiescedState) {
+  test_histogram.Record(1);
+  test_histogram.Record(7);
+  test_histogram.Record(100);
+  const HistogramSnapshot snapshot = test_histogram.ConsistentSnapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_EQ(snapshot.sum, 108u);
+  EXPECT_EQ(snapshot.min, 1u);
+  EXPECT_EQ(snapshot.max, 100u);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snapshot.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snapshot.count);
+}
+
+// Under a concurrent all-ones hammer, count and sum of every
+// ConsistentSnapshot must agree within the bounded retry's residual
+// slack (at most one in-flight Record per recording thread), where the
+// plain Snapshot could historically tear arbitrarily far apart.
+TEST_F(MetricsTest, ConsistentSnapshotBoundsCountSumSkewUnderLoad) {
+  constexpr size_t kTasks = 8;
+  constexpr uint64_t kSamplesPerTask = 40000;
+  ParallelOptions options;
+  options.min_parallel_items = 2;
+  std::vector<HistogramSnapshot> observed;
+  std::atomic<bool> done{false};
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      observed.push_back(hammer_histogram.ConsistentSnapshot());
+    }
+  });
+  ParallelForEach(
+      0, kTasks,
+      [&](size_t) {
+        for (uint64_t i = 0; i < kSamplesPerTask; ++i) {
+          hammer_histogram.Record(1);
+        }
+      },
+      options);
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  ASSERT_FALSE(observed.empty());
+  uint64_t previous_count = 0;
+  for (const HistogramSnapshot& snapshot : observed) {
+    // All-ones stream: a consistent view has sum == count; the bounded
+    // retry tolerates at most one torn Record per concurrent recorder.
+    const uint64_t skew = snapshot.sum > snapshot.count
+                              ? snapshot.sum - snapshot.count
+                              : snapshot.count - snapshot.sum;
+    EXPECT_LE(skew, kTasks) << "count=" << snapshot.count
+                            << " sum=" << snapshot.sum;
+    // Monotone across snapshots — the slack never runs backwards.
+    EXPECT_GE(snapshot.count, previous_count);
+    previous_count = snapshot.count;
+  }
+  const HistogramSnapshot final_snapshot =
+      hammer_histogram.ConsistentSnapshot();
+  EXPECT_EQ(final_snapshot.count, kTasks * kSamplesPerTask);
+  EXPECT_EQ(final_snapshot.sum, kTasks * kSamplesPerTask);
+}
+
+TEST_F(MetricsTest, RegistrySnapshotCarriesBuckets) {
+  test_histogram.Record(0);
+  test_histogram.Record(5);
+  const MetricsSnapshot snapshot = Snapshot();
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (h.name == "test.metrics.histogram") {
+      EXPECT_EQ(h.buckets[0], 1u);  // The zero sample.
+      uint64_t total = 0;
+      for (uint64_t b : h.buckets) total += b;
+      EXPECT_EQ(total, h.count);
+      return;
+    }
+  }
+  FAIL() << "test.metrics.histogram not in registry snapshot";
 }
 
 }  // namespace

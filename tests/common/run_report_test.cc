@@ -34,8 +34,10 @@ TEST_F(RunReportTest, TopLevelKeysInFixedOrder) {
   builder.AddConfigInt("rows", 5);
   builder.AddRawSection("extras", "[1,2]");
   const std::string json = builder.ToJson();
-  const size_t schema = json.find("\"schema_version\":1");
+  const size_t schema = json.find("\"schema_version\":2");
   const size_t tool = json.find("\"tool\":\"test_tool\"");
+  const size_t build_info = json.find("\"build_info\":{");
+  const size_t git_describe = json.find("\"git_describe\":\"");
   const size_t config = json.find("\"config\":{");
   const size_t counters = json.find("\"counters\":{");
   const size_t gauges = json.find("\"gauges\":{");
@@ -43,9 +45,13 @@ TEST_F(RunReportTest, TopLevelKeysInFixedOrder) {
   const size_t spans = json.find("\"spans\":[");
   const size_t extras = json.find("\"extras\":[1,2]");
   ASSERT_NE(schema, std::string::npos);
+  ASSERT_NE(build_info, std::string::npos);
+  ASSERT_NE(git_describe, std::string::npos);
   ASSERT_NE(extras, std::string::npos);
   EXPECT_LT(schema, tool);
-  EXPECT_LT(tool, config);
+  EXPECT_LT(tool, build_info);
+  EXPECT_LT(build_info, git_describe);
+  EXPECT_LT(git_describe, config);
   EXPECT_LT(config, counters);
   EXPECT_LT(counters, gauges);
   EXPECT_LT(gauges, histograms);

@@ -1,0 +1,332 @@
+#include "net/stats_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace randrecon {
+namespace net {
+namespace {
+
+metrics::Counter test_net_counter("test.net.counter");
+metrics::Gauge test_net_gauge("test.net.gauge");
+metrics::Histogram test_net_histogram("test.net.histogram");
+
+struct HttpResponse {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+/// One raw-socket GET (or arbitrary `request`) against 127.0.0.1:port.
+/// The server answers Connection: close, so reading to EOF frames the
+/// response.
+HttpResponse RawRequest(int port, const std::string& request) {
+  HttpResponse response;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "send failed";
+      ::close(fd);
+      return response;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    raw.append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  const size_t split = raw.find("\r\n\r\n");
+  EXPECT_NE(split, std::string::npos) << "no header/body split in " << raw;
+  if (split == std::string::npos) return response;
+  response.headers = raw.substr(0, split);
+  response.body = raw.substr(split + 4);
+  EXPECT_EQ(raw.rfind("HTTP/1.1 ", 0), 0u) << raw;
+  response.status = std::atoi(raw.c_str() + strlen("HTTP/1.1 "));
+  return response;
+}
+
+HttpResponse Get(int port, const std::string& target) {
+  return RawRequest(port, "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+class StatsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    metrics::ResetAllMetrics();
+    trace::ClearRecentCaptures();
+    auto started = StatsServer::Start(StatsServer::Options{});
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    server_ = std::move(started).value();
+  }
+
+  std::unique_ptr<StatsServer> server_;
+};
+
+// ---- TcpListener (the reusable transport).
+
+TEST(TcpListenerTest, EphemeralPortIsAssigned) {
+  auto listened = TcpListener::Listen(0);
+  ASSERT_TRUE(listened.ok()) << listened.status().ToString();
+  EXPECT_GT(std::move(listened).value()->port(), 0);
+}
+
+TEST(TcpListenerTest, WakeUnblocksAccept) {
+  auto listened = TcpListener::Listen(0);
+  ASSERT_TRUE(listened.ok());
+  std::unique_ptr<TcpListener> listener = std::move(listened).value();
+  std::thread waker([&listener] { listener->Wake(); });
+  const Result<int> accepted = listener->Accept();
+  waker.join();
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_EQ(accepted.status().code(), StatusCode::kUnavailable)
+      << accepted.status().ToString();
+  // Wake is sticky: the next Accept returns immediately too.
+  EXPECT_FALSE(listener->Accept().ok());
+}
+
+TEST(TcpListenerTest, AcceptReturnsAConnectedFd) {
+  auto listened = TcpListener::Listen(0);
+  ASSERT_TRUE(listened.ok());
+  std::unique_ptr<TcpListener> listener = std::move(listened).value();
+  const int port = listener->port();
+  std::thread client([port] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::close(fd);
+  });
+  const Result<int> accepted = listener->Accept();
+  client.join();
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  EXPECT_GE(accepted.value(), 0);
+  ::close(accepted.value());
+}
+
+// ---- Endpoints.
+
+TEST_F(StatsServerTest, HealthzAnswersOk) {
+  const HttpResponse response = Get(server_->port(), "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST_F(StatsServerTest, VarzIsTheRegistryJson) {
+  test_net_counter.Add(7);
+  const HttpResponse response = Get(server_->port(), "/varz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers.find("application/json"), std::string::npos);
+  EXPECT_NE(response.body.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(response.body.find("\"test.net.counter\":7"),
+            std::string::npos);
+}
+
+TEST_F(StatsServerTest, MetricszRendersExposition) {
+  test_net_counter.Add(3);
+  test_net_gauge.Set(-4);
+  test_net_histogram.Record(5);
+  const HttpResponse response = Get(server_->port(), "/metricsz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers.find("text/plain"), std::string::npos);
+  EXPECT_NE(
+      response.body.find("# TYPE randrecon_test_net_counter counter"),
+      std::string::npos);
+  EXPECT_NE(response.body.find("randrecon_test_net_counter 3"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("randrecon_test_net_gauge -4"),
+            std::string::npos);
+  EXPECT_NE(
+      response.body.find("# TYPE randrecon_test_net_histogram histogram"),
+      std::string::npos);
+  EXPECT_NE(response.body.find(
+                "randrecon_test_net_histogram_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("randrecon_test_net_histogram_sum 5"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("randrecon_test_net_histogram_count 1"),
+            std::string::npos);
+}
+
+TEST_F(StatsServerTest, StatuszHasBuildInfoAndRegisteredSections) {
+  server_->AddStatusSection("demo", [] { return R"({"answer":42})"; });
+  const HttpResponse response = Get(server_->port(), "/statusz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"build_info\":{\"git_describe\":"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"armed_failpoints\":["), std::string::npos);
+  EXPECT_NE(response.body.find("\"uptime_nanos\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"demo\":{\"answer\":42}"),
+            std::string::npos);
+}
+
+TEST_F(StatsServerTest, TracezServesTheRecentCaptureRing) {
+  std::vector<trace::Span> spans(1);
+  spans[0].name = "probe.span";
+  spans[0].start_nanos = 10;
+  spans[0].duration_nanos = 5;
+  spans[0].parent = -1;
+  trace::PushRecentCapture("probe capture", std::move(spans));
+  const HttpResponse response = Get(server_->port(), "/tracez");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"label\":\"probe capture\""),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"name\":\"probe.span\""),
+            std::string::npos);
+}
+
+TEST_F(StatsServerTest, RootListsTheEndpoints) {
+  const HttpResponse response = Get(server_->port(), "/");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("/metricsz"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, UnknownPathIs404) {
+  const HttpResponse response = Get(server_->port(), "/nope");
+  EXPECT_EQ(response.status, 404);
+}
+
+TEST_F(StatsServerTest, QueryStringIsStripped) {
+  const HttpResponse response = Get(server_->port(), "/healthz?probe=1");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "ok\n");
+}
+
+TEST_F(StatsServerTest, NonGetMethodIs405) {
+  const HttpResponse response = RawRequest(
+      server_->port(),
+      "POST /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(response.status, 405);
+}
+
+TEST_F(StatsServerTest, GarbageRequestIs400) {
+  const HttpResponse response =
+      RawRequest(server_->port(), "NOT-HTTP\r\n\r\n");
+  EXPECT_EQ(response.status, 400);
+}
+
+TEST_F(StatsServerTest, ServesManySequentialScrapes) {
+  for (int i = 0; i < 20; ++i) {
+    const HttpResponse response = Get(server_->port(), "/healthz");
+    ASSERT_EQ(response.status, 200);
+  }
+  // The serving counters observed the traffic (>= because other tests'
+  // requests in this process share the registry until Reset).
+  const HttpResponse varz = Get(server_->port(), "/varz");
+  EXPECT_NE(varz.body.find("\"net.requests\":"), std::string::npos);
+}
+
+TEST_F(StatsServerTest, StopIsIdempotentAndFast) {
+  const int port = server_->port();
+  server_->Stop();
+  server_->Stop();
+  // The port was released: a connect is refused immediately instead of
+  // parking in the dead listener's kernel backlog.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_NE(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ::close(fd);
+}
+
+// ---- PrometheusText (unit-level, no sockets).
+
+TEST(PrometheusTextTest, RendersCumulativeLogBuckets) {
+  metrics::MetricsSnapshot snapshot;
+  metrics::HistogramSnapshot histogram;
+  histogram.name = "probe.latency_nanos";
+  histogram.count = 4;
+  histogram.sum = 1 + 2 + 3 + 9;
+  histogram.min = 1;
+  histogram.max = 9;
+  histogram.buckets[metrics::Histogram::BucketIndex(1)] += 1;
+  histogram.buckets[metrics::Histogram::BucketIndex(2)] += 1;
+  histogram.buckets[metrics::Histogram::BucketIndex(3)] += 1;
+  histogram.buckets[metrics::Histogram::BucketIndex(9)] += 1;
+  snapshot.histograms.push_back(histogram);
+  const std::string text = PrometheusText(snapshot);
+  EXPECT_NE(
+      text.find("# TYPE randrecon_probe_latency_nanos histogram"),
+      std::string::npos);
+  // Cumulative: le="1" holds the 1-sample, le="3" adds the 2 and 3,
+  // le="15" adds the 9, then +Inf == count.
+  EXPECT_NE(text.find("randrecon_probe_latency_nanos_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("randrecon_probe_latency_nanos_bucket{le=\"3\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("randrecon_probe_latency_nanos_bucket{le=\"15\"} 4"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("randrecon_probe_latency_nanos_bucket{le=\"+Inf\"} 4"),
+      std::string::npos);
+  EXPECT_NE(text.find("randrecon_probe_latency_nanos_sum 15"),
+            std::string::npos);
+  EXPECT_NE(text.find("randrecon_probe_latency_nanos_count 4"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, CountComesFromTheBucketTotal) {
+  // A torn scalar count must not leak into the exposition: _count and
+  // +Inf both derive from the captured bucket array.
+  metrics::MetricsSnapshot snapshot;
+  metrics::HistogramSnapshot histogram;
+  histogram.name = "torn.histogram";
+  histogram.count = 99;  // Deliberately inconsistent with the buckets.
+  histogram.sum = 2;
+  histogram.min = 2;
+  histogram.max = 2;
+  histogram.buckets[metrics::Histogram::BucketIndex(2)] = 1;
+  snapshot.histograms.push_back(histogram);
+  const std::string text = PrometheusText(snapshot);
+  EXPECT_NE(text.find("randrecon_torn_histogram_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("randrecon_torn_histogram_count 1"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, SanitizesMetricNames) {
+  metrics::MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"weird-name.with/chars", 1});
+  const std::string text = PrometheusText(snapshot);
+  EXPECT_NE(text.find("randrecon_weird_name_with_chars 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace randrecon

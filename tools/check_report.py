@@ -34,10 +34,12 @@ import re
 import struct
 import sys
 
-SCHEMA_VERSION = 1
-TOP_LEVEL_KEYS = ["schema_version", "tool", "config", "counters", "gauges",
-                  "histograms", "spans"]
+SCHEMA_VERSION = 2
+TOP_LEVEL_KEYS = ["schema_version", "tool", "build_info", "config",
+                  "counters", "gauges", "histograms", "spans"]
 HISTOGRAM_KEYS = {"count", "sum", "min", "max", "p50", "p95", "p99"}
+BUILD_INFO_STRING_KEYS = ["git_describe", "compiler", "flags", "build_type",
+                          "simd_compiled", "simd_dispatch"]
 
 
 class ReportError(Exception):
@@ -57,6 +59,19 @@ def check_common(report):
             f"expected {SCHEMA_VERSION}")
     require(isinstance(report["tool"], str) and report["tool"],
             "tool must be a non-empty string")
+
+    # v2: every report pins its binary's provenance (common/build_info.h).
+    build_info = report["build_info"]
+    require(isinstance(build_info, dict), "build_info must be an object")
+    for key in BUILD_INFO_STRING_KEYS:
+        require(isinstance(build_info.get(key), str) and build_info[key],
+                f"build_info.{key} must be a non-empty string")
+    require(isinstance(build_info.get("metrics_disabled"), bool),
+            "build_info.metrics_disabled must be a bool")
+    require(build_info["simd_dispatch"] in ("avx512", "avx2", "scalar"),
+            f"build_info.simd_dispatch must name a philox engine, got "
+            f"{build_info['simd_dispatch']!r}")
+
     require(isinstance(report["config"], dict), "config must be an object")
 
     counters = report["counters"]

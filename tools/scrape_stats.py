@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Scrapes a randrecon stats server and validates every endpoint.
+
+Usage: scrape_stats.py --port PORT [--host 127.0.0.1]
+
+Fetches the five endpoints of the live introspection plane
+(docs/OBSERVABILITY.md) and checks each response:
+
+  /healthz   body is exactly "ok";
+  /varz      JSON with counters/gauges/histograms objects (the same
+             shapes check_report.py validates in run reports);
+  /metricsz  Prometheus text exposition v0.0.4: every sample named
+             [a-zA-Z_:][a-zA-Z0-9_:]*, preceded by a # TYPE line for
+             its family; histogram bucket values cumulative and
+             non-decreasing, ending at le="+Inf" == the family's
+             _count, with _sum present;
+  /statusz   JSON with a build_info object (git_describe, compiler,
+             simd fields), uptime, armed_failpoints array, sections;
+  /tracez    JSON with a captures array of {id,label,spans} objects.
+
+Also checks that an unknown path answers 404. Stdlib only (http.client)
+so CI can run it on a bare python3 right after curling the same port.
+
+Exit status: 0 iff every endpoint validates; failures name the endpoint
+and the violated invariant.
+"""
+
+import http.client
+import json
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_LINE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)")
+TYPE_LINE = re.compile(
+    r"# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)")
+
+
+class ScrapeError(Exception):
+    """One violated invariant, with enough context to locate it."""
+
+
+def require(condition, message):
+    if not condition:
+        raise ScrapeError(message)
+
+
+def fetch(host, port, path):
+    """(status, body) of one GET; a fresh connection per request
+    (the server answers Connection: close)."""
+    connection = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
+def base_family(name):
+    """The histogram family of a _bucket/_sum/_count sample name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_exposition(body):
+    """Prometheus text exposition v0.0.4 — returns the family count."""
+    types = {}
+    histograms = {}   # family -> list of (le, value)
+    sums = {}
+    counts = {}
+    for lineno, line in enumerate(body.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            match = TYPE_LINE.fullmatch(line)
+            require(match is not None,
+                    f"/metricsz:{lineno}: malformed comment {line!r} "
+                    f"(only # TYPE is emitted)")
+            name = match.group("name")
+            require(name not in types,
+                    f"/metricsz:{lineno}: duplicate # TYPE for {name}")
+            types[name] = match.group("type")
+            continue
+        match = SAMPLE_LINE.fullmatch(line)
+        require(match is not None,
+                f"/metricsz:{lineno}: malformed sample line {line!r}")
+        name = match.group("name")
+        family = base_family(name)
+        require(family in types,
+                f"/metricsz:{lineno}: sample {name} has no preceding "
+                f"# TYPE for {family}")
+        value = float(match.group("value"))
+        require(value == value, f"/metricsz:{lineno}: NaN value")
+        if types[family] == "histogram":
+            if name == family + "_bucket":
+                labels = match.group("labels") or ""
+                le = re.fullmatch(r'le="([^"]*)"', labels)
+                require(le is not None,
+                        f"/metricsz:{lineno}: histogram bucket needs "
+                        f"exactly an le label, got {labels!r}")
+                histograms.setdefault(family, []).append(
+                    (le.group(1), value))
+            elif name == family + "_sum":
+                sums[family] = value
+            elif name == family + "_count":
+                counts[family] = value
+            else:
+                raise ScrapeError(
+                    f"/metricsz:{lineno}: unexpected histogram sample "
+                    f"{name}")
+        else:
+            require(match.group("labels") is None,
+                    f"/metricsz:{lineno}: unexpected labels on {name}")
+
+    for family, buckets in histograms.items():
+        require(family in sums, f"/metricsz: {family} has no _sum")
+        require(family in counts, f"/metricsz: {family} has no _count")
+        require(buckets[-1][0] == "+Inf",
+                f"/metricsz: {family} buckets must end at le=\"+Inf\"")
+        previous = -1.0
+        bounds = []
+        for le, value in buckets:
+            require(value >= previous,
+                    f"/metricsz: {family} buckets must be cumulative "
+                    f"(le={le} went {previous} -> {value})")
+            previous = value
+            bounds.append(le)
+        require(bounds == sorted(set(bounds),
+                                 key=lambda b: float("inf")
+                                 if b == "+Inf" else float(b)),
+                f"/metricsz: {family} bucket bounds must strictly "
+                f"increase, got {bounds}")
+        require(buckets[-1][1] == counts[family],
+                f"/metricsz: {family} le=\"+Inf\" {buckets[-1][1]} != "
+                f"_count {counts[family]}")
+    return len(types)
+
+
+def check_metrics_json(document, where):
+    for section in ("counters", "gauges", "histograms"):
+        require(isinstance(document.get(section), dict),
+                f"{where}: needs a {section} object")
+
+
+def scrape(host, port):
+    status, body = fetch(host, port, "/healthz")
+    require(status == 200 and body.strip() == "ok",
+            f"/healthz: expected 200 'ok', got {status} {body!r}")
+
+    status, body = fetch(host, port, "/varz")
+    require(status == 200, f"/varz: status {status}")
+    check_metrics_json(json.loads(body), "/varz")
+
+    status, body = fetch(host, port, "/metricsz")
+    require(status == 200, f"/metricsz: status {status}")
+    families = check_exposition(body)
+    require(families > 0, "/metricsz: no metric families at all")
+
+    status, body = fetch(host, port, "/statusz")
+    require(status == 200, f"/statusz: status {status}")
+    statusz = json.loads(body)
+    build_info = statusz.get("build_info")
+    require(isinstance(build_info, dict), "/statusz: needs build_info")
+    for key in ("git_describe", "compiler", "flags", "build_type",
+                "simd_compiled", "simd_dispatch"):
+        require(isinstance(build_info.get(key), str),
+                f"/statusz: build_info needs string '{key}'")
+    require(isinstance(build_info.get("metrics_disabled"), bool),
+            "/statusz: build_info needs bool metrics_disabled")
+    require(isinstance(statusz.get("uptime_nanos"), int)
+            and statusz["uptime_nanos"] >= 0,
+            "/statusz: needs non-negative uptime_nanos")
+    require(isinstance(statusz.get("armed_failpoints"), list),
+            "/statusz: needs an armed_failpoints array")
+    require(isinstance(statusz.get("sections"), dict),
+            "/statusz: needs a sections object")
+
+    status, body = fetch(host, port, "/tracez")
+    require(status == 200, f"/tracez: status {status}")
+    tracez = json.loads(body)
+    captures = tracez.get("captures")
+    require(isinstance(captures, list), "/tracez: needs a captures array")
+    for i, capture in enumerate(captures):
+        for key, kind in [("id", int), ("label", str), ("spans", list)]:
+            require(isinstance(capture.get(key), kind),
+                    f"/tracez: capture {i} needs {kind.__name__} '{key}'")
+
+    status, _ = fetch(host, port, "/no-such-endpoint")
+    require(status == 404,
+            f"unknown path: expected 404, got {status}")
+    return families, len(captures)
+
+
+def main(argv):
+    args = argv[1:]
+    values = {"--host": "127.0.0.1"}
+    i = 0
+    while i < len(args):
+        if args[i] in ("--port", "--host"):
+            if i + 1 >= len(args):
+                print(f"{args[i]} needs a value", file=sys.stderr)
+                return 2
+            values[args[i]] = args[i + 1]
+            i += 2
+        else:
+            print(f"unexpected argument {args[i]!r}", file=sys.stderr)
+            return 2
+    if "--port" not in values:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    host = values["--host"]
+    port = int(values["--port"])
+    try:
+        families, captures = scrape(host, port)
+        print(f"{host}:{port}: OK ({families} metric familie(s), "
+              f"{captures} trace capture(s))")
+        return 0
+    except (ScrapeError, OSError, json.JSONDecodeError, ValueError) \
+            as error:
+        print(f"{host}:{port}: FAIL: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
