@@ -32,11 +32,13 @@ metrics::Counter m_samples("recorder.samples");
 metrics::Counter m_publish_failures("recorder.publish_failures");
 metrics::Counter m_files_published("recorder.files_published");
 
-/// "metrics-000007.jsonl" -> 7. False for anything else.
+/// "metrics-000007.jsonl" -> 7. False for anything else. The width is
+/// unbounded: FilePath pads to 6 digits but emits more past 999999, and
+/// those files must still anchor the index-continuation scan.
 bool ParseSeriesIndex(const char* name, uint64_t* index) {
   unsigned long long parsed = 0;
   int consumed = 0;
-  if (std::sscanf(name, "metrics-%6llu.jsonl%n", &parsed, &consumed) != 1) {
+  if (std::sscanf(name, "metrics-%llu.jsonl%n", &parsed, &consumed) != 1) {
     return false;
   }
   if (name[consumed] != '\0') return false;
@@ -144,6 +146,7 @@ Status MetricsRecorder::SampleNowLocked() {
     m_publish_failures.Add(1);
     return published;
   }
+  published_current_ = true;
   m_samples.Add(1);
   if (current_samples_ >= options_.samples_per_file) {
     // Rotate: the published file is final; the next sample opens the
@@ -151,6 +154,7 @@ Status MetricsRecorder::SampleNowLocked() {
     ++file_index_;
     current_lines_.clear();
     current_samples_ = 0;
+    published_current_ = false;
     m_files_published.Add(1);
     RetireLocked();
   }
@@ -246,8 +250,9 @@ std::vector<std::string> MetricsRecorder::PublishedFiles() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> files;
   for (uint64_t index = oldest_index_; index <= file_index_; ++index) {
-    // The current file exists only once it has at least one sample.
-    if (index == file_index_ && current_samples_ == 0) break;
+    // The current file is on disk only once a sample for this index has
+    // actually published (a buffered sample whose rename failed is not).
+    if (index == file_index_ && !published_current_) break;
     files.push_back(FilePath(index));
   }
   return files;

@@ -114,6 +114,9 @@ class MetricsRecorder {
   uint64_t seq_ = 0;             ///< Samples taken this run.
   std::string current_lines_;    ///< Accumulated lines of the current file.
   size_t current_samples_ = 0;   ///< Samples in current_lines_.
+  /// True once file_index_ has at least one successful publish — i.e.
+  /// the file is actually on disk, not just buffered.
+  bool published_current_ = false;
   bool closed_ = false;
 
   std::thread thread_;

@@ -223,11 +223,11 @@ Result<std::unique_ptr<StatsServer>> StatsServer::Start(Options options) {
 StatsServer::~StatsServer() { Stop(); }
 
 void StatsServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
-  listener_->Wake();
+  // Serialized: concurrent Stop() calls must not both reach join() on
+  // the shared thread_ (joinable-then-join is not atomic).
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (!listener_) return;  // Start() failed before the listener existed.
+  if (!stopping_.exchange(true)) listener_->Wake();
   if (thread_.joinable()) thread_.join();
   // Release the port: a stopped server refuses connects instead of
   // parking them in the kernel backlog.

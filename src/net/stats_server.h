@@ -145,6 +145,7 @@ class StatsServer {
 
   std::unique_ptr<TcpListener> listener_;
   std::thread thread_;
+  std::mutex stop_mutex_;  ///< Serializes Stop() (join is not reentrant).
   std::atomic<bool> stopping_{false};
   uint64_t start_nanos_ = 0;
   // Registration happens during daemon startup, before scraping; the

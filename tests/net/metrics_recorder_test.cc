@@ -200,9 +200,30 @@ TEST_F(MetricsRecorderTest, PublishFaultLeavesNoTempBehind) {
       ArmFailpoint("recorder.publish", FailpointAction::kError).ok());
   EXPECT_FALSE(recorder->SampleNow().ok());
   EXPECT_TRUE(ListDir(dir_).empty());
+  // The buffered-but-unpublished sample must not surface a path that
+  // does not exist on disk.
+  EXPECT_TRUE(recorder->PublishedFiles().empty());
   DisarmAllFailpoints();
   ASSERT_TRUE(recorder->SampleNow().ok());
   EXPECT_EQ(ListDir(dir_).size(), 1u);
+  EXPECT_EQ(recorder->PublishedFiles().size(), 1u);
+}
+
+TEST_F(MetricsRecorderTest, IndexContinuationBeyondSixDigits) {
+  trace::FakeClockGuard clock(0);
+  // FilePath pads to 6 digits but emits more past 999999; the restart
+  // scan must still see such files and continue after them.
+  ASSERT_EQ(::mkdir(dir_.c_str(), 0755), 0);
+  {
+    std::ofstream file(dir_ + "/metrics-1000000.jsonl");
+    file << "{\"seq\":1,\"t_nanos\":0,\"counters\":{}}\n";
+  }
+  std::unique_ptr<MetricsRecorder> recorder = MustCreate(DefaultOptions());
+  ASSERT_TRUE(recorder->SampleNow().ok());
+  const std::vector<std::string> published = recorder->PublishedFiles();
+  ASSERT_EQ(published.size(), 1u);
+  EXPECT_EQ(published[0], dir_ + "/metrics-1000001.jsonl");
+  EXPECT_TRUE(FileExists(dir_ + "/metrics-1000001.jsonl"));
 }
 
 TEST_F(MetricsRecorderTest, PublishFailuresAreCounted) {

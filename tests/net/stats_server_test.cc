@@ -264,6 +264,24 @@ TEST_F(StatsServerTest, StopIsIdempotentAndFast) {
   ::close(fd);
 }
 
+TEST_F(StatsServerTest, StartOnBusyPortFailsCleanly) {
+  // The fixture's server holds its port; a second Start on the same
+  // fixed port must return the bind error — and destroying the failed
+  // server must not touch the never-created listener.
+  StatsServer::Options options;
+  options.port = static_cast<uint16_t>(server_->port());
+  auto second = StatsServer::Start(options);
+  EXPECT_FALSE(second.ok());
+}
+
+TEST_F(StatsServerTest, ConcurrentStopsJoinOnce) {
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([this] { server_->Stop(); });
+  }
+  for (std::thread& stopper : stoppers) stopper.join();
+}
+
 // ---- PrometheusText (unit-level, no sockets).
 
 TEST(PrometheusTextTest, RendersCumulativeLogBuckets) {
